@@ -1,0 +1,107 @@
+package wbcast
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"wbcast/internal/client"
+	"wbcast/internal/mcast"
+)
+
+// Client multicasts application messages to groups of the cluster. Safe for
+// concurrent use; each Multicast blocks until every destination group has
+// delivered the message (at its first replica) or the context expires.
+type Client struct {
+	c   *Cluster
+	pid ProcessID
+
+	mu      sync.Mutex
+	seq     uint32
+	waiters map[MsgID]chan struct{}
+}
+
+// NewClient attaches a new client process to the cluster.
+func (c *Cluster) NewClient() (*Client, error) {
+	cl := &Client{c: c, waiters: make(map[MsgID]chan struct{})}
+	c.nextClient++
+	cl.pid = c.nextClient
+	h := client.New(client.Config{
+		PID: cl.pid,
+		Contacts: func(g GroupID) []ProcessID {
+			return []ProcessID{c.top.InitialLeader(g)}
+		},
+		RetryContacts: func(g GroupID) []ProcessID { return c.top.Members(g) },
+		Retry:         50 * c.cfg.Delta,
+		OnComplete:    cl.complete,
+	})
+	if err := c.net.Add(h); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// ID returns the client's process ID (the sender of its messages).
+func (cl *Client) ID() ProcessID { return cl.pid }
+
+// Multicast sends payload to the given destination groups and waits until
+// every destination group has delivered it. It returns the message ID,
+// which appears in the Delivery records observed via Config.OnDeliver.
+func (cl *Client) Multicast(ctx context.Context, payload []byte, groups ...GroupID) (MsgID, error) {
+	id, done, err := cl.MulticastAsync(payload, groups...)
+	if err != nil {
+		return id, err
+	}
+	select {
+	case <-done:
+		return id, nil
+	case <-ctx.Done():
+		cl.mu.Lock()
+		delete(cl.waiters, id)
+		cl.mu.Unlock()
+		return id, ctx.Err()
+	}
+}
+
+// MulticastAsync sends payload to the given destination groups and returns
+// immediately; the returned channel is closed once every destination group
+// has delivered the message.
+func (cl *Client) MulticastAsync(payload []byte, groups ...GroupID) (MsgID, <-chan struct{}, error) {
+	if len(groups) == 0 {
+		return 0, nil, fmt.Errorf("wbcast: no destination groups")
+	}
+	dest := NewGroupSet(groups...)
+	for _, g := range dest {
+		if int(g) < 0 || int(g) >= cl.c.top.NumGroups() {
+			return 0, nil, fmt.Errorf("wbcast: unknown group %d", g)
+		}
+	}
+	cl.mu.Lock()
+	cl.seq++
+	id := mcast.MakeMsgID(cl.pid, cl.seq)
+	done := make(chan struct{})
+	cl.waiters[id] = done
+	cl.mu.Unlock()
+
+	pl := make([]byte, len(payload))
+	copy(pl, payload)
+	m := AppMsg{ID: id, Dest: dest, Payload: pl}
+	if err := cl.c.net.Submit(cl.pid, m); err != nil {
+		cl.mu.Lock()
+		delete(cl.waiters, id)
+		cl.mu.Unlock()
+		return id, nil, err
+	}
+	return id, done, nil
+}
+
+// complete runs on the client process goroutine when all groups replied.
+func (cl *Client) complete(id mcast.MsgID) {
+	cl.mu.Lock()
+	done, ok := cl.waiters[id]
+	delete(cl.waiters, id)
+	cl.mu.Unlock()
+	if ok {
+		close(done)
+	}
+}

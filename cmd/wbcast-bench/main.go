@@ -1,0 +1,130 @@
+// Command wbcast-bench regenerates the latency/throughput curves of the
+// paper's Fig. 7 (LAN) and Fig. 8 (WAN): closed-loop clients multicast
+// 20-byte messages to a fixed number of destination groups; the tool sweeps
+// the number of clients and prints one series per protocol.
+//
+// Usage:
+//
+//	wbcast-bench -net lan -groups 10 -size 3 \
+//	    -protocols wbcast,fastcast,ftskeen \
+//	    -clients 16,64,256,1024 -dest 1,2,4 \
+//	    -warmup 500ms -measure 2s
+//
+// The paper's testbeds (CloudLab; Google Cloud across Oregon, N. Virginia
+// and England) are modelled by injected latency profiles on a single
+// machine, so absolute throughput differs from the paper while the relative
+// ordering of the protocols is preserved (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wbcast/internal/bench"
+	"wbcast/internal/harness"
+	"wbcast/internal/live"
+	"wbcast/internal/mcast"
+)
+
+func main() {
+	var (
+		netProfile = flag.String("net", "lan", "latency profile: lan or wan")
+		groups     = flag.Int("groups", 10, "number of groups (the paper uses 10)")
+		size       = flag.Int("size", 3, "replicas per group (the paper uses 3)")
+		protocols  = flag.String("protocols", "wbcast,fastcast,ftskeen", "comma-separated protocols")
+		clients    = flag.String("clients", "16,64,256,1024", "comma-separated client counts")
+		dests      = flag.String("dest", "1,2,4", "comma-separated destination-group counts ('all' = every group)")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warm-up window per point")
+		measure    = flag.Duration("measure", 2*time.Second, "measurement window per point")
+		payload    = flag.Int("payload", 20, "payload size in bytes (the paper uses 20)")
+	)
+	flag.Parse()
+
+	var lat live.LatencyFunc
+	switch *netProfile {
+	case "lan":
+		lat = live.LAN()
+	case "wan":
+		top := mcast.UniformTopology(*groups, *size)
+		lat = live.WAN(live.PaperWANAssign(top))
+	default:
+		fmt.Fprintf(os.Stderr, "wbcast-bench: unknown -net %q (want lan or wan)\n", *netProfile)
+		os.Exit(2)
+	}
+
+	var protos []harness.Protocol
+	for _, name := range strings.Split(*protocols, ",") {
+		p, err := bench.ProtocolByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
+			os.Exit(2)
+		}
+		protos = append(protos, p)
+	}
+	clientCounts := parseInts(*clients)
+	destCounts := parseDests(*dests, *groups)
+
+	fmt.Printf("# figure: %s — %d groups × %d replicas, %d-byte payloads, closed-loop clients\n",
+		map[string]string{"lan": "Fig. 7 (LAN profile)", "wan": "Fig. 8 (WAN profile)"}[*netProfile],
+		*groups, *size, *payload)
+	fmt.Printf("%-10s %5s %8s %14s %12s %12s %12s\n",
+		"protocol", "dest", "clients", "throughput", "mean_lat", "p50_lat", "p99_lat")
+	for _, d := range destCounts {
+		for _, p := range protos {
+			for _, c := range clientCounts {
+				res, err := bench.Throughput(p, bench.ThroughputConfig{
+					Groups: *groups, GroupSize: *size,
+					Clients: c, DestGroups: d,
+					PayloadSize: *payload,
+					Latency:     lat,
+					Warmup:      *warmup, Measure: *measure,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-10s %5d %8d %11.0f/s %12s %12s %12s\n",
+					p.Name(), d, c, res.Throughput,
+					round(res.Latency.Mean), round(res.Latency.P50), round(res.Latency.P99))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "wbcast-bench: bad count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func parseDests(s string, groups int) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "all" {
+			out = append(out, groups)
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 || n > groups {
+			fmt.Fprintf(os.Stderr, "wbcast-bench: bad destination count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

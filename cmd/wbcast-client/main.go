@@ -1,0 +1,101 @@
+// Command wbcast-client multicasts messages to a running wbcast-node
+// cluster over TCP and reports per-message completion latency (replies
+// received from every destination group).
+//
+// See cmd/wbcast-node for the cluster layout convention. The client's own
+// -id must index its address in the shared -peers list (a non-replica
+// slot), because replicas send delivery replies back to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"wbcast/internal/client"
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+	"wbcast/internal/tcpnet"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", -1, "this client's process ID (index into -peers)")
+		groups   = flag.Int("groups", 2, "number of groups")
+		size     = flag.Int("size", 3, "replicas per group")
+		peersArg = flag.String("peers", "", "comma-separated addresses of all processes, replicas first")
+		destArg  = flag.String("dest", "0", "comma-separated destination groups")
+		count    = flag.Int("count", 10, "number of messages to multicast")
+		payload  = flag.String("payload", "hello", "payload prefix")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peersArg, ",")
+	numReplicas := *groups * *size
+	if *peersArg == "" || len(addrs) <= numReplicas {
+		log.Fatalf("need > %d addresses in -peers (replicas plus this client)", numReplicas)
+	}
+	if *id < numReplicas || *id >= len(addrs) {
+		log.Fatalf("-id %d must be a client slot (%d..%d)", *id, numReplicas, len(addrs)-1)
+	}
+	top := mcast.UniformTopology(*groups, *size)
+	pid := mcast.ProcessID(*id)
+
+	var dest []mcast.GroupID
+	for _, part := range strings.Split(*destArg, ",") {
+		var g int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &g); err != nil || g < 0 || g >= *groups {
+			log.Fatalf("bad destination group %q", part)
+		}
+		dest = append(dest, mcast.GroupID(g))
+	}
+	destSet := mcast.NewGroupSet(dest...)
+
+	peers := make(map[mcast.ProcessID]string, len(addrs))
+	for i, a := range addrs {
+		peers[mcast.ProcessID(i)] = strings.TrimSpace(a)
+	}
+
+	done := make(chan mcast.MsgID, *count)
+	cl := client.New(client.Config{
+		PID: pid,
+		Contacts: func(g mcast.GroupID) []mcast.ProcessID {
+			return []mcast.ProcessID{top.InitialLeader(g)}
+		},
+		Retry:         500 * time.Millisecond,
+		RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
+		OnComplete:    func(id mcast.MsgID) { done <- id },
+	})
+	n, err := tcpnet.Serve(tcpnet.Config{
+		PID:        pid,
+		ListenAddr: peers[pid],
+		Peers:      peers,
+		Handler:    cl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n.Close()
+
+	starts := make(map[mcast.MsgID]time.Time, *count)
+	for i := 0; i < *count; i++ {
+		m := mcast.AppMsg{
+			ID:      mcast.MakeMsgID(pid, uint32(i+1)),
+			Dest:    destSet,
+			Payload: []byte(fmt.Sprintf("%s-%d", *payload, i)),
+		}
+		starts[m.ID] = time.Now()
+		if err := n.Inject(node.Submit{Msg: m}); err != nil {
+			log.Fatal(err)
+		}
+		select {
+		case id := <-done:
+			fmt.Printf("%v delivered by groups %v in %v\n", id, destSet, time.Since(starts[id]).Round(10*time.Microsecond))
+		case <-time.After(30 * time.Second):
+			log.Fatalf("timed out waiting for message %d", i)
+		}
+	}
+	fmt.Printf("completed %d multicasts to %v\n", *count, destSet)
+}

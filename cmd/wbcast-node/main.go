@@ -1,0 +1,105 @@
+// Command wbcast-node runs one multicast replica as a TCP server.
+//
+// The cluster layout is given as an ordered address list: the first
+// groups×size addresses are the replicas (group-major, so replica i belongs
+// to group i/size); any further addresses are clients. Every node of the
+// cluster must be started with the same -peers list.
+//
+// Example — a 2-group × 3-replica cluster on one machine:
+//
+//	PEERS=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004,127.0.0.1:7005,127.0.0.1:7100
+//	for i in 0 1 2 3 4 5; do
+//	  wbcast-node -id $i -groups 2 -size 3 -peers $PEERS &
+//	done
+//	wbcast-client -id 6 -groups 2 -size 3 -peers $PEERS -dest 0,1 -count 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wbcast/internal/core"
+	"wbcast/internal/fastcast"
+	"wbcast/internal/ftskeen"
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+	"wbcast/internal/tcpnet"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", -1, "this replica's process ID (index into -peers)")
+		groups   = flag.Int("groups", 2, "number of groups")
+		size     = flag.Int("size", 3, "replicas per group (2f+1)")
+		peersArg = flag.String("peers", "", "comma-separated addresses of all processes, replicas first")
+		protocol = flag.String("protocol", "wbcast", "protocol: wbcast, fastcast or ftskeen")
+		delta    = flag.Duration("delta", 5*time.Millisecond, "expected one-way network delay (drives timeouts)")
+		verbose  = flag.Bool("v", false, "log deliveries and transport diagnostics")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peersArg, ",")
+	if *peersArg == "" || len(addrs) < *groups**size {
+		log.Fatalf("need at least %d addresses in -peers", *groups**size)
+	}
+	if *id < 0 || *id >= *groups**size {
+		log.Fatalf("-id %d is not a replica index (0..%d)", *id, *groups**size-1)
+	}
+	top := mcast.UniformTopology(*groups, *size)
+	pid := mcast.ProcessID(*id)
+
+	var handler node.Handler
+	var err error
+	switch *protocol {
+	case "wbcast":
+		handler, err = core.NewReplica(core.DefaultConfig(pid, top, *delta))
+	case "fastcast":
+		handler, err = fastcast.New(fastcast.Config{
+			PID: pid, Top: top,
+			RetryInterval: 20 * *delta, HeartbeatInterval: 10 * *delta, SuspectTimeout: 40 * *delta,
+		})
+	case "ftskeen":
+		handler, err = ftskeen.New(ftskeen.Config{
+			PID: pid, Top: top,
+			RetryInterval: 20 * *delta, HeartbeatInterval: 10 * *delta, SuspectTimeout: 40 * *delta,
+		})
+	default:
+		log.Fatalf("unknown -protocol %q", *protocol)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	peers := make(map[mcast.ProcessID]string, len(addrs))
+	for i, a := range addrs {
+		peers[mcast.ProcessID(i)] = strings.TrimSpace(a)
+	}
+	cfg := tcpnet.Config{
+		PID:        pid,
+		ListenAddr: peers[pid],
+		Peers:      peers,
+		Handler:    handler,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+		cfg.OnDeliver = func(d mcast.Delivery) {
+			log.Printf("deliver %v gts=%v payload=%q", d.Msg.ID, d.GTS, d.Msg.Payload)
+		}
+	}
+	n, err := tcpnet.Serve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wbcast-node %d (%s, group %d) listening on %s\n", pid, *protocol, top.GroupOf(pid), n.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	n.Close()
+}

@@ -1,0 +1,156 @@
+// Command wbcast-sim replays the paper's fault-tolerance scenarios in the
+// deterministic simulator and prints a narrated timeline: a leader crash
+// with automatic failover, and the §IV "clock decrease" recovery subtlety.
+// It complements the test suite by making the recovery machinery observable.
+//
+// Usage:
+//
+//	wbcast-sim [-scenario failover|clock-decrease|convoy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"wbcast/internal/core"
+	"wbcast/internal/harness"
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+	"wbcast/internal/sim"
+)
+
+const delta = 10 * time.Millisecond
+
+func main() {
+	scenario := flag.String("scenario", "failover", "failover, clock-decrease or convoy")
+	flag.Parse()
+	var err error
+	switch *scenario {
+	case "failover":
+		err = failover()
+	case "clock-decrease":
+		err = clockDecrease()
+	case "convoy":
+		err = convoy()
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbcast-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func failover() error {
+	fmt.Println("scenario: leader crash with heartbeat-driven failover (δ = 10ms)")
+	proto := core.Protocol{
+		RetryInterval:     30 * delta,
+		HeartbeatInterval: 5 * delta,
+		SuspectTimeout:    20 * delta,
+	}
+	c, err := harness.NewCluster(proto, harness.Options{
+		Groups: 2, GroupSize: 3, NumClients: 1,
+		Latency: sim.Uniform(delta), Retry: 30 * delta,
+	})
+	if err != nil {
+		return err
+	}
+	m1 := c.Submit(0, 0, mcast.NewGroupSet(0, 1), []byte("before-crash"))
+	c.Sim.Run(100 * time.Millisecond)
+	lat, _ := c.MaxDeliveryLatency(m1, mcast.NewGroupSet(0, 1))
+	fmt.Printf("t=100ms  m1 delivered everywhere (latency %v = %.1fδ)\n", lat, float64(lat)/float64(delta))
+
+	fmt.Println("t=100ms  CRASH leader of group 0 (replica 0)")
+	c.Crash(0)
+	m2 := c.Submit(150*time.Millisecond, 0, mcast.NewGroupSet(0, 1), []byte("after-crash"))
+	c.Sim.Run(10 * time.Second)
+
+	for _, pid := range []mcast.ProcessID{1, 2} {
+		r := c.Replicas[pid].(*core.Replica)
+		fmt.Printf("         replica %d: status=%v ballot=%v\n", pid, r.Status(), r.CBallot())
+	}
+	lat2, ok := c.DeliveryLatency(m2, 0)
+	if !ok {
+		return fmt.Errorf("m2 never delivered in group 0")
+	}
+	sub, _ := c.Sim.SubmitTime(m2)
+	fmt.Printf("t=%v  m2 delivered in group 0, %v after submission (recovery included)\n",
+		(sub + lat2).Round(time.Millisecond), lat2.Round(time.Millisecond))
+	if errs := c.Check(true); len(errs) > 0 {
+		return fmt.Errorf("correctness check failed: %v", errs[0])
+	}
+	fmt.Println("         correctness check: PASS (ordering, integrity, termination, genuineness)")
+	return nil
+}
+
+func clockDecrease() error {
+	fmt.Println("scenario: §IV clock decrease on recovery (δ = 10ms)")
+	lat := func(from, to mcast.ProcessID, m msgs.Message, _ time.Duration, _ *rand.Rand) time.Duration {
+		if _, ok := m.(msgs.Accept); ok && from == 0 {
+			return time.Hour // the old leader's ACCEPTs never arrive
+		}
+		return delta
+	}
+	c, err := harness.NewCluster(core.Protocol{RetryInterval: 20 * delta}, harness.Options{
+		Groups: 1, GroupSize: 3, NumClients: 1, Latency: lat, Retry: 20 * delta,
+	})
+	if err != nil {
+		return err
+	}
+	m := c.Submit(0, 0, mcast.NewGroupSet(0), []byte("m"))
+	c.Sim.Run(15 * time.Millisecond)
+	r0 := c.Replicas[0].(*core.Replica)
+	fmt.Printf("t=15ms   leader p0 proposed m: clock=%d, phase=%v (ACCEPTs stuck)\n", r0.Clock(), r0.Phase(m))
+	c.Crash(0)
+	fmt.Println("t=15ms   CRASH p0")
+	c.Sim.Inject(20*time.Millisecond, 1, node.Timer{Kind: node.TimerCandidacy, Data: 1})
+	c.Sim.Run(100 * time.Millisecond)
+	r1 := c.Replicas[1].(*core.Replica)
+	fmt.Printf("t=100ms  new leader p1: status=%v clock=%d — the clock DECREASED, safely\n", r1.Status(), r1.Clock())
+	c.Sim.Run(5 * time.Second)
+	if _, ok := c.DeliveryLatency(m, 0); !ok {
+		return fmt.Errorf("m never recovered")
+	}
+	fmt.Printf("         m re-introduced by client retry and delivered; final clock=%d\n", r1.Clock())
+	if errs := c.Check(true); len(errs) > 0 {
+		return fmt.Errorf("correctness check failed: %v", errs[0])
+	}
+	fmt.Println("         correctness check: PASS")
+	return nil
+}
+
+func convoy() error {
+	fmt.Println("scenario: convoy effect — white-box protocol caps it at 5δ (Fig. 2 / Thm. 4)")
+	var mPrime mcast.MsgID
+	lat := func(from, to mcast.ProcessID, m msgs.Message, _ time.Duration, _ *rand.Rand) time.Duration {
+		if mc, ok := m.(msgs.Multicast); ok && mPrime != 0 && mc.M.ID == mPrime && to == 0 {
+			return delta / 1000
+		}
+		return delta
+	}
+	c, err := harness.NewCluster(core.Protocol{}, harness.Options{
+		Groups: 2, GroupSize: 3, NumClients: 2, Latency: lat,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		c.Submit(0, 1, mcast.NewGroupSet(1), nil) // warm group 1's clock
+	}
+	m := c.Submit(200*time.Millisecond, 0, mcast.NewGroupSet(0, 1), []byte("m"))
+	mPrime = c.Submit(200*time.Millisecond+2*delta-delta/100, 1, mcast.NewGroupSet(0, 1), []byte("m'"))
+	c.Sim.Run(time.Minute)
+	lat0, _ := c.DeliveryLatency(m, 0)
+	fmt.Printf("         m delivered in group 0 after %.2fδ (collision-free would be 3δ;\n", float64(lat0)/float64(delta))
+	fmt.Println("         the adversarial conflicting message m' delays it to ≈5δ, not 6δ,")
+	fmt.Println("         thanks to the speculative clock advance of Fig. 4 line 14)")
+	if errs := c.Check(true); len(errs) > 0 {
+		return fmt.Errorf("correctness check failed: %v", errs[0])
+	}
+	fmt.Println("         correctness check: PASS")
+	return nil
+}

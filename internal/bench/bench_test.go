@@ -1,0 +1,105 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"wbcast/internal/bench"
+	"wbcast/internal/live"
+)
+
+func TestSummarise(t *testing.T) {
+	if s := bench.Summarise(nil); s.Count != 0 {
+		t.Error("empty sample should be zero stats")
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := bench.Summarise(samples)
+	if s.Count != 100 || s.P50 != 50*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.P99 != 99*time.Millisecond { // nearest-rank (lower) percentile
+		t.Errorf("P99 = %v", s.P99)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	for _, name := range []string{"wbcast", "fastcast", "ftskeen", "skeen"} {
+		p, err := bench.ProtocolByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ProtocolByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := bench.ProtocolByName("nope"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestLatencyTable regenerates experiment E3 with a reduced probe count and
+// checks that the measured collision-free latencies match the paper exactly
+// and the failure-free latencies are within the paper's bounds.
+func TestLatencyTable(t *testing.T) {
+	rows, err := bench.LatencyTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CollisionFree != r.PaperCF {
+			t.Errorf("%s: collision-free = %.2fδ, paper says %.0fδ", r.Protocol, r.CollisionFree, r.PaperCF)
+		}
+		if r.FailureFree < r.PaperCF {
+			t.Errorf("%s: failure-free %.2fδ below collision-free", r.Protocol, r.FailureFree)
+		}
+		if r.FailureFree > r.PaperFF+0.1 {
+			t.Errorf("%s: failure-free = %.2fδ exceeds the paper's bound %.0fδ", r.Protocol, r.FailureFree, r.PaperFF)
+		}
+	}
+	// The relative ordering that is the paper's headline: WbCast beats
+	// FastCast beats FT-Skeen on both metrics.
+	byName := map[string]bench.LatencyRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	if !(byName["wbcast"].CollisionFree < byName["fastcast"].CollisionFree &&
+		byName["fastcast"].CollisionFree < byName["ftskeen"].CollisionFree) {
+		t.Error("collision-free ordering wbcast < fastcast < ftskeen violated")
+	}
+	if !(byName["wbcast"].FailureFree < byName["fastcast"].FailureFree &&
+		byName["fastcast"].FailureFree < byName["ftskeen"].FailureFree) {
+		t.Error("failure-free ordering wbcast < fastcast < ftskeen violated")
+	}
+}
+
+// TestThroughputSmoke runs a miniature Fig. 7 point for each protocol and
+// sanity-checks the outputs.
+func TestThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark")
+	}
+	for _, p := range bench.AllProtocols() {
+		res, err := bench.Throughput(p, bench.ThroughputConfig{
+			Groups: 3, GroupSize: 3, Clients: 8, DestGroups: 2,
+			Latency: live.LAN(),
+			Warmup:  100 * time.Millisecond,
+			Measure: 400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Throughput <= 0 {
+			t.Errorf("%s: throughput = %v", p.Name(), res.Throughput)
+		}
+		if res.Latency.Mean <= 0 {
+			t.Errorf("%s: mean latency = %v", p.Name(), res.Latency.Mean)
+		}
+		t.Logf("%s: %.0f msg/s, mean %v, p99 %v", p.Name(), res.Throughput, res.Latency.Mean, res.Latency.P99)
+	}
+}

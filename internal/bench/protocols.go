@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+
+	"wbcast/internal/core"
+	"wbcast/internal/fastcast"
+	"wbcast/internal/ftskeen"
+	"wbcast/internal/harness"
+	"wbcast/internal/skeen"
+)
+
+// Protocol adapters used by the experiments. Latency experiments run
+// without background timers (deterministic); throughput experiments get
+// retry/heartbeat machinery via ProtocolByName's live variants.
+var (
+	protoSkeen    harness.Protocol = skeen.Protocol{}
+	protoFTSkeen  harness.Protocol = ftskeen.Protocol{}
+	protoFastCast harness.Protocol = fastcast.Protocol{}
+	protoWbCast   harness.Protocol = core.Protocol{}
+)
+
+// ProtocolByName resolves a protocol name ("wbcast", "fastcast", "ftskeen",
+// "skeen") to its harness adapter; fault-tolerant protocols are configured
+// with live timers derived from delta when live is true.
+func ProtocolByName(name string) (harness.Protocol, error) {
+	switch name {
+	case "skeen":
+		return protoSkeen, nil
+	case "ftskeen":
+		return protoFTSkeen, nil
+	case "fastcast":
+		return protoFastCast, nil
+	case "wbcast":
+		return protoWbCast, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown protocol %q (want wbcast, fastcast, ftskeen or skeen)", name)
+	}
+}
+
+// AllProtocols lists the fault-tolerant protocols compared in Figs. 7–8.
+func AllProtocols() []harness.Protocol {
+	return []harness.Protocol{protoWbCast, protoFastCast, protoFTSkeen}
+}

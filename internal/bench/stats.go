@@ -1,0 +1,49 @@
+// Package bench implements the experiment harnesses that regenerate the
+// paper's evaluation (§VI): the message-delay latency table (Skeen 2δ/4δ,
+// FT-Skeen 6δ/12δ, FastCast 4δ/8δ, WbCast 3δ/5δ) over the discrete-event
+// simulator, and the latency/throughput-vs-clients curves of Figs. 7–8 over
+// the live runtime with LAN/WAN latency injection.
+package bench
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencyStats summarises a sample of request latencies.
+type LatencyStats struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarise computes latency statistics over samples (which it sorts).
+func Summarise(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return LatencyStats{
+		Count: len(samples),
+		Mean:  sum / time.Duration(len(samples)),
+		P50:   percentile(samples, 0.50),
+		P90:   percentile(samples, 0.90),
+		P99:   percentile(samples, 0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

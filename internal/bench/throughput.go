@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wbcast/internal/client"
+	"wbcast/internal/harness"
+	"wbcast/internal/live"
+	"wbcast/internal/mcast"
+)
+
+// atomicInt64 wraps atomic.Int64 for use as a work counter.
+type atomicInt64 struct{ v atomic.Int64 }
+
+// ThroughputConfig parametrises one point of the Fig. 7/8 curves.
+type ThroughputConfig struct {
+	// Groups and GroupSize define the topology (the paper uses 10 × 3).
+	Groups    int
+	GroupSize int
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// DestGroups is the number of destination groups per message (the
+	// per-panel parameter of Figs. 7–8).
+	DestGroups int
+	// PayloadSize is the message payload (the paper uses 20 bytes).
+	PayloadSize int
+	// Latency is the injected network profile (live.LAN(), live.WAN(...)).
+	Latency live.LatencyFunc
+	// Warmup and Measure are the warm-up and measurement windows.
+	Warmup  time.Duration
+	Measure time.Duration
+	// Seed randomises destination choices.
+	Seed int64
+}
+
+// ThroughputResult is one measured point.
+type ThroughputResult struct {
+	Config     ThroughputConfig
+	Protocol   string
+	Throughput float64 // completed multicasts per second
+	Latency    LatencyStats
+}
+
+// Throughput runs a closed-loop benchmark: each client multicasts a message
+// to DestGroups random groups, waits for delivery replies from every
+// destination group, and immediately submits the next message — the
+// evaluation methodology of the paper (§VI, following Coelho et al.).
+func Throughput(p harness.Protocol, cfg ThroughputConfig) (ThroughputResult, error) {
+	if cfg.Groups <= 0 || cfg.GroupSize <= 0 || cfg.Clients <= 0 {
+		return ThroughputResult{}, fmt.Errorf("bench: invalid topology/client config")
+	}
+	if cfg.DestGroups <= 0 || cfg.DestGroups > cfg.Groups {
+		return ThroughputResult{}, fmt.Errorf("bench: DestGroups %d out of range", cfg.DestGroups)
+	}
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 20
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 500 * time.Millisecond
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = 2 * time.Second
+	}
+	top := mcast.UniformTopology(cfg.Groups, cfg.GroupSize)
+	net := live.New(live.Config{Latency: cfg.Latency})
+	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
+		h, err := p.NewReplica(pid, top)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		if err := net.Add(h); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+	contacts := p.Contacts(top)
+	type done struct{}
+	doneCh := make([]chan done, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		doneCh[i] = make(chan done, 1)
+		ch := doneCh[i]
+		cl := client.New(client.Config{
+			PID:           harness.ClientPID(top, i),
+			Contacts:      contacts,
+			Retry:         5 * time.Second, // safety net; unused without faults
+			RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
+			OnComplete:    func(mcast.MsgID) { ch <- done{} },
+		})
+		if err := net.Add(cl); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+	if err := net.Start(); err != nil {
+		return ThroughputResult{}, err
+	}
+	defer net.Close()
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	deadline := measureFrom.Add(cfg.Measure)
+
+	var wg sync.WaitGroup
+	samples := make([][]time.Duration, cfg.Clients)
+	completedInWindow := make([]int64, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			pid := harness.ClientPID(top, i)
+			payload := make([]byte, cfg.PayloadSize)
+			var seq uint32
+			for time.Now().Before(deadline) {
+				seq++
+				perm := rng.Perm(cfg.Groups)[:cfg.DestGroups]
+				gs := make([]mcast.GroupID, cfg.DestGroups)
+				for j, g := range perm {
+					gs[j] = mcast.GroupID(g)
+				}
+				m := mcast.AppMsg{
+					ID:      mcast.MakeMsgID(pid, seq),
+					Dest:    mcast.NewGroupSet(gs...),
+					Payload: payload,
+				}
+				t0 := time.Now()
+				if err := net.Submit(pid, m); err != nil {
+					return
+				}
+				<-doneCh[i]
+				t1 := time.Now()
+				if t1.After(measureFrom) && t1.Before(deadline) {
+					samples[i] = append(samples[i], t1.Sub(t0))
+					completedInWindow[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	var completed int64
+	for i := range samples {
+		all = append(all, samples[i]...)
+		completed += completedInWindow[i]
+	}
+	return ThroughputResult{
+		Config:     cfg,
+		Protocol:   p.Name(),
+		Throughput: float64(completed) / cfg.Measure.Seconds(),
+		Latency:    Summarise(all),
+	}, nil
+}
+
+// RunN drives exactly n closed-loop multicasts through a live cluster and
+// returns the wall-clock duration and latency statistics. testing.B
+// benchmarks use it to pump b.N messages.
+func RunN(p harness.Protocol, cfg ThroughputConfig, n int) (time.Duration, LatencyStats, error) {
+	if cfg.Groups <= 0 || cfg.GroupSize <= 0 || cfg.Clients <= 0 {
+		return 0, LatencyStats{}, fmt.Errorf("bench: invalid topology/client config")
+	}
+	if cfg.DestGroups <= 0 || cfg.DestGroups > cfg.Groups {
+		return 0, LatencyStats{}, fmt.Errorf("bench: DestGroups %d out of range", cfg.DestGroups)
+	}
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 20
+	}
+	top := mcast.UniformTopology(cfg.Groups, cfg.GroupSize)
+	net := live.New(live.Config{Latency: cfg.Latency})
+	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
+		h, err := p.NewReplica(pid, top)
+		if err != nil {
+			return 0, LatencyStats{}, err
+		}
+		if err := net.Add(h); err != nil {
+			return 0, LatencyStats{}, err
+		}
+	}
+	contacts := p.Contacts(top)
+	doneCh := make([]chan struct{}, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		doneCh[i] = make(chan struct{}, 1)
+		ch := doneCh[i]
+		cl := client.New(client.Config{
+			PID:           harness.ClientPID(top, i),
+			Contacts:      contacts,
+			Retry:         5 * time.Second,
+			RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
+			OnComplete:    func(mcast.MsgID) { ch <- struct{}{} },
+		})
+		if err := net.Add(cl); err != nil {
+			return 0, LatencyStats{}, err
+		}
+	}
+	if err := net.Start(); err != nil {
+		return 0, LatencyStats{}, err
+	}
+	defer net.Close()
+
+	var remaining atomicInt64
+	remaining.v.Store(int64(n))
+	samples := make([][]time.Duration, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			pid := harness.ClientPID(top, i)
+			payload := make([]byte, cfg.PayloadSize)
+			var seq uint32
+			for remaining.v.Add(-1) >= 0 {
+				seq++
+				perm := rng.Perm(cfg.Groups)[:cfg.DestGroups]
+				gs := make([]mcast.GroupID, cfg.DestGroups)
+				for j, g := range perm {
+					gs[j] = mcast.GroupID(g)
+				}
+				m := mcast.AppMsg{
+					ID:      mcast.MakeMsgID(pid, seq),
+					Dest:    mcast.NewGroupSet(gs...),
+					Payload: payload,
+				}
+				t0 := time.Now()
+				if err := net.Submit(pid, m); err != nil {
+					return
+				}
+				<-doneCh[i]
+				samples[i] = append(samples[i], time.Since(t0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for i := range samples {
+		all = append(all, samples[i]...)
+	}
+	return elapsed, Summarise(all), nil
+}

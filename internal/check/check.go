@@ -1,0 +1,255 @@
+// Package check verifies the atomic multicast specification of paper §II
+// over recorded histories: Validity, Integrity, Ordering (existence of a
+// global total order consistent with every process's delivery sequence),
+// Termination at quiescence, and — when the protocol exposes global
+// timestamps — agreement and uniqueness of timestamps (Fig. 6 Invariants
+// 3(b) and 4).
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"wbcast/internal/mcast"
+)
+
+// History accumulates the observable behaviour of a run.
+type History struct {
+	submitted  map[mcast.MsgID]submitInfo
+	deliveries map[mcast.ProcessID][]mcast.Delivery
+	procs      []mcast.ProcessID
+}
+
+type submitInfo struct {
+	sender mcast.ProcessID
+	dest   mcast.GroupSet
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{
+		submitted:  make(map[mcast.MsgID]submitInfo),
+		deliveries: make(map[mcast.ProcessID][]mcast.Delivery),
+	}
+}
+
+// AddSubmit records that sender multicast message m.
+func (h *History) AddSubmit(sender mcast.ProcessID, m mcast.AppMsg) {
+	h.submitted[m.ID] = submitInfo{sender: sender, dest: m.Dest.Clone()}
+}
+
+// AddDelivery records that process p delivered d (in p's local order; call in
+// sequence).
+func (h *History) AddDelivery(p mcast.ProcessID, d mcast.Delivery) {
+	if _, seen := h.deliveries[p]; !seen {
+		h.procs = append(h.procs, p)
+	}
+	h.deliveries[p] = append(h.deliveries[p], d)
+}
+
+// NumDeliveries returns the total number of recorded deliveries.
+func (h *History) NumDeliveries() int {
+	n := 0
+	for _, ds := range h.deliveries {
+		n += len(ds)
+	}
+	return n
+}
+
+// Config parametrises a check.
+type Config struct {
+	// Topology maps processes to groups.
+	Topology *mcast.Topology
+	// Crashed lists processes that were crashed during the run; Termination
+	// is not required of them.
+	Crashed map[mcast.ProcessID]bool
+	// AtQuiescence enables the Termination check: every message delivered
+	// anywhere must be delivered by all correct members of every destination
+	// group, and every message multicast by a correct (non-crashed) client
+	// must be delivered everywhere it is addressed.
+	AtQuiescence bool
+	// CheckGTS enables the timestamp checks: deliveries at each process are
+	// in strictly increasing GTS order; all processes agree on each
+	// message's GTS; distinct messages have distinct GTS.
+	CheckGTS bool
+}
+
+// Check verifies the history and returns all violations found.
+func (h *History) Check(cfg Config) []error {
+	var errs []error
+	top := cfg.Topology
+
+	// Validity + Integrity.
+	for _, p := range h.procs {
+		seen := make(map[mcast.MsgID]bool)
+		for _, d := range h.deliveries[p] {
+			info, ok := h.submitted[d.Msg.ID]
+			if !ok {
+				errs = append(errs, fmt.Errorf("validity: %v delivered at p%d but never multicast", d.Msg.ID, p))
+				continue
+			}
+			g := top.GroupOf(p)
+			if g == mcast.NoGroup || !info.dest.Contains(g) {
+				errs = append(errs, fmt.Errorf("validity: p%d (group %d) delivered %v addressed to %v", p, g, d.Msg.ID, info.dest))
+			}
+			if seen[d.Msg.ID] {
+				errs = append(errs, fmt.Errorf("integrity: p%d delivered %v twice", p, d.Msg.ID))
+			}
+			seen[d.Msg.ID] = true
+		}
+	}
+
+	// Ordering: the union of per-process delivery precedences must be
+	// acyclic; then a topological extension is a valid total order ≺.
+	errs = append(errs, h.checkOrdering()...)
+
+	if cfg.CheckGTS {
+		errs = append(errs, h.checkGTS()...)
+	}
+
+	if cfg.AtQuiescence {
+		errs = append(errs, h.checkTermination(cfg)...)
+	}
+	return errs
+}
+
+// checkOrdering builds the precedence graph (edge m1→m2 when some process
+// delivers m1 before m2) and reports cycles. Pairwise disagreement between
+// two processes is a 2-cycle and is reported with a specific message.
+func (h *History) checkOrdering() []error {
+	var errs []error
+	type edge struct{ a, b mcast.MsgID }
+	edges := make(map[edge]mcast.ProcessID)
+	adj := make(map[mcast.MsgID][]mcast.MsgID)
+	indeg := make(map[mcast.MsgID]int)
+	nodes := make(map[mcast.MsgID]bool)
+
+	for _, p := range h.procs {
+		ds := h.deliveries[p]
+		for i := range ds {
+			nodes[ds[i].Msg.ID] = true
+		}
+		for i := 0; i < len(ds); i++ {
+			for j := i + 1; j < len(ds); j++ {
+				a, b := ds[i].Msg.ID, ds[j].Msg.ID
+				if a == b {
+					continue // integrity violation reported elsewhere
+				}
+				if q, rev := edges[edge{b, a}]; rev {
+					errs = append(errs, fmt.Errorf(
+						"ordering: p%d delivers %v before %v but p%d delivers them in the opposite order", p, a, b, q))
+					continue
+				}
+				if _, dup := edges[edge{a, b}]; !dup {
+					edges[edge{a, b}] = p
+					adj[a] = append(adj[a], b)
+					indeg[b]++
+				}
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return errs // 2-cycles already explain the problem
+	}
+	// Kahn's algorithm: leftover nodes indicate a (longer) cycle.
+	var queue []mcast.MsgID
+	for n := range nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if visited != len(nodes) {
+		errs = append(errs, fmt.Errorf("ordering: delivery precedence graph has a cycle (%d of %d messages in cycles)", len(nodes)-visited, len(nodes)))
+	}
+	return errs
+}
+
+// checkGTS verifies the timestamp-facing guarantees.
+func (h *History) checkGTS() []error {
+	var errs []error
+	gtsOf := make(map[mcast.MsgID]mcast.Timestamp)
+	tsUsed := make(map[mcast.Timestamp]mcast.MsgID)
+	for _, p := range h.procs {
+		prev := mcast.Timestamp{}
+		first := true
+		for _, d := range h.deliveries[p] {
+			if !first && !prev.Less(d.GTS) {
+				errs = append(errs, fmt.Errorf("gts: p%d delivered %v with GTS %v not above previous %v", p, d.Msg.ID, d.GTS, prev))
+			}
+			prev, first = d.GTS, false
+			if want, ok := gtsOf[d.Msg.ID]; ok {
+				if want != d.GTS {
+					errs = append(errs, fmt.Errorf("gts: %v has GTS %v at p%d but %v elsewhere (Invariant 3b)", d.Msg.ID, d.GTS, p, want))
+				}
+			} else {
+				gtsOf[d.Msg.ID] = d.GTS
+				if other, clash := tsUsed[d.GTS]; clash && other != d.Msg.ID {
+					errs = append(errs, fmt.Errorf("gts: %v and %v share GTS %v (Invariant 4)", d.Msg.ID, other, d.GTS))
+				}
+				tsUsed[d.GTS] = d.Msg.ID
+			}
+		}
+	}
+	return errs
+}
+
+// checkTermination verifies the paper's Termination property at quiescence.
+func (h *History) checkTermination(cfg Config) []error {
+	var errs []error
+	top := cfg.Topology
+	deliveredBy := make(map[mcast.MsgID]map[mcast.ProcessID]bool)
+	for _, p := range h.procs {
+		for _, d := range h.deliveries[p] {
+			set := deliveredBy[d.Msg.ID]
+			if set == nil {
+				set = make(map[mcast.ProcessID]bool)
+				deliveredBy[d.Msg.ID] = set
+			}
+			set[p] = true
+		}
+	}
+	// Required: delivered anywhere, or multicast by a correct client.
+	required := make(map[mcast.MsgID]bool)
+	for id := range deliveredBy {
+		required[id] = true
+	}
+	for id, info := range h.submitted {
+		if !cfg.Crashed[info.sender] {
+			required[id] = true
+		}
+	}
+	var ids []mcast.MsgID
+	for id := range required {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info, ok := h.submitted[id]
+		if !ok {
+			continue // validity violation reported elsewhere
+		}
+		for _, g := range info.dest {
+			for _, p := range top.Members(g) {
+				if cfg.Crashed[p] {
+					continue
+				}
+				if !deliveredBy[id][p] {
+					errs = append(errs, fmt.Errorf("termination: correct p%d (group %d) never delivered %v", p, g, id))
+				}
+			}
+		}
+	}
+	return errs
+}

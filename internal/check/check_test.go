@@ -1,0 +1,193 @@
+package check_test
+
+import (
+	"testing"
+
+	"wbcast/internal/check"
+	"wbcast/internal/mcast"
+)
+
+func msg(seq uint32, dest ...mcast.GroupID) mcast.AppMsg {
+	return mcast.AppMsg{ID: mcast.MakeMsgID(100, seq), Dest: mcast.NewGroupSet(dest...)}
+}
+
+func del(m mcast.AppMsg, t uint64, g mcast.GroupID) mcast.Delivery {
+	return mcast.Delivery{Msg: m, GTS: mcast.Timestamp{Time: t, Group: g}}
+}
+
+func base(t *testing.T) (*check.History, *mcast.Topology, check.Config) {
+	t.Helper()
+	top := mcast.UniformTopology(2, 1) // processes 0 and 1
+	h := check.NewHistory()
+	return h, top, check.Config{Topology: top, AtQuiescence: true, CheckGTS: true}
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	h, _, cfg := base(t)
+	a, b := msg(1, 0, 1), msg(2, 0)
+	h.AddSubmit(100, a)
+	h.AddSubmit(100, b)
+	h.AddDelivery(0, del(a, 1, 0))
+	h.AddDelivery(0, del(b, 2, 0))
+	h.AddDelivery(1, del(a, 1, 0))
+	if errs := h.Check(cfg); len(errs) != 0 {
+		t.Fatalf("clean history flagged: %v", errs)
+	}
+	if h.NumDeliveries() != 3 {
+		t.Errorf("NumDeliveries = %d", h.NumDeliveries())
+	}
+}
+
+func TestValidityViolations(t *testing.T) {
+	h, _, cfg := base(t)
+	ghost := msg(9, 0)
+	h.AddDelivery(0, del(ghost, 1, 0)) // never submitted
+	wrongDest := msg(2, 1)
+	h.AddSubmit(100, wrongDest)
+	h.AddDelivery(0, del(wrongDest, 2, 0)) // delivered outside dest
+	errs := h.Check(cfg)
+	if len(errs) < 2 {
+		t.Fatalf("expected ≥2 validity violations, got %v", errs)
+	}
+}
+
+func TestIntegrityViolation(t *testing.T) {
+	h, _, cfg := base(t)
+	a := msg(1, 0)
+	h.AddSubmit(100, a)
+	h.AddDelivery(0, del(a, 1, 0))
+	h.AddDelivery(0, del(a, 1, 0))
+	found := false
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "integrity") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duplicate delivery not flagged")
+	}
+}
+
+func TestOrderingDisagreementFlagged(t *testing.T) {
+	h, _, cfg := base(t)
+	cfg.CheckGTS = false // isolate the order check from GTS checks
+	a, b := msg(1, 0, 1), msg(2, 0, 1)
+	h.AddSubmit(100, a)
+	h.AddSubmit(100, b)
+	h.AddDelivery(0, del(a, 1, 0))
+	h.AddDelivery(0, del(b, 2, 0))
+	h.AddDelivery(1, del(b, 2, 0))
+	h.AddDelivery(1, del(a, 1, 0)) // opposite order at p1
+	found := false
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "ordering") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ordering disagreement not flagged")
+	}
+}
+
+func TestGTSAgreementViolation(t *testing.T) {
+	h, _, cfg := base(t)
+	a := msg(1, 0, 1)
+	h.AddSubmit(100, a)
+	h.AddDelivery(0, del(a, 5, 0))
+	h.AddDelivery(1, del(a, 6, 0)) // disagreeing GTS (Invariant 3b)
+	found := false
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "3b") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("GTS disagreement not flagged")
+	}
+}
+
+func TestGTSUniquenessAndMonotonicityViolations(t *testing.T) {
+	h, _, cfg := base(t)
+	a, b := msg(1, 1), msg(2, 1)
+	h.AddSubmit(100, a)
+	h.AddSubmit(100, b)
+	h.AddDelivery(1, del(a, 6, 0))
+	h.AddDelivery(1, del(b, 6, 0)) // same GTS (Invariant 4) + non-increasing
+	errs := h.Check(cfg)
+	var hasUnique, hasMonotone bool
+	for _, err := range errs {
+		s := err.Error()
+		if containsStr(s, "Invariant 4") {
+			hasUnique = true
+		}
+		if containsStr(s, "not above previous") {
+			hasMonotone = true
+		}
+	}
+	if !hasUnique || !hasMonotone {
+		t.Fatalf("missing GTS violations (unique=%v monotone=%v): %v", hasUnique, hasMonotone, errs)
+	}
+}
+
+func TestTerminationViolation(t *testing.T) {
+	h, _, cfg := base(t)
+	a := msg(1, 0, 1)
+	h.AddSubmit(100, a)
+	h.AddDelivery(0, del(a, 1, 0)) // p1 (group 1) never delivers
+	found := false
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "termination") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing delivery not flagged at quiescence")
+	}
+}
+
+func TestTerminationExcusesCrashed(t *testing.T) {
+	h, _, cfg := base(t)
+	cfg.Crashed = map[mcast.ProcessID]bool{1: true}
+	a := msg(1, 0, 1)
+	h.AddSubmit(100, a)
+	h.AddDelivery(0, del(a, 1, 0))
+	if errs := h.Check(cfg); len(errs) != 0 {
+		t.Fatalf("crashed process's missing delivery flagged: %v", errs)
+	}
+}
+
+func TestTerminationRequiresCorrectClientMessages(t *testing.T) {
+	h, _, cfg := base(t)
+	a := msg(1, 0)
+	h.AddSubmit(100, a) // correct client, never delivered anywhere
+	found := false
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "termination") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("undelivered message from correct client not flagged")
+	}
+	// If the client crashed, the undelivered message is excused.
+	h2 := check.NewHistory()
+	h2.AddSubmit(100, a)
+	cfg2 := cfg
+	cfg2.Crashed = map[mcast.ProcessID]bool{100: true}
+	if errs := h2.Check(cfg2); len(errs) != 0 {
+		t.Fatalf("crashed client's message flagged: %v", errs)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && searchStr(haystack, needle)
+}
+
+func searchStr(h, n string) bool {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return true
+		}
+	}
+	return false
+}

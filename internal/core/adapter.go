@@ -1,0 +1,45 @@
+package core
+
+import (
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+)
+
+// Protocol is the harness adapter for the white-box protocol (it satisfies
+// internal/harness.Protocol structurally).
+type Protocol struct {
+	// RetryInterval, HeartbeatInterval, SuspectTimeout and GCInterval are
+	// forwarded to every replica's Config; zero values disable the
+	// corresponding background behaviour for deterministic tests.
+	RetryInterval     time.Duration
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	GCInterval        time.Duration
+	ColdStart         bool
+}
+
+// Name implements harness.Protocol.
+func (Protocol) Name() string { return "wbcast" }
+
+// NewReplica implements harness.Protocol.
+func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error) {
+	return NewReplica(Config{
+		PID:               pid,
+		Top:               top,
+		RetryInterval:     p.RetryInterval,
+		HeartbeatInterval: p.HeartbeatInterval,
+		SuspectTimeout:    p.SuspectTimeout,
+		GCInterval:        p.GCInterval,
+		ColdStart:         p.ColdStart,
+	})
+}
+
+// Contacts implements harness.Protocol: clients contact the initial leader
+// of each group (the Cur_leader guess of Fig. 4 line 2).
+func (Protocol) Contacts(top *mcast.Topology) func(g mcast.GroupID) []mcast.ProcessID {
+	return func(g mcast.GroupID) []mcast.ProcessID {
+		return []mcast.ProcessID{top.InitialLeader(g)}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+)
+
+// Liveness machinery: the heartbeat failure detector that drives leader
+// recovery (the paper assumes an eventually-stable leader election service,
+// §IV "Leader recovery", citing [5, 25, 26]), leader-side retries, and
+// garbage collection of delivered messages (the paper's implementation
+// "includes a mechanism to garbage collect delivered messages", §VI; the
+// concrete watermark design here is ours and is documented in DESIGN.md).
+
+func (r *Replica) onStart(fx *node.Effects) {
+	if r.cfg.HeartbeatInterval > 0 {
+		if r.status == StatusLeader {
+			r.broadcastHeartbeat(fx)
+			fx.SetTimer(r.cfg.HeartbeatInterval, node.TimerHeartbeat, uint64(r.cballot.N))
+		}
+		// Every replica monitors its leader. Suspicion timeouts are
+		// staggered by group rank so that, after GST, the lowest-ranked
+		// correct process becomes the stable leader without duels.
+		r.hbSeen = true // grace period covering the first interval
+		fx.SetTimer(r.suspectAfter(), node.TimerSuspect, 0)
+	}
+	if r.cfg.GCInterval > 0 {
+		fx.SetTimer(r.cfg.GCInterval, node.TimerGC, 0)
+	}
+}
+
+func (r *Replica) onTimer(t node.Timer, fx *node.Effects) {
+	switch t.Kind {
+	case node.TimerRetry:
+		r.retry(mcast.MsgID(t.Data), fx)
+	case node.TimerHeartbeat:
+		// Stale if the ballot advanced since arming.
+		if r.status == StatusLeader && uint64(r.cballot.N) == t.Data {
+			r.broadcastHeartbeat(fx)
+			fx.SetTimer(r.cfg.HeartbeatInterval, node.TimerHeartbeat, t.Data)
+		}
+	case node.TimerSuspect:
+		r.onSuspectTimer(fx)
+	case node.TimerCandidacy:
+		if t.Data == 1 {
+			// Forced candidacy (used by tests and operator tooling).
+			r.startCandidacy(fx)
+			return
+		}
+		// Backoff retry: the candidacy of this replica stalled.
+		if r.status == StatusRecovering && r.ballot.Leader() == r.pid && r.cballot != r.ballot {
+			r.startCandidacy(fx)
+		}
+	case node.TimerGC:
+		r.onGCTimer(fx)
+	}
+}
+
+func (r *Replica) broadcastHeartbeat(fx *node.Effects) {
+	hb := msgs.Heartbeat{Group: r.group, Bal: r.cballot}
+	for _, p := range r.cfg.Top.Members(r.group) {
+		if p != r.pid {
+			fx.Send(p, hb)
+		}
+	}
+}
+
+func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.Effects) {
+	if m.Group != r.group {
+		return
+	}
+	// Only a heartbeat of the ballot we participate in refreshes the
+	// failure detector: a process stranded in a higher joined ballot must
+	// eventually start its own candidacy to rejoin the group.
+	if m.Bal == r.cballot && r.status == StatusFollower {
+		r.hbSeen = true
+		fx.Send(from, msgs.HeartbeatAck{Group: r.group, Bal: m.Bal, Delivered: r.maxDeliveredGTS})
+	}
+}
+
+func (r *Replica) onHeartbeatAck(from mcast.ProcessID, m msgs.HeartbeatAck) {
+	if r.status != StatusLeader || m.Bal != r.cballot {
+		return
+	}
+	if r.deliveredWM[from].Less(m.Delivered) {
+		r.deliveredWM[from] = m.Delivered
+	}
+}
+
+func (r *Replica) onSuspectTimer(fx *node.Effects) {
+	if r.cfg.HeartbeatInterval == 0 {
+		return
+	}
+	defer fx.SetTimer(r.suspectAfter(), node.TimerSuspect, 0)
+	if r.status == StatusLeader {
+		return
+	}
+	if r.status == StatusFollower && r.hbSeen {
+		r.hbSeen = false
+		return
+	}
+	// No heartbeat for a full suspicion period (or stuck in RECOVERING
+	// after a failed candidacy elsewhere): attempt to lead.
+	r.startCandidacy(fx)
+}
+
+// suspectAfter staggers suspicion by group rank: lower-ranked members time
+// out first, so after GST the surviving lowest-ranked process wins cleanly.
+func (r *Replica) suspectAfter() time.Duration {
+	rank := r.cfg.Top.Rank(r.pid)
+	return r.cfg.SuspectTimeout + time.Duration(rank)*r.cfg.SuspectTimeout/2
+}
+
+func (r *Replica) candidacyBackoff() time.Duration {
+	return 2 * r.suspectAfter()
+}
+
+// --------------------------------------------------------------------------
+// Garbage collection
+// --------------------------------------------------------------------------
+//
+// Every member's deliveries happen in increasing GTS order and cover the
+// full projection of the total order onto its group, so a member's
+// max_delivered_gts is a gap-free watermark. The leader aggregates the
+// group-wide minimum (its followers piggyback theirs on heartbeat acks),
+// gossips it to the other groups' leaders (GC_MARK), and distributes the
+// global per-group watermark vector to its followers (PRUNE). A delivered
+// message m is discarded once ∀g ∈ dest(m): GTS(m) ≤ watermark(g) — at that
+// point every member of every destination group has delivered m, no
+// in-protocol retry can reference it again, and correct clients have
+// stopped re-sending it (they have replies from all groups).
+
+func (r *Replica) onGCTimer(fx *node.Effects) {
+	defer fx.SetTimer(r.cfg.GCInterval, node.TimerGC, 0)
+	if r.status != StatusLeader {
+		r.prune()
+		return
+	}
+	// Group watermark: the minimum delivery watermark over all members.
+	wm := r.maxDeliveredGTS
+	for _, p := range r.cfg.Top.Members(r.group) {
+		if p == r.pid {
+			continue
+		}
+		w, ok := r.deliveredWM[p]
+		if !ok {
+			wm = mcast.Timestamp{} // no report yet: cannot GC anything
+			break
+		}
+		if w.Less(wm) {
+			wm = w
+		}
+	}
+	if r.groupWM[r.group].Less(wm) {
+		r.groupWM[r.group] = wm
+	}
+	// Gossip our group's watermark to the other leaders.
+	mark := msgs.GCMark{Group: r.group, Watermark: r.groupWM[r.group]}
+	for g, ldr := range r.curLeader {
+		if g != r.group {
+			fx.Send(ldr, mark)
+		}
+	}
+	// Distribute the full watermark vector to our followers and prune.
+	marks := make([]msgs.GroupTS, 0, len(r.groupWM))
+	for g, w := range r.groupWM {
+		marks = append(marks, msgs.GroupTS{Group: g, TS: w})
+	}
+	pr := msgs.Prune{Group: r.group, Marks: marks}
+	for _, p := range r.cfg.Top.Members(r.group) {
+		if p != r.pid {
+			fx.Send(p, pr)
+		}
+	}
+	r.prune()
+}
+
+func (r *Replica) onGCMark(m msgs.GCMark) {
+	if r.groupWM[m.Group].Less(m.Watermark) {
+		r.groupWM[m.Group] = m.Watermark
+	}
+}
+
+func (r *Replica) onPrune(m msgs.Prune) {
+	if m.Group != r.group {
+		return
+	}
+	for _, gt := range m.Marks {
+		if r.groupWM[gt.Group].Less(gt.TS) {
+			r.groupWM[gt.Group] = gt.TS
+		}
+	}
+	r.prune()
+}
+
+func (r *Replica) prune() {
+	for id, st := range r.state {
+		if !st.delivered || !st.hasApp {
+			continue
+		}
+		ok := true
+		for _, g := range st.app.Dest {
+			if w, have := r.groupWM[g]; !have || w.Less(st.gts) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			delete(r.state, id)
+			r.queue.Remove(id)
+			r.pruned++
+		}
+	}
+}

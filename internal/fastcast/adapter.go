@@ -1,0 +1,40 @@
+package fastcast
+
+import (
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+)
+
+// Protocol is the harness adapter for FastCast (it satisfies
+// internal/harness.Protocol structurally).
+type Protocol struct {
+	RetryInterval     time.Duration
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	ColdStart         bool
+}
+
+// Name implements harness.Protocol.
+func (Protocol) Name() string { return "fastcast" }
+
+// NewReplica implements harness.Protocol.
+func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error) {
+	return New(Config{
+		PID:               pid,
+		Top:               top,
+		RetryInterval:     p.RetryInterval,
+		HeartbeatInterval: p.HeartbeatInterval,
+		SuspectTimeout:    p.SuspectTimeout,
+		ColdStart:         p.ColdStart,
+	})
+}
+
+// Contacts implements harness.Protocol: clients contact each group's
+// initial Paxos leader.
+func (Protocol) Contacts(top *mcast.Topology) func(g mcast.GroupID) []mcast.ProcessID {
+	return func(g mcast.GroupID) []mcast.ProcessID {
+		return []mcast.ProcessID{top.InitialLeader(g)}
+	}
+}

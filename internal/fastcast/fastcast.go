@@ -1,0 +1,485 @@
+// Package fastcast implements the FastCast protocol of Coelho, Schiper and
+// Pedone (DSN 2017) — the state-of-the-art black-box baseline the paper
+// compares against (§VI "Competitor protocols").
+//
+// FastCast optimises FT-Skeen with speculative execution. On receiving an
+// application message, the group's Paxos leader issues a tentative local
+// timestamp, starts consensus to persist it, and — without waiting —
+// announces the timestamp to the other destination leaders (PROPOSE). On a
+// full set of (tentative) timestamps, leaders speculatively compute the
+// global timestamp, advance their clocks in line with it, and start a
+// second consensus to persist the commit. When the first consensus decides,
+// leaders exchange CONFIRM messages; a message is committed once the second
+// consensus has completed and every destination group has confirmed the
+// timestamp used. In failure-free runs the speculation always succeeds:
+//
+//	MULTICAST (δ) + max(consensus₁ (2δ) + CONFIRM (δ), PROPOSE (δ) +
+//	consensus₂ (2δ)) = 4δ
+//
+// at destination leaders — the 4δ collision-free latency the paper quotes,
+// with failure-free latency 8δ (the durable clock advance completes with
+// consensus₂, so the convoy window is C = 4δ).
+//
+// Delivery is leader-gated: followers deliver on DELIVER messages from
+// their leader (off the critical path), one hop after the leader (5δ).
+package fastcast
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+	"wbcast/internal/paxos"
+	"wbcast/internal/rsm"
+)
+
+// Config parametrises a Replica.
+type Config struct {
+	// PID is this replica's process; it must be a member of a group.
+	PID mcast.ProcessID
+	// Top is the topology.
+	Top *mcast.Topology
+	// RetryInterval re-drives stuck messages; zero disables retries.
+	RetryInterval time.Duration
+	// HeartbeatInterval/SuspectTimeout drive the Paxos failure detector.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	// ColdStart starts without an established leader.
+	ColdStart bool
+}
+
+// Replica is one FastCast group member. It implements node.Handler.
+type Replica struct {
+	cfg   Config
+	pid   mcast.ProcessID
+	group mcast.GroupID
+
+	px *paxos.Replica
+	sm *rsm.Machine
+
+	// Leader-side soft state (rebuilt on leadership change).
+	specTime uint64
+	// specPending maps messages with an issued-but-unapplied tentative
+	// timestamp; the delivery gate must treat them as pending.
+	specPending map[mcast.MsgID]mcast.Timestamp
+	// apps caches application messages seen at this leader.
+	apps map[mcast.MsgID]mcast.AppMsg
+	// proposals holds the (possibly tentative) timestamps announced by the
+	// destination leaders; confirms holds the consensus-decided ones.
+	proposals map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp
+	confirms  map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp
+	// commitVec is the timestamp vector used in the proposed CmdCommit.
+	commitVec map[mcast.MsgID][]msgs.GroupTS
+	// remoteLeaders is the Cur_leader guess for remote groups, learned
+	// from observed traffic.
+	remoteLeaders map[mcast.GroupID]mcast.ProcessID
+
+	// maxDelivered is the duplicate-suppression watermark (all replicas).
+	maxDelivered mcast.Timestamp
+}
+
+// New constructs a FastCast replica.
+func New(cfg Config) (*Replica, error) {
+	g := cfg.Top.GroupOf(cfg.PID)
+	if g == mcast.NoGroup {
+		return nil, fmt.Errorf("fastcast: process %d is not a member of any group", cfg.PID)
+	}
+	r := &Replica{
+		cfg:           cfg,
+		pid:           cfg.PID,
+		group:         g,
+		sm:            rsm.New(g),
+		specPending:   make(map[mcast.MsgID]mcast.Timestamp),
+		apps:          make(map[mcast.MsgID]mcast.AppMsg),
+		proposals:     make(map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp),
+		confirms:      make(map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp),
+		commitVec:     make(map[mcast.MsgID][]msgs.GroupTS),
+		remoteLeaders: make(map[mcast.GroupID]mcast.ProcessID),
+	}
+	px, err := paxos.New(paxos.Config{
+		PID: cfg.PID, Top: cfg.Top,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		SuspectTimeout:    cfg.SuspectTimeout,
+		ColdStart:         cfg.ColdStart,
+		OnLead:            r.onLead,
+	}, fcApp{r})
+	if err != nil {
+		return nil, err
+	}
+	r.px = px
+	return r, nil
+}
+
+// ID implements node.Handler.
+func (r *Replica) ID() mcast.ProcessID { return r.pid }
+
+// Leading reports whether this replica currently leads its group.
+func (r *Replica) Leading() bool { return r.px.Leading() }
+
+// Handle implements node.Handler.
+func (r *Replica) Handle(in node.Input, fx *node.Effects) {
+	switch in := in.(type) {
+	case node.Start:
+		r.px.Start(fx)
+	case node.Recv:
+		if r.px.HandleMessage(in.From, in.Msg, fx) {
+			return
+		}
+		switch m := in.Msg.(type) {
+		case msgs.Multicast:
+			r.onMulticast(m.M, fx)
+		case msgs.Propose:
+			r.onPropose(in.From, m, fx)
+		case msgs.Confirm:
+			r.onConfirm(in.From, m, fx)
+		case msgs.Deliver:
+			r.onDeliver(m, fx)
+		}
+	case node.Timer:
+		if r.px.HandleTimer(in, fx) {
+			return
+		}
+		if in.Kind == node.TimerRetry {
+			r.retry(mcast.MsgID(in.Data), fx)
+		}
+	}
+}
+
+// onMulticast issues a tentative timestamp and launches both the
+// persistence consensus and the speculative announcement in parallel.
+func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
+	if !r.px.Leading() {
+		return
+	}
+	r.apps[app.ID] = app.Clone()
+	if lts, ok := r.sm.LTS(app.ID); ok {
+		// Already assigned durably: re-announce (message recovery).
+		r.sendToLeaders(app.Dest, msgs.Propose{ID: app.ID, Group: r.group, LTS: lts}, fx)
+		r.sendToLeaders(app.Dest, msgs.Confirm{ID: app.ID, Group: r.group, LTS: lts}, fx)
+		return
+	}
+	if lts, ok := r.specPending[app.ID]; ok {
+		// Consensus in flight: re-announce the tentative timestamp.
+		r.sendToLeaders(app.Dest, msgs.Propose{ID: app.ID, Group: r.group, LTS: lts}, fx)
+		return
+	}
+	if r.specTime < r.sm.Clock() {
+		r.specTime = r.sm.Clock()
+	}
+	r.specTime++
+	lts := mcast.Timestamp{Time: r.specTime, Group: r.group}
+	r.specPending[app.ID] = lts
+	r.px.Propose(msgs.Command{Op: msgs.CmdAssign, M: app.Clone(), LTS: lts}, fx)
+	r.sendToLeaders(app.Dest, msgs.Propose{ID: app.ID, Group: r.group, LTS: lts}, fx)
+	r.armRetry(app.ID, fx)
+}
+
+// fcApp adapts Replica to paxos.App.
+type fcApp struct{ r *Replica }
+
+// Apply is invoked on every replica in slot order.
+func (a fcApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effects) {
+	r := a.r
+	switch cmd.Op {
+	case msgs.CmdAssign:
+		lts, _ := r.sm.ApplyAssign(cmd.M, cmd.LTS)
+		r.apps[cmd.M.ID] = cmd.M.Clone()
+		if leading {
+			delete(r.specPending, cmd.M.ID)
+			// The timestamp is durable: confirm it to all destination
+			// leaders (including ourselves, for uniformity).
+			r.sendToLeaders(cmd.M.Dest, msgs.Confirm{ID: cmd.M.ID, Group: r.group, LTS: lts}, fx)
+			r.drain(fx)
+		}
+	case msgs.CmdCommit:
+		r.sm.ApplyCommit(cmd.ID, cmd.LTSs)
+		if leading {
+			r.drain(fx)
+		}
+	}
+}
+
+// onPropose collects (tentative) timestamps; a full set triggers the
+// speculative clock advance and the commit consensus.
+func (r *Replica) onPropose(from mcast.ProcessID, p msgs.Propose, fx *node.Effects) {
+	if p.Group != r.group {
+		r.remoteLeaders[p.Group] = from
+	}
+	if !r.px.Leading() {
+		return
+	}
+	props := r.proposals[p.ID]
+	if props == nil {
+		props = make(map[mcast.GroupID]mcast.Timestamp)
+		r.proposals[p.ID] = props
+	}
+	props[p.Group] = p.LTS
+	r.maybeProposeCommit(p.ID, fx)
+}
+
+func (r *Replica) maybeProposeCommit(id mcast.MsgID, fx *node.Effects) {
+	if _, proposed := r.commitVec[id]; proposed {
+		return
+	}
+	app, ok := r.apps[id]
+	if !ok {
+		return
+	}
+	props := r.proposals[id]
+	vec := make([]msgs.GroupTS, 0, len(app.Dest))
+	for _, g := range app.Dest {
+		lts, ok := props[g]
+		if !ok {
+			return
+		}
+		vec = append(vec, msgs.GroupTS{Group: g, TS: lts})
+	}
+	sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
+	// Note: the clock advance past the expected global timestamp is part of
+	// the CmdCommit command and becomes effective only when the second
+	// consensus applies — per the paper (§VI), FastCast's durable clock
+	// advances past GlobalTS[m] only after consensus₂, so its convoy window
+	// is C = 4δ and its failure-free latency 8δ. Tentative timestamps for
+	// new messages are drawn from the replicated clock (plus a uniqueness
+	// counter), not from this speculative value.
+	r.commitVec[id] = vec
+	r.px.Propose(msgs.Command{Op: msgs.CmdCommit, ID: id, LTSs: vec}, fx)
+}
+
+// onConfirm records a consensus-decided timestamp. If the speculation used
+// a different value, the commit is re-proposed with the corrected vector.
+func (r *Replica) onConfirm(from mcast.ProcessID, c msgs.Confirm, fx *node.Effects) {
+	if c.Group != r.group {
+		r.remoteLeaders[c.Group] = from
+	}
+	if !r.px.Leading() {
+		return
+	}
+	conf := r.confirms[c.ID]
+	if conf == nil {
+		conf = make(map[mcast.GroupID]mcast.Timestamp)
+		r.confirms[c.ID] = conf
+	}
+	conf[c.Group] = c.LTS
+	// A confirmed value supersedes any tentative proposal for that group.
+	props := r.proposals[c.ID]
+	if props == nil {
+		props = make(map[mcast.GroupID]mcast.Timestamp)
+		r.proposals[c.ID] = props
+	}
+	props[c.Group] = c.LTS
+	r.correctSpeculation(c.ID, fx)
+	r.maybeProposeCommit(c.ID, fx)
+	r.drain(fx)
+}
+
+// correctSpeculation re-proposes the commit when the confirmed timestamps
+// contradict the vector used speculatively (possible only across leader
+// changes).
+func (r *Replica) correctSpeculation(id mcast.MsgID, fx *node.Effects) {
+	vec, proposed := r.commitVec[id]
+	if !proposed {
+		return
+	}
+	final, ok := r.confirmedVector(id)
+	if !ok {
+		return
+	}
+	same := len(final) == len(vec)
+	if same {
+		for i := range vec {
+			if vec[i] != final[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+	r.commitVec[id] = final
+	r.px.Propose(msgs.Command{Op: msgs.CmdCommit, ID: id, LTSs: final}, fx)
+}
+
+// confirmedVector returns the full consensus-decided timestamp vector of id.
+func (r *Replica) confirmedVector(id mcast.MsgID) ([]msgs.GroupTS, bool) {
+	app, ok := r.apps[id]
+	if !ok {
+		return nil, false
+	}
+	conf := r.confirms[id]
+	vec := make([]msgs.GroupTS, 0, len(app.Dest))
+	for _, g := range app.Dest {
+		lts, ok := conf[g]
+		if !ok {
+			return nil, false
+		}
+		vec = append(vec, msgs.GroupTS{Group: g, TS: lts})
+	}
+	sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
+	return vec, true
+}
+
+// drain delivers at the leader every message allowed out by the delivery
+// rule whose commit is both durable (consensus₂ applied) and confirmed
+// (consensus₁ decided the timestamps used), then replicates the deliveries
+// to the followers with DELIVER messages.
+func (r *Replica) drain(fx *node.Effects) {
+	for {
+		id, gts, ok := r.sm.Deliverable()
+		if !ok {
+			return
+		}
+		// Tentative timestamps issued but not yet applied are pending too:
+		// a message whose tentative lts could end up below gts blocks
+		// delivery exactly as a PROPOSED message does in Skeen's rule.
+		for _, spec := range r.specPending {
+			if !gts.Less(spec) {
+				return
+			}
+		}
+		final, ok := r.confirmedVector(id)
+		if !ok || msgs.MaxGroupTS(final) != gts {
+			// Unconfirmed, or the confirmed timestamps contradict the
+			// committed vector: wait for confirms / the correction
+			// consensus (correctSpeculation).
+			return
+		}
+		d, ok := r.sm.Deliver()
+		if !ok {
+			return
+		}
+		r.deliver(d, fx)
+		lts, _ := r.sm.LTS(id)
+		del := msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: d.GTS}
+		for _, p := range r.cfg.Top.Members(r.group) {
+			if p != r.pid {
+				fx.Send(p, del)
+			}
+		}
+	}
+}
+
+func (r *Replica) deliver(d mcast.Delivery, fx *node.Effects) {
+	r.maxDelivered = d.GTS
+	fx.Deliver(d)
+	fx.Send(d.Msg.ID.Sender(), msgs.ClientReply{ID: d.Msg.ID, Group: r.group})
+}
+
+// onDeliver applies a replicated delivery decision at a follower.
+func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
+	if r.px.Leading() || d.Bal != r.px.Ballot() {
+		return // stale leader's decision
+	}
+	if !r.maxDelivered.Less(d.GTS) {
+		return // duplicate (re-delivery after a leader change)
+	}
+	app, ok := r.sm.App(d.ID)
+	if !ok {
+		return // cannot happen over FIFO channels; retries re-deliver
+	}
+	r.sm.MarkDelivered(d.ID)
+	r.deliver(mcast.Delivery{Msg: app, GTS: d.GTS}, fx)
+}
+
+// retry re-drives a stuck message (lost PROPOSE/CONFIRM, remote leader
+// change): re-announce our state and re-multicast to the other leaders.
+func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
+	if !r.px.Leading() {
+		return
+	}
+	app, ok := r.apps[id]
+	if !ok {
+		return
+	}
+	done := false
+	if gts, committed := r.sm.GTS(id); committed {
+		done = !r.maxDelivered.Less(gts) // delivered here
+	}
+	if done {
+		return
+	}
+	if lts, ok := r.sm.LTS(id); ok {
+		r.sendToLeaders(app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts}, fx)
+		r.sendToLeaders(app.Dest, msgs.Confirm{ID: id, Group: r.group, LTS: lts}, fx)
+	} else if lts, ok := r.specPending[id]; ok {
+		r.sendToLeaders(app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts}, fx)
+	}
+	for _, g := range app.Dest {
+		if g != r.group {
+			fx.Send(r.curLeaderOf(g), msgs.Multicast{M: app})
+		}
+	}
+	r.armRetry(id, fx)
+}
+
+func (r *Replica) armRetry(id mcast.MsgID, fx *node.Effects) {
+	if r.cfg.RetryInterval > 0 {
+		fx.SetTimer(r.cfg.RetryInterval, node.TimerRetry, uint64(id))
+	}
+}
+
+// sendToLeaders sends m to the current leader guess of every destination
+// group (self included via a zero-latency self-send, for uniformity).
+func (r *Replica) sendToLeaders(dest mcast.GroupSet, m msgs.Message, fx *node.Effects) {
+	for _, g := range dest {
+		if g == r.group {
+			fx.Send(r.pid, m)
+		} else {
+			fx.Send(r.curLeaderOf(g), m)
+		}
+	}
+}
+
+// onLead re-drives in-flight work after a leadership change.
+func (r *Replica) onLead(fx *node.Effects) {
+	r.specTime = r.sm.Clock()
+	clear(r.specPending)
+	clear(r.commitVec)
+	// Re-announce every assigned-but-undelivered message; remote leaders
+	// answer with their PROPOSE/CONFIRM, rebuilding the soft state.
+	redo := append(r.sm.Pending(), r.sm.CommittedUndelivered()...)
+	for _, id := range redo {
+		app, ok := r.sm.App(id)
+		if !ok {
+			continue
+		}
+		r.apps[id] = app
+		if lts, ok := r.sm.LTS(id); ok {
+			r.sendToLeaders(app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts}, fx)
+			r.sendToLeaders(app.Dest, msgs.Confirm{ID: id, Group: r.group, LTS: lts}, fx)
+			for _, g := range app.Dest {
+				if g != r.group {
+					fx.Send(r.curLeaderOf(g), msgs.Multicast{M: app})
+				}
+			}
+		}
+		r.armRetry(id, fx)
+	}
+	// Re-replicate deliveries this replica performed before taking over so
+	// lagging followers catch up (they suppress duplicates).
+	for _, id := range r.sm.Delivered() {
+		gts, _ := r.sm.GTS(id)
+		lts, _ := r.sm.LTS(id)
+		del := msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts}
+		for _, p := range r.cfg.Top.Members(r.group) {
+			if p != r.pid {
+				fx.Send(p, del)
+			}
+		}
+	}
+}
+
+// curLeaderOf tracks remote leadership; FastCast learns it from observed
+// traffic and falls back to the initial leader.
+func (r *Replica) curLeaderOf(g mcast.GroupID) mcast.ProcessID {
+	if p, ok := r.remoteLeaders[g]; ok {
+		return p
+	}
+	return r.cfg.Top.InitialLeader(g)
+}
+
+var _ node.Handler = (*Replica)(nil)

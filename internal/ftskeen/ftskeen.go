@@ -1,0 +1,293 @@
+// Package ftskeen implements the fault-tolerant version of Skeen's protocol
+// that uses consensus as a black box — the classical design of Fritzke et
+// al. [17] that the paper's §IV strawman describes: each group simulates a
+// reliable Skeen process (Fig. 1) via state-machine replication over a
+// Paxos log.
+//
+// Both key actions of Skeen's protocol are replicated commands: assigning a
+// local timestamp (CmdAssign) and committing the global timestamp while
+// advancing the clock (CmdCommit). Each costs a Paxos round trip from the
+// group leader to a quorum, so a multicast takes
+//
+//	MULTICAST (δ) + consensus (2δ) + PROPOSE (δ) + consensus (2δ) = 6δ
+//
+// to deliver at a destination leader — the collision-free latency of 6δ the
+// paper quotes, with a failure-free latency of 12δ due to the convoy effect
+// (the clock only advances past a message's global timestamp when the
+// second consensus completes).
+package ftskeen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+	"wbcast/internal/paxos"
+	"wbcast/internal/rsm"
+)
+
+// Config parametrises a Replica.
+type Config struct {
+	// PID is this replica's process; it must be a member of a group.
+	PID mcast.ProcessID
+	// Top is the topology.
+	Top *mcast.Topology
+	// RetryInterval re-sends PROPOSE/MULTICAST for stuck messages; zero
+	// disables retries.
+	RetryInterval time.Duration
+	// HeartbeatInterval/SuspectTimeout drive the Paxos failure detector.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	// ColdStart starts without an established leader.
+	ColdStart bool
+}
+
+// Replica is one FT-Skeen group member. It implements node.Handler.
+type Replica struct {
+	cfg   Config
+	pid   mcast.ProcessID
+	group mcast.GroupID
+
+	px *paxos.Replica
+	sm *rsm.Machine
+
+	// Leader-side soft state (rebuilt on leadership change).
+	assignInFlight map[mcast.MsgID]bool
+	commitProposed map[mcast.MsgID]bool
+	// proposals collects PROPOSE timestamps per message and group.
+	proposals map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp
+	// curLeader is the Cur_leader guess for remote groups.
+	curLeader map[mcast.GroupID]mcast.ProcessID
+}
+
+// New constructs an FT-Skeen replica.
+func New(cfg Config) (*Replica, error) {
+	g := cfg.Top.GroupOf(cfg.PID)
+	if g == mcast.NoGroup {
+		return nil, fmt.Errorf("ftskeen: process %d is not a member of any group", cfg.PID)
+	}
+	r := &Replica{
+		cfg:            cfg,
+		pid:            cfg.PID,
+		group:          g,
+		sm:             rsm.New(g),
+		assignInFlight: make(map[mcast.MsgID]bool),
+		commitProposed: make(map[mcast.MsgID]bool),
+		proposals:      make(map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp),
+		curLeader:      make(map[mcast.GroupID]mcast.ProcessID),
+	}
+	for gid := mcast.GroupID(0); int(gid) < cfg.Top.NumGroups(); gid++ {
+		r.curLeader[gid] = cfg.Top.InitialLeader(gid)
+	}
+	px, err := paxos.New(paxos.Config{
+		PID: cfg.PID, Top: cfg.Top,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		SuspectTimeout:    cfg.SuspectTimeout,
+		ColdStart:         cfg.ColdStart,
+		OnLead:            r.onLead,
+	}, paxosApp{r})
+	if err != nil {
+		return nil, err
+	}
+	r.px = px
+	return r, nil
+}
+
+// ID implements node.Handler.
+func (r *Replica) ID() mcast.ProcessID { return r.pid }
+
+// Leading reports whether this replica currently leads its group.
+func (r *Replica) Leading() bool { return r.px.Leading() }
+
+// Machine exposes the replicated state machine (tests).
+func (r *Replica) Machine() *rsm.Machine { return r.sm }
+
+// Handle implements node.Handler.
+func (r *Replica) Handle(in node.Input, fx *node.Effects) {
+	switch in := in.(type) {
+	case node.Start:
+		r.px.Start(fx)
+	case node.Recv:
+		if r.px.HandleMessage(in.From, in.Msg, fx) {
+			return
+		}
+		switch m := in.Msg.(type) {
+		case msgs.Multicast:
+			r.onMulticast(m.M, fx)
+		case msgs.Propose:
+			r.onPropose(in.From, m, fx)
+		}
+	case node.Timer:
+		if r.px.HandleTimer(in, fx) {
+			return
+		}
+		if in.Kind == node.TimerRetry {
+			r.retry(mcast.MsgID(in.Data), fx)
+		}
+	}
+}
+
+// onMulticast starts (or re-drives) the ordering of an application message:
+// the leader persists a local timestamp through consensus before announcing
+// it to the other destination groups.
+func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
+	if !r.px.Leading() {
+		return
+	}
+	if lts, ok := r.sm.LTS(app.ID); ok {
+		// Already assigned: re-announce the committed timestamp (message
+		// recovery after a lost PROPOSE or a remote leader change).
+		r.sendPropose(app.ID, app.Dest, lts, fx)
+		return
+	}
+	if r.assignInFlight[app.ID] {
+		return // consensus already running for this assignment
+	}
+	// The timestamp itself is computed deterministically inside the RSM
+	// when the command applies (Fig. 1 line 9), so a freshly assigned
+	// timestamp is always above every previously committed global
+	// timestamp — the property the delivery rule relies on.
+	r.assignInFlight[app.ID] = true
+	r.px.Propose(msgs.Command{Op: msgs.CmdAssign, M: app.Clone()}, fx)
+	r.armRetry(app.ID, fx)
+}
+
+// paxosApp adapts Replica to the paxos.App interface.
+type paxosApp struct{ r *Replica }
+
+// Apply is invoked on every replica in slot order.
+func (a paxosApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effects) {
+	r := a.r
+	switch cmd.Op {
+	case msgs.CmdAssign:
+		lts, _ := r.sm.ApplyAssignClock(cmd.M)
+		if leading {
+			delete(r.assignInFlight, cmd.M.ID)
+			// The timestamp is now durable: announce it to the leaders of
+			// all destination groups (including ourselves, for uniformity —
+			// Fig. 1 line 12).
+			r.sendPropose(cmd.M.ID, cmd.M.Dest, lts, fx)
+			r.armRetry(cmd.M.ID, fx)
+		}
+	case msgs.CmdCommit:
+		if _, changed := r.sm.ApplyCommit(cmd.ID, cmd.LTSs); changed {
+			delete(r.commitProposed, cmd.ID)
+			delete(r.proposals, cmd.ID)
+		}
+		// Every replica delivers deterministically from the log.
+		r.drain(fx)
+	}
+}
+
+func (r *Replica) drain(fx *node.Effects) {
+	for {
+		d, ok := r.sm.Deliver()
+		if !ok {
+			return
+		}
+		fx.Deliver(d)
+		fx.Send(d.Msg.ID.Sender(), msgs.ClientReply{ID: d.Msg.ID, Group: r.group})
+	}
+}
+
+func (r *Replica) sendPropose(id mcast.MsgID, dest mcast.GroupSet, lts mcast.Timestamp, fx *node.Effects) {
+	p := msgs.Propose{ID: id, Group: r.group, LTS: lts}
+	for _, g := range dest {
+		if g == r.group {
+			fx.Send(r.pid, p)
+		} else {
+			fx.Send(r.curLeader[g], p)
+		}
+	}
+}
+
+// onPropose collects the local timestamps of the destination groups; with a
+// full set the leader persists the commit through the second consensus.
+func (r *Replica) onPropose(from mcast.ProcessID, p msgs.Propose, fx *node.Effects) {
+	if p.Group != r.group {
+		r.curLeader[p.Group] = from
+	}
+	if !r.px.Leading() {
+		return
+	}
+	props := r.proposals[p.ID]
+	if props == nil {
+		props = make(map[mcast.GroupID]mcast.Timestamp)
+		r.proposals[p.ID] = props
+	}
+	props[p.Group] = p.LTS
+	r.maybeProposeCommit(p.ID, fx)
+}
+
+func (r *Replica) maybeProposeCommit(id mcast.MsgID, fx *node.Effects) {
+	if r.sm.Phase(id) != msgs.PhaseProposed || r.commitProposed[id] {
+		return
+	}
+	app, ok := r.sm.App(id)
+	if !ok {
+		return
+	}
+	props := r.proposals[id]
+	vec := make([]msgs.GroupTS, 0, len(app.Dest))
+	for _, g := range app.Dest {
+		lts, ok := props[g]
+		if !ok {
+			return
+		}
+		vec = append(vec, msgs.GroupTS{Group: g, TS: lts})
+	}
+	sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
+	r.commitProposed[id] = true
+	r.px.Propose(msgs.Command{Op: msgs.CmdCommit, ID: id, LTSs: vec}, fx)
+}
+
+// retry re-drives a stuck message: re-announce our timestamp and re-multicast
+// to the other destination leaders so they (re-)announce theirs.
+func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
+	if !r.px.Leading() || r.sm.Phase(id) != msgs.PhaseProposed {
+		return
+	}
+	app, ok := r.sm.App(id)
+	if !ok {
+		return
+	}
+	if lts, ok := r.sm.LTS(id); ok {
+		r.sendPropose(id, app.Dest, lts, fx)
+	}
+	for _, g := range app.Dest {
+		if g != r.group {
+			fx.Send(r.curLeader[g], msgs.Multicast{M: app})
+		}
+	}
+	r.armRetry(id, fx)
+}
+
+func (r *Replica) armRetry(id mcast.MsgID, fx *node.Effects) {
+	if r.cfg.RetryInterval > 0 {
+		fx.SetTimer(r.cfg.RetryInterval, node.TimerRetry, uint64(id))
+	}
+}
+
+// onLead re-drives every in-flight message after a leadership change: the
+// Paxos log has been recovered, so the RSM state is authoritative; PROPOSE
+// exchanges and commit proposals are soft state and must be repeated.
+func (r *Replica) onLead(fx *node.Effects) {
+	clear(r.assignInFlight)
+	clear(r.commitProposed)
+	for _, id := range r.sm.Pending() {
+		app, _ := r.sm.App(id)
+		if lts, ok := r.sm.LTS(id); ok {
+			r.sendPropose(id, app.Dest, lts, fx)
+		}
+		r.armRetry(id, fx)
+		r.maybeProposeCommit(id, fx)
+	}
+	// Committed-undelivered messages deliver once blocking messages commit;
+	// nothing to do for them here beyond the pending retries above.
+	r.drain(fx)
+}
+
+var _ node.Handler = (*Replica)(nil)

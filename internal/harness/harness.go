@@ -1,0 +1,227 @@
+// Package harness wires protocol replicas, clients, the simulator and the
+// correctness checker into ready-made clusters for integration tests and
+// latency experiments. Every protocol package exposes an adapter satisfying
+// Protocol, so the same random workloads, fault schedules and checks run
+// against Skeen's protocol, FT-Skeen, FastCast and the white-box protocol.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wbcast/internal/check"
+	"wbcast/internal/client"
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+	"wbcast/internal/sim"
+)
+
+// Protocol abstracts over the four multicast implementations. Adapters are
+// defined in each protocol package (structurally, without importing this
+// one).
+type Protocol interface {
+	// Name identifies the protocol in test output.
+	Name() string
+	// NewReplica builds the handler for replica pid of the topology.
+	NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error)
+	// Contacts returns the per-group MULTICAST targets (e.g. the initial
+	// leader guess Cur_leader[g]).
+	Contacts(top *mcast.Topology) func(g mcast.GroupID) []mcast.ProcessID
+}
+
+// Options configures a simulated cluster.
+type Options struct {
+	Groups     int
+	GroupSize  int
+	NumClients int
+	// Latency defaults to sim.Uniform(10ms).
+	Latency sim.Latency
+	Seed    int64
+	// Retry is the client re-multicast interval; zero disables retries.
+	Retry time.Duration
+	// Trace is forwarded to the simulator.
+	Trace func(sim.TraceEvent)
+}
+
+// Cluster is a simulated deployment of one protocol.
+type Cluster struct {
+	Proto    Protocol
+	Sim      *sim.Sim
+	Top      *mcast.Topology
+	Clients  []*client.Client
+	Replicas map[mcast.ProcessID]node.Handler
+
+	hist      *check.History
+	collected int // prefix of Sim.Deliveries() already poured into hist
+	nextSeq   uint32
+	crashed   map[mcast.ProcessID]bool
+	// Delta is the base latency used by DefaultLatency-derived helpers.
+	onComplete func(id mcast.MsgID)
+}
+
+// ClientPID returns the process ID of client i (placed after all replicas).
+func ClientPID(top *mcast.Topology, i int) mcast.ProcessID {
+	return mcast.ProcessID(top.NumReplicas() + i)
+}
+
+// NewCluster builds a cluster: replicas per the topology, plus clients.
+func NewCluster(p Protocol, opts Options) (*Cluster, error) {
+	if opts.Groups <= 0 || opts.GroupSize <= 0 {
+		return nil, fmt.Errorf("harness: need positive Groups and GroupSize")
+	}
+	if opts.NumClients <= 0 {
+		opts.NumClients = 1
+	}
+	top := mcast.UniformTopology(opts.Groups, opts.GroupSize)
+	s := sim.New(sim.Config{Latency: opts.Latency, Seed: opts.Seed, Trace: opts.Trace})
+	c := &Cluster{
+		Proto:    p,
+		Sim:      s,
+		Top:      top,
+		Replicas: make(map[mcast.ProcessID]node.Handler),
+		hist:     check.NewHistory(),
+		crashed:  make(map[mcast.ProcessID]bool),
+	}
+	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
+		h, err := p.NewReplica(pid, top)
+		if err != nil {
+			return nil, fmt.Errorf("harness: replica %d: %w", pid, err)
+		}
+		c.Replicas[pid] = h
+		s.Add(h)
+	}
+	contacts := p.Contacts(top)
+	blanket := func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) }
+	for i := 0; i < opts.NumClients; i++ {
+		cl := client.New(client.Config{
+			PID:           ClientPID(top, i),
+			Contacts:      contacts,
+			Retry:         opts.Retry,
+			RetryContacts: blanket,
+			OnComplete: func(id mcast.MsgID) {
+				if c.onComplete != nil {
+					c.onComplete(id)
+				}
+			},
+		})
+		c.Clients = append(c.Clients, cl)
+		s.Add(cl)
+	}
+	return c, nil
+}
+
+// OnComplete registers a callback invoked when any client's multicast
+// completes (replies from all destination groups received).
+func (c *Cluster) OnComplete(f func(id mcast.MsgID)) { c.onComplete = f }
+
+// Submit schedules a multicast of payload to dest from client idx at time
+// at, and returns the assigned message ID.
+func (c *Cluster) Submit(at time.Duration, idx int, dest mcast.GroupSet, payload []byte) mcast.MsgID {
+	cl := c.Clients[idx]
+	c.nextSeq++
+	m := mcast.AppMsg{ID: mcast.MakeMsgID(cl.ID(), c.nextSeq), Dest: dest, Payload: payload}
+	c.hist.AddSubmit(cl.ID(), m)
+	c.Sim.SubmitAt(at, cl.ID(), m)
+	return m.ID
+}
+
+// SubmitDirect records a multicast of payload to dest attributed to client
+// idx, but delivers the MULTICAST message straight to the process target at
+// time at, bypassing the client handler (no retries, no reply tracking).
+// Scenario tests use it to hand a message to a specific leader.
+func (c *Cluster) SubmitDirect(at time.Duration, idx int, dest mcast.GroupSet, payload []byte, target mcast.ProcessID) mcast.MsgID {
+	cl := c.Clients[idx]
+	c.nextSeq++
+	m := mcast.AppMsg{ID: mcast.MakeMsgID(cl.ID(), c.nextSeq), Dest: dest, Payload: payload}
+	c.hist.AddSubmit(cl.ID(), m)
+	c.Sim.NoteSubmit(at, cl.ID(), m)
+	c.Sim.Inject(at, target, node.Recv{From: cl.ID(), Msg: msgs.Multicast{M: m}})
+	return m.ID
+}
+
+// Crash crashes process pid at the current simulation time and records it
+// for the Termination check.
+func (c *Cluster) Crash(pid mcast.ProcessID) {
+	c.crashed[pid] = true
+	c.Sim.Crash(pid)
+}
+
+// RandomWorkload submits n messages at random times within window, each to a
+// uniformly random non-empty destination set of size ≤ maxDest, from random
+// clients.
+func (c *Cluster) RandomWorkload(rng *rand.Rand, n int, maxDest int, window time.Duration) []mcast.MsgID {
+	if maxDest > c.Top.NumGroups() {
+		maxDest = c.Top.NumGroups()
+	}
+	ids := make([]mcast.MsgID, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(maxDest)
+		perm := rng.Perm(c.Top.NumGroups())[:k]
+		gs := make([]mcast.GroupID, k)
+		for j, g := range perm {
+			gs[j] = mcast.GroupID(g)
+		}
+		at := time.Duration(rng.Int63n(int64(window) + 1))
+		idx := rng.Intn(len(c.Clients))
+		ids = append(ids, c.Submit(at, idx, mcast.NewGroupSet(gs...), []byte(fmt.Sprintf("msg-%d", i))))
+	}
+	return ids
+}
+
+// CollectHistory pours the simulator's delivery records into the checker
+// history. It is idempotent: repeated calls only append new records.
+func (c *Cluster) CollectHistory() *check.History {
+	ds := c.Sim.Deliveries()
+	for _, d := range ds[c.collected:] {
+		c.hist.AddDelivery(d.Proc, d.D)
+	}
+	c.collected = len(ds)
+	return c.hist
+}
+
+// Check runs the full correctness check (with GTS checks on) and the
+// genuineness audit, returning all violations.
+func (c *Cluster) Check(atQuiescence bool) []error {
+	h := c.CollectHistory()
+	errs := h.Check(check.Config{
+		Topology:     c.Top,
+		Crashed:      c.crashed,
+		AtQuiescence: atQuiescence,
+		CheckGTS:     true,
+	})
+	errs = append(errs, c.Sim.AuditGenuineness(c.Top)...)
+	return errs
+}
+
+// DeliveryLatency returns, for message id, the latency from its submission
+// to its first delivery in group g (the paper's per-group delivery latency).
+func (c *Cluster) DeliveryLatency(id mcast.MsgID, g mcast.GroupID) (time.Duration, bool) {
+	sub, ok := c.Sim.SubmitTime(id)
+	if !ok {
+		return 0, false
+	}
+	at, ok := c.Sim.FirstDelivery(c.Top, id, g)
+	if !ok {
+		return 0, false
+	}
+	return at - sub, true
+}
+
+// MaxDeliveryLatency returns the maximum over dest groups of the first
+// delivery latency of id — the paper's "delivery latency with respect to
+// all groups in dest(m)".
+func (c *Cluster) MaxDeliveryLatency(id mcast.MsgID, dest mcast.GroupSet) (time.Duration, bool) {
+	var max time.Duration
+	for _, g := range dest {
+		l, ok := c.DeliveryLatency(id, g)
+		if !ok {
+			return 0, false
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max, true
+}

@@ -1,0 +1,337 @@
+// Package live runs protocol handlers in real time: one goroutine per
+// process, in-memory links with configurable injected latency, and real
+// timers. It drives the same deterministic node.Handler state machines as
+// the discrete-event simulator, so protocol code is identical between
+// simulated experiments and live benchmarks.
+//
+// Latency injection models the paper's testbeds on a single machine: the
+// LAN profile injects a uniform sub-millisecond delay, the WAN profile the
+// inter-datacenter round-trip matrix of §VI. Per-link latencies are
+// constant, so FIFO ordering is preserved by construction (delivery
+// deadlines on a link are monotone).
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+)
+
+// LatencyFunc returns the one-way injected delay between two processes. It
+// must be constant per ordered pair to preserve FIFO ordering.
+type LatencyFunc func(from, to mcast.ProcessID) time.Duration
+
+// Config parametrises a Network.
+type Config struct {
+	// Latency is the injected one-way delay; nil means no injection.
+	Latency LatencyFunc
+	// MailboxSize bounds each process's input queue (default 4096).
+	MailboxSize int
+	// OnDeliver receives every application delivery; it is invoked from
+	// the delivering process's goroutine and must not block for long.
+	OnDeliver func(p mcast.ProcessID, d mcast.Delivery)
+}
+
+// Network hosts a set of processes. Construct with New, register handlers
+// with Add, then Start; Close stops and joins every goroutine.
+type Network struct {
+	cfg     Config
+	mu      sync.Mutex
+	procs   map[mcast.ProcessID]*proc
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.MailboxSize <= 0 {
+		cfg.MailboxSize = 4096
+	}
+	return &Network{cfg: cfg, procs: make(map[mcast.ProcessID]*proc)}
+}
+
+type envelope struct {
+	in        node.Input
+	deliverAt time.Time
+	seq       uint64
+}
+
+type proc struct {
+	net     *Network
+	pid     mcast.ProcessID
+	h       node.Handler
+	mailbox chan envelope
+	delayIn chan envelope
+	quit    chan struct{}
+	crashed chan struct{}
+	crashMu sync.Once
+}
+
+// Add registers a handler. Handlers added after Start (e.g. late-joining
+// clients) are launched immediately.
+func (n *Network) Add(h node.Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("live: Add after Close")
+	}
+	pid := h.ID()
+	if _, dup := n.procs[pid]; dup {
+		return fmt.Errorf("live: duplicate process %d", pid)
+	}
+	p := &proc{
+		net:     n,
+		pid:     pid,
+		h:       h,
+		mailbox: make(chan envelope, n.cfg.MailboxSize),
+		delayIn: make(chan envelope, 1024),
+		quit:    make(chan struct{}),
+		crashed: make(chan struct{}),
+	}
+	n.procs[pid] = p
+	if n.started {
+		n.launch(p)
+	}
+	return nil
+}
+
+func (n *Network) launch(p *proc) {
+	n.wg.Add(2)
+	go p.delayLoop()
+	go p.mainLoop()
+	p.mailbox <- envelope{in: node.Start{}}
+}
+
+// Start launches every process goroutine and delivers the Start input.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("live: already started")
+	}
+	n.started = true
+	for _, p := range n.procs {
+		n.launch(p)
+	}
+	return nil
+}
+
+// Close stops all processes and waits for their goroutines to exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	procs := n.procs
+	n.mu.Unlock()
+	for _, p := range procs {
+		close(p.quit)
+	}
+	n.wg.Wait()
+}
+
+// Crash stops delivering inputs to pid (crash-stop fault injection). The
+// process goroutines keep draining their queues but discard everything.
+func (n *Network) Crash(pid mcast.ProcessID) {
+	n.mu.Lock()
+	p, ok := n.procs[pid]
+	n.mu.Unlock()
+	if ok {
+		p.crashMu.Do(func() { close(p.crashed) })
+	}
+}
+
+// Submit posts a Submit input to a client process. It may block briefly if
+// the client's mailbox is full; it must not be called from that client's
+// own handler (use a separate generator goroutine).
+func (n *Network) Submit(pid mcast.ProcessID, m mcast.AppMsg) error {
+	return n.Inject(pid, node.Submit{Msg: m})
+}
+
+// Inject posts an arbitrary input to a process.
+func (n *Network) Inject(pid mcast.ProcessID, in node.Input) error {
+	n.mu.Lock()
+	p, ok := n.procs[pid]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("live: unknown process %d", pid)
+	}
+	select {
+	case p.mailbox <- envelope{in: in}:
+		return nil
+	case <-p.quit:
+		return fmt.Errorf("live: network closed")
+	}
+}
+
+// mainLoop serialises a handler's inputs.
+func (p *proc) mainLoop() {
+	defer p.net.wg.Done()
+	var fx node.Effects
+	for {
+		select {
+		case <-p.quit:
+			return
+		case env := <-p.mailbox:
+			select {
+			case <-p.crashed:
+				continue // crashed processes discard all input
+			default:
+			}
+			fx.Reset()
+			p.h.Handle(env.in, &fx)
+			p.apply(&fx)
+		}
+	}
+}
+
+func (p *proc) apply(fx *node.Effects) {
+	for _, d := range fx.Deliveries {
+		if p.net.cfg.OnDeliver != nil {
+			p.net.cfg.OnDeliver(p.pid, d)
+		}
+	}
+	for _, tm := range fx.Timers {
+		in := node.Timer{Kind: tm.Kind, Data: tm.Data}
+		pp := p
+		time.AfterFunc(tm.After, func() {
+			select {
+			case pp.mailbox <- envelope{in: in}:
+			case <-pp.quit:
+			}
+		})
+	}
+	for _, snd := range fx.Sends {
+		p.net.route(p.pid, snd.To, snd.Msg)
+	}
+}
+
+// route hands a message to the destination, through its delayer when a
+// latency is configured.
+func (n *Network) route(from, to mcast.ProcessID, m msgs.Message) {
+	n.mu.Lock()
+	q, ok := n.procs[to]
+	n.mu.Unlock()
+	if !ok {
+		return // unknown destination: drop (e.g. client already gone)
+	}
+	var lat time.Duration
+	if n.cfg.Latency != nil && from != to {
+		lat = n.cfg.Latency(from, to)
+	}
+	env := envelope{in: node.Recv{From: from, Msg: m}}
+	if lat <= 0 {
+		select {
+		case q.mailbox <- env:
+		case <-q.quit:
+		}
+		return
+	}
+	env.deliverAt = time.Now().Add(lat)
+	select {
+	case q.delayIn <- env:
+	case <-q.quit:
+	}
+}
+
+// delayLoop holds back delayed envelopes until their deadline, preserving
+// arrival order per deadline (constant per-pair latency makes deadlines
+// monotone per link, so FIFO is preserved).
+func (p *proc) delayLoop() {
+	defer p.net.wg.Done()
+	var pq delayHeap
+	var seq uint64
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		// Deliver everything due.
+		now := time.Now()
+		for pq.Len() > 0 && !pq[0].deliverAt.After(now) {
+			env := pq.popMin()
+			select {
+			case p.mailbox <- env:
+			case <-p.quit:
+				return
+			}
+		}
+		wait := time.Hour
+		if pq.Len() > 0 {
+			wait = time.Until(pq[0].deliverAt)
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-p.quit:
+			return
+		case env := <-p.delayIn:
+			seq++
+			env.seq = seq
+			pq.push(env)
+		case <-timer.C:
+		}
+	}
+}
+
+type delayHeap []envelope
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) less(i, j int) bool {
+	if !h[i].deliverAt.Equal(h[j].deliverAt) {
+		return h[i].deliverAt.Before(h[j].deliverAt)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *delayHeap) push(e envelope) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) popMin() envelope {
+	old := *h
+	min := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && h.less(l, small) {
+			small = l
+		}
+		if r < len(*h) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return min
+}

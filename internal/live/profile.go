@@ -1,0 +1,52 @@
+package live
+
+import (
+	"time"
+
+	"wbcast/internal/mcast"
+)
+
+// Latency profiles reproducing the paper's two testbeds (§VI) on a single
+// machine.
+
+// LANOneWay is the injected one-way delay of the LAN profile: the paper's
+// CloudLab cluster has ~0.1 ms round-trip times.
+const LANOneWay = 50 * time.Microsecond
+
+// LAN returns the LAN latency profile: a uniform one-way delay on every
+// link.
+func LAN() LatencyFunc {
+	return func(from, to mcast.ProcessID) time.Duration { return LANOneWay }
+}
+
+// WAN round-trip times between the paper's three data centres — Oregon
+// (R1), North Virginia (R2), England (R3): 60 ms (R1–R2), 75 ms (R2–R3),
+// 130 ms (R1–R3). One-way delays are half of these.
+var wanOneWay = [3][3]time.Duration{
+	{250 * time.Microsecond, 30 * time.Millisecond, 65 * time.Millisecond},
+	{30 * time.Millisecond, 250 * time.Microsecond, 37500 * time.Microsecond},
+	{65 * time.Millisecond, 37500 * time.Microsecond, 250 * time.Microsecond},
+}
+
+// DCAssign maps a process to one of the three data centres.
+type DCAssign func(p mcast.ProcessID) int
+
+// PaperWANAssign reproduces the paper's WAN deployment: every group has one
+// replica in each data centre (replica rank = data centre), so a single
+// data centre holds a complete copy of the system. Clients are spread
+// round-robin over the data centres.
+func PaperWANAssign(top *mcast.Topology) DCAssign {
+	return func(p mcast.ProcessID) int {
+		if top.IsReplica(p) {
+			return top.Rank(p) % 3
+		}
+		return int(p) % 3
+	}
+}
+
+// WAN returns the WAN latency profile for the given data-centre assignment.
+func WAN(assign DCAssign) LatencyFunc {
+	return func(from, to mcast.ProcessID) time.Duration {
+		return wanOneWay[assign(from)%3][assign(to)%3]
+	}
+}

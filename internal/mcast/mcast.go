@@ -1,0 +1,367 @@
+// Package mcast defines the core vocabulary shared by every protocol in this
+// repository: process and group identifiers, Lamport-style multicast
+// timestamps, Paxos-style ballots, application messages and deliveries.
+//
+// The types follow §II–§III of Gotsman, Lefort, Chockler, "White-box Atomic
+// Multicast" (DSN 2019): timestamps are pairs (t, g) of a non-negative
+// integer and a group identifier, ordered lexicographically with ⊥ (the zero
+// value) as the minimum; ballots are pairs (n, p) of an integer and a
+// process identifier, ordered the same way.
+package mcast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcessID identifies a process (replica or client) uniquely across the
+// whole system. Replica IDs are assigned by Topology; client IDs must not
+// collide with replica IDs.
+type ProcessID int32
+
+// NoProcess is the zero ProcessID minus one, used where "no process" must be
+// distinguishable from process 0.
+const NoProcess ProcessID = -1
+
+// GroupID identifies a process group. Groups are disjoint sets of 2f+1
+// replicas (paper §II).
+type GroupID int32
+
+// NoGroup marks the absence of a group.
+const NoGroup GroupID = -1
+
+// MsgID uniquely identifies an application message. It packs the sender's
+// ProcessID and a per-sender sequence number, so IDs are unique as long as
+// each sender allocates sequence numbers monotonically.
+type MsgID uint64
+
+// MakeMsgID packs a sender and a per-sender sequence number into a MsgID.
+func MakeMsgID(sender ProcessID, seq uint32) MsgID {
+	return MsgID(uint64(uint32(sender))<<32 | uint64(seq))
+}
+
+// Sender extracts the sending process encoded in the MsgID.
+func (id MsgID) Sender() ProcessID { return ProcessID(int32(uint32(id >> 32))) }
+
+// Seq extracts the per-sender sequence number encoded in the MsgID.
+func (id MsgID) Seq() uint32 { return uint32(id) }
+
+func (id MsgID) String() string {
+	return fmt.Sprintf("m(%d.%d)", id.Sender(), id.Seq())
+}
+
+// Timestamp is a multicast timestamp (t, g): a logical clock value tagged
+// with the group that issued it. Timestamps are ordered lexicographically,
+// first by Time and then by Group. The zero value is ⊥, the minimal
+// timestamp; protocols never issue ⊥ because clocks are incremented before
+// use.
+type Timestamp struct {
+	Time  uint64
+	Group GroupID
+}
+
+// ZeroTS is ⊥, the minimal timestamp.
+var ZeroTS = Timestamp{}
+
+// IsZero reports whether ts is ⊥.
+func (ts Timestamp) IsZero() bool { return ts == Timestamp{} }
+
+// Less reports whether ts orders strictly before other.
+func (ts Timestamp) Less(other Timestamp) bool {
+	if ts.Time != other.Time {
+		return ts.Time < other.Time
+	}
+	return ts.Group < other.Group
+}
+
+// LessEq reports whether ts orders before or equal to other.
+func (ts Timestamp) LessEq(other Timestamp) bool { return !other.Less(ts) }
+
+// Compare returns -1, 0 or +1 as ts orders before, equal to or after other.
+func (ts Timestamp) Compare(other Timestamp) int {
+	switch {
+	case ts.Less(other):
+		return -1
+	case other.Less(ts):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxTimestamp returns the maximum of the given timestamps, or ⊥ if none are
+// given.
+func MaxTimestamp(tss ...Timestamp) Timestamp {
+	var max Timestamp
+	for _, ts := range tss {
+		if max.Less(ts) {
+			max = ts
+		}
+	}
+	return max
+}
+
+func (ts Timestamp) String() string {
+	if ts.IsZero() {
+		return "⊥"
+	}
+	return fmt.Sprintf("(%d,g%d)", ts.Time, ts.Group)
+}
+
+// Ballot identifies a leadership period (n, p): a round number tagged with
+// the process acting as leader. Ballots are ordered lexicographically, first
+// by N and then by Proc. The zero value is ⊥, the minimal ballot.
+type Ballot struct {
+	N    uint64
+	Proc ProcessID
+}
+
+// ZeroBallot is ⊥, the minimal ballot.
+var ZeroBallot = Ballot{}
+
+// IsZero reports whether b is ⊥.
+func (b Ballot) IsZero() bool { return b == Ballot{} }
+
+// Less reports whether b orders strictly before other.
+func (b Ballot) Less(other Ballot) bool {
+	if b.N != other.N {
+		return b.N < other.N
+	}
+	return b.Proc < other.Proc
+}
+
+// LessEq reports whether b orders before or equal to other.
+func (b Ballot) LessEq(other Ballot) bool { return !other.Less(b) }
+
+// Leader returns the process leading ballot b (leader(b) in the paper).
+func (b Ballot) Leader() ProcessID { return b.Proc }
+
+func (b Ballot) String() string {
+	if b.IsZero() {
+		return "⊥"
+	}
+	return fmt.Sprintf("b(%d,p%d)", b.N, b.Proc)
+}
+
+// GroupSet is a sorted, duplicate-free set of destination groups.
+type GroupSet []GroupID
+
+// NewGroupSet builds a normalised (sorted, deduplicated) GroupSet.
+func NewGroupSet(groups ...GroupID) GroupSet {
+	gs := make(GroupSet, 0, len(groups))
+	gs = append(gs, groups...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	out := gs[:0]
+	for i, g := range gs {
+		if i == 0 || gs[i-1] != g {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Contains reports whether g is in the set.
+func (gs GroupSet) Contains(g GroupID) bool {
+	i := sort.Search(len(gs), func(i int) bool { return gs[i] >= g })
+	return i < len(gs) && gs[i] == g
+}
+
+// Intersects reports whether the two sets share any group, i.e. whether two
+// messages with these destinations conflict (paper §II).
+func (gs GroupSet) Intersects(other GroupSet) bool {
+	i, j := 0, 0
+	for i < len(gs) && j < len(other) {
+		switch {
+		case gs[i] < other[j]:
+			i++
+		case gs[i] > other[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether the two sets contain exactly the same groups.
+func (gs GroupSet) Equal(other GroupSet) bool {
+	if len(gs) != len(other) {
+		return false
+	}
+	for i := range gs {
+		if gs[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (gs GroupSet) Clone() GroupSet {
+	if gs == nil {
+		return nil
+	}
+	out := make(GroupSet, len(gs))
+	copy(out, gs)
+	return out
+}
+
+func (gs GroupSet) String() string {
+	parts := make([]string, len(gs))
+	for i, g := range gs {
+		parts[i] = fmt.Sprintf("g%d", g)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// AppMsg is an application message submitted to atomic multicast: a unique
+// ID, the destination groups dest(m), and an opaque payload.
+type AppMsg struct {
+	ID      MsgID
+	Dest    GroupSet
+	Payload []byte
+}
+
+// Clone returns a deep copy of the message (payload and destination set are
+// copied, so the clone may be retained across API boundaries).
+func (m AppMsg) Clone() AppMsg {
+	out := AppMsg{ID: m.ID, Dest: m.Dest.Clone()}
+	if m.Payload != nil {
+		out.Payload = make([]byte, len(m.Payload))
+		copy(out.Payload, m.Payload)
+	}
+	return out
+}
+
+func (m AppMsg) String() string {
+	return fmt.Sprintf("%v→%v", m.ID, m.Dest)
+}
+
+// Delivery records the delivery of an application message at a process,
+// together with the global timestamp the protocol assigned to it. Deliveries
+// at one process happen in increasing GTS order; GTS exposes the system-wide
+// total order to applications that need it (e.g. shared logs).
+type Delivery struct {
+	Msg AppMsg
+	GTS Timestamp
+}
+
+// Topology describes the static process-group layout: Groups[g] lists the
+// 2f+1 replica ProcessIDs of group g. Groups are disjoint (paper §II).
+type Topology struct {
+	groups  [][]ProcessID
+	groupOf map[ProcessID]GroupID
+}
+
+// NewTopology validates and indexes a group layout. Every group must be
+// non-empty and of odd size, and no process may appear twice.
+func NewTopology(groups [][]ProcessID) (*Topology, error) {
+	t := &Topology{
+		groups:  make([][]ProcessID, len(groups)),
+		groupOf: make(map[ProcessID]GroupID),
+	}
+	for g, members := range groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("mcast: group %d is empty", g)
+		}
+		if len(members)%2 == 0 {
+			return nil, fmt.Errorf("mcast: group %d has even size %d; need 2f+1", g, len(members))
+		}
+		t.groups[g] = make([]ProcessID, len(members))
+		copy(t.groups[g], members)
+		for _, p := range members {
+			if prev, dup := t.groupOf[p]; dup {
+				return nil, fmt.Errorf("mcast: process %d in both group %d and group %d", p, prev, g)
+			}
+			t.groupOf[p] = GroupID(g)
+		}
+	}
+	return t, nil
+}
+
+// UniformTopology builds a topology of k groups of n replicas each, with
+// process IDs 0..k*n-1 assigned group-major.
+func UniformTopology(k, n int) *Topology {
+	groups := make([][]ProcessID, k)
+	next := ProcessID(0)
+	for g := range groups {
+		groups[g] = make([]ProcessID, n)
+		for i := range groups[g] {
+			groups[g][i] = next
+			next++
+		}
+	}
+	t, err := NewTopology(groups)
+	if err != nil {
+		// Construction above cannot violate NewTopology's checks.
+		panic("mcast: uniform topology invalid: " + err.Error())
+	}
+	return t
+}
+
+// NumGroups returns the number of groups.
+func (t *Topology) NumGroups() int { return len(t.groups) }
+
+// NumReplicas returns the total number of replica processes.
+func (t *Topology) NumReplicas() int { return len(t.groupOf) }
+
+// Members returns the replica IDs of group g. The returned slice must not be
+// modified.
+func (t *Topology) Members(g GroupID) []ProcessID { return t.groups[g] }
+
+// GroupSize returns the number of replicas in group g.
+func (t *Topology) GroupSize(g GroupID) int { return len(t.groups[g]) }
+
+// QuorumSize returns f+1 for a group of 2f+1 replicas.
+func (t *Topology) QuorumSize(g GroupID) int { return len(t.groups[g])/2 + 1 }
+
+// GroupOf returns the group of process p, or NoGroup if p is not a replica
+// (e.g. it is a client).
+func (t *Topology) GroupOf(p ProcessID) GroupID {
+	if g, ok := t.groupOf[p]; ok {
+		return g
+	}
+	return NoGroup
+}
+
+// IsReplica reports whether p belongs to some group.
+func (t *Topology) IsReplica(p ProcessID) bool {
+	_, ok := t.groupOf[p]
+	return ok
+}
+
+// Rank returns the index of p within its group, or -1 if p is not a replica.
+func (t *Topology) Rank(p ProcessID) int {
+	g, ok := t.groupOf[p]
+	if !ok {
+		return -1
+	}
+	for i, q := range t.groups[g] {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllGroups returns the set of every group in the topology.
+func (t *Topology) AllGroups() GroupSet {
+	gs := make(GroupSet, t.NumGroups())
+	for i := range gs {
+		gs[i] = GroupID(i)
+	}
+	return gs
+}
+
+// InitialLeader returns the conventional initial leader of group g (its
+// first member) used by the pre-synchronised cluster bootstrap.
+func (t *Topology) InitialLeader(g GroupID) ProcessID { return t.groups[g][0] }
+
+// InitialBallot returns the conventional initial ballot (1, first member)
+// that every replica of g starts in under the pre-synchronised bootstrap.
+// Starting all replicas with cballot = InitialBallot is equivalent to having
+// completed a leader recovery over the empty state.
+func (t *Topology) InitialBallot(g GroupID) Ballot {
+	return Ballot{N: 1, Proc: t.groups[g][0]}
+}

@@ -1,0 +1,158 @@
+// Package node defines the deterministic protocol-node abstraction used by
+// every protocol in this repository.
+//
+// A Handler is a pure state machine: it consumes one Input at a time and
+// appends the I/O it wants performed (message sends, application deliveries,
+// timer arming) to an Effects sink. All sources of nondeterminism — the
+// network, the clock, timers — live in the runtime driving the handler:
+// either the discrete-event simulator (internal/sim) or the goroutine
+// runtime (internal/live). This keeps protocol logic testable under exact,
+// reproducible schedules, which is what lets us measure the paper's latency
+// theorems in units of δ.
+package node
+
+import (
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+)
+
+// Input is an event consumed by a Handler. Exactly one of the concrete
+// types below is passed to Handle per call.
+type Input interface{ isInput() }
+
+// Recv is the arrival of a protocol message from another process (or from
+// the process itself; self-sends are legal and delivered with zero latency).
+type Recv struct {
+	From mcast.ProcessID
+	Msg  msgs.Message
+}
+
+// Timer is the expiry of a timer previously armed via Effects.SetTimer.
+// Kind and Data echo the values given when arming; stale timers are the
+// handler's responsibility to detect and ignore.
+type Timer struct {
+	Kind TimerKind
+	Data uint64
+}
+
+// Start is delivered exactly once, before any other input, letting the
+// handler arm its initial timers.
+type Start struct{}
+
+// Submit asks a client handler to multicast an application message. It is
+// only meaningful for client handlers.
+type Submit struct {
+	Msg mcast.AppMsg
+}
+
+func (Recv) isInput()   {}
+func (Timer) isInput()  {}
+func (Start) isInput()  {}
+func (Submit) isInput() {}
+
+// TimerKind distinguishes the timers a handler arms. Kinds are scoped to a
+// handler; runtimes treat them as opaque.
+type TimerKind int
+
+// Timer kinds used across the protocol packages. They live here so that the
+// composite handlers (protocol + election) cannot collide.
+const (
+	// TimerRetry re-sends MULTICAST for a message stuck in flight
+	// (paper Fig. 4 line 32, and client-side message recovery, §IV).
+	TimerRetry TimerKind = iota + 1
+	// TimerHeartbeat is the leader's periodic heartbeat broadcast.
+	TimerHeartbeat
+	// TimerSuspect fires when a follower has not heard from its leader
+	// for the suspicion timeout.
+	TimerSuspect
+	// TimerCandidacy fires to (re-)attempt leader recovery after backoff.
+	TimerCandidacy
+	// TimerGC drives periodic garbage-collection watermark exchange.
+	TimerGC
+	// TimerClient is the client's per-request retry timer.
+	TimerClient
+	// TimerApp is reserved for application-level handlers built on the
+	// public API.
+	TimerApp
+)
+
+// Effects collects the I/O requested by a handler during one Handle call.
+// The runtime allocates it, passes it in, and performs the collected
+// operations after the handler returns. A zero Effects is ready to use.
+type Effects struct {
+	Sends      []Send
+	Deliveries []mcast.Delivery
+	Timers     []SetTimer
+}
+
+// Send is a request to transmit msg to the process to. Self-sends are
+// permitted and are delivered with zero network latency.
+type Send struct {
+	To  mcast.ProcessID
+	Msg msgs.Message
+}
+
+// SetTimer is a request to deliver a Timer{Kind, Data} input After from now.
+// Timers are one-shot and cannot be cancelled; handlers must ignore stale
+// expiries (e.g. by checking current state against Data).
+type SetTimer struct {
+	After time.Duration
+	Kind  TimerKind
+	Data  uint64
+}
+
+// Send appends a unicast send.
+func (fx *Effects) Send(to mcast.ProcessID, m msgs.Message) {
+	fx.Sends = append(fx.Sends, Send{To: to, Msg: m})
+}
+
+// SendAll appends a send of m to every process in tos.
+func (fx *Effects) SendAll(tos []mcast.ProcessID, m msgs.Message) {
+	for _, to := range tos {
+		fx.Send(to, m)
+	}
+}
+
+// Deliver appends an application-message delivery.
+func (fx *Effects) Deliver(d mcast.Delivery) {
+	fx.Deliveries = append(fx.Deliveries, d)
+}
+
+// SetTimer appends a timer-arming request.
+func (fx *Effects) SetTimer(after time.Duration, kind TimerKind, data uint64) {
+	fx.Timers = append(fx.Timers, SetTimer{After: after, Kind: kind, Data: data})
+}
+
+// Reset clears the sink for reuse, retaining capacity.
+func (fx *Effects) Reset() {
+	fx.Sends = fx.Sends[:0]
+	fx.Deliveries = fx.Deliveries[:0]
+	fx.Timers = fx.Timers[:0]
+}
+
+// Handler is a deterministic protocol node. Handle must not retain in or fx
+// and must not perform I/O or read clocks; runtimes may call it from
+// different goroutines over time but never concurrently.
+type Handler interface {
+	// ID returns the process this handler implements.
+	ID() mcast.ProcessID
+	// Handle consumes one input and appends requested effects to fx.
+	Handle(in Input, fx *Effects)
+}
+
+// Func adapts a function to the Handler interface for tests and small
+// runtime shims.
+type Func struct {
+	PID mcast.ProcessID
+	F   func(in Input, fx *Effects)
+}
+
+// ID implements Handler.
+func (f Func) ID() mcast.ProcessID { return f.PID }
+
+// Handle implements Handler.
+func (f Func) Handle(in Input, fx *Effects) { f.F(in, fx) }
+
+var _ Handler = Func{}

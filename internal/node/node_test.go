@@ -1,0 +1,82 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+)
+
+func TestEffectsCollectAndReset(t *testing.T) {
+	var fx node.Effects
+	fx.Send(1, msgs.Heartbeat{Group: 0})
+	fx.SendAll([]mcast.ProcessID{2, 3}, msgs.Heartbeat{Group: 0})
+	fx.Deliver(mcast.Delivery{GTS: mcast.Timestamp{Time: 1}})
+	fx.SetTimer(time.Second, node.TimerRetry, 42)
+	if len(fx.Sends) != 3 || len(fx.Deliveries) != 1 || len(fx.Timers) != 1 {
+		t.Fatalf("effects = %d sends, %d deliveries, %d timers",
+			len(fx.Sends), len(fx.Deliveries), len(fx.Timers))
+	}
+	if fx.Sends[1].To != 2 || fx.Sends[2].To != 3 {
+		t.Errorf("SendAll targets wrong: %v", fx.Sends)
+	}
+	if fx.Timers[0] != (node.SetTimer{After: time.Second, Kind: node.TimerRetry, Data: 42}) {
+		t.Errorf("timer = %+v", fx.Timers[0])
+	}
+	fx.Reset()
+	if len(fx.Sends) != 0 || len(fx.Deliveries) != 0 || len(fx.Timers) != 0 {
+		t.Error("Reset did not clear effects")
+	}
+	// Capacity is retained for reuse.
+	if cap(fx.Sends) == 0 {
+		t.Error("Reset dropped capacity")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := 0
+	h := node.Func{PID: 7, F: func(in node.Input, fx *node.Effects) {
+		called++
+		if _, ok := in.(node.Start); ok {
+			fx.Send(1, msgs.Heartbeat{})
+		}
+	}}
+	if h.ID() != 7 {
+		t.Errorf("ID = %d", h.ID())
+	}
+	var fx node.Effects
+	h.Handle(node.Start{}, &fx)
+	h.Handle(node.Timer{Kind: node.TimerGC}, &fx)
+	if called != 2 || len(fx.Sends) != 1 {
+		t.Errorf("called=%d sends=%d", called, len(fx.Sends))
+	}
+}
+
+func TestInputTypes(t *testing.T) {
+	// Compile-time coverage that all input kinds satisfy the interface and
+	// can be distinguished by type switch.
+	inputs := []node.Input{
+		node.Start{},
+		node.Recv{From: 1, Msg: msgs.Heartbeat{}},
+		node.Timer{Kind: node.TimerSuspect, Data: 9},
+		node.Submit{Msg: mcast.AppMsg{ID: mcast.MakeMsgID(1, 1)}},
+	}
+	var kinds []string
+	for _, in := range inputs {
+		switch in.(type) {
+		case node.Start:
+			kinds = append(kinds, "start")
+		case node.Recv:
+			kinds = append(kinds, "recv")
+		case node.Timer:
+			kinds = append(kinds, "timer")
+		case node.Submit:
+			kinds = append(kinds, "submit")
+		}
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}

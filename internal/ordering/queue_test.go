@@ -1,0 +1,266 @@
+package ordering
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wbcast/internal/mcast"
+)
+
+func ts(t uint64, g mcast.GroupID) mcast.Timestamp { return mcast.Timestamp{Time: t, Group: g} }
+func id(n uint32) mcast.MsgID                      { return mcast.MakeMsgID(1, n) }
+
+func TestQueueEmpty(t *testing.T) {
+	q := NewQueue()
+	if _, _, ok := q.PopDeliverable(); ok {
+		t.Error("empty queue returned a deliverable")
+	}
+	if _, ok := q.MinPending(); ok {
+		t.Error("empty queue reported a pending minimum")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestQueueBlocksOnLowerPending(t *testing.T) {
+	q := NewQueue()
+	// m1 committed with gts (5,g0); m2 pending with lts (3,g0) < gts blocks it.
+	q.SetPending(id(2), ts(3, 0))
+	q.Commit(id(1), ts(5, 0))
+	if _, _, ok := q.PopDeliverable(); ok {
+		t.Fatal("delivered despite lower pending LTS")
+	}
+	// Once m2 commits (with any gts), deliveries proceed in gts order.
+	q.Commit(id(2), ts(7, 0))
+	got1, g1, ok := q.PopDeliverable()
+	if !ok || got1 != id(1) || g1 != ts(5, 0) {
+		t.Fatalf("first deliverable = %v,%v,%v; want m1", got1, g1, ok)
+	}
+	got2, _, ok := q.PopDeliverable()
+	if !ok || got2 != id(2) {
+		t.Fatalf("second deliverable = %v; want m2", got2)
+	}
+	if _, _, ok := q.PopDeliverable(); ok {
+		t.Error("queue should now be empty")
+	}
+}
+
+func TestQueueAllowsHigherPending(t *testing.T) {
+	q := NewQueue()
+	q.SetPending(id(2), ts(9, 0))
+	q.Commit(id(1), ts(5, 0))
+	got, _, ok := q.PopDeliverable()
+	if !ok || got != id(1) {
+		t.Fatalf("should deliver m1 past higher pending; got %v,%v", got, ok)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue()
+	q.SetPending(id(2), ts(3, 0))
+	q.Commit(id(1), ts(5, 0))
+	q.Remove(id(2)) // pending message vanishes (e.g. recovery dropped it)
+	got, _, ok := q.PopDeliverable()
+	if !ok || got != id(1) {
+		t.Fatalf("expected m1 deliverable after Remove; got %v,%v", got, ok)
+	}
+}
+
+func TestQueueUpdatePendingTS(t *testing.T) {
+	q := NewQueue()
+	q.SetPending(id(2), ts(3, 0))
+	q.SetPending(id(2), ts(8, 0)) // re-accept with a later timestamp
+	q.Commit(id(1), ts(5, 0))
+	got, _, ok := q.PopDeliverable()
+	if !ok || got != id(1) {
+		t.Fatalf("stale pending entry blocked delivery; got %v,%v", got, ok)
+	}
+}
+
+func TestQueueClear(t *testing.T) {
+	q := NewQueue()
+	q.SetPending(id(1), ts(1, 0))
+	q.Commit(id(2), ts(2, 0))
+	q.Clear()
+	if q.Len() != 0 {
+		t.Errorf("Len after Clear = %d", q.Len())
+	}
+	if _, _, ok := q.PopDeliverable(); ok {
+		t.Error("deliverable after Clear")
+	}
+	// Queue remains usable.
+	q.Commit(id(3), ts(3, 0))
+	if got, _, ok := q.PopDeliverable(); !ok || got != id(3) {
+		t.Errorf("queue unusable after Clear: %v %v", got, ok)
+	}
+}
+
+func TestQueueGroupTieBreak(t *testing.T) {
+	q := NewQueue()
+	// Same integer time, different groups: group order breaks the tie.
+	q.Commit(id(1), ts(4, 2))
+	q.Commit(id(2), ts(4, 1))
+	first, _, _ := q.PopDeliverable()
+	second, _, _ := q.PopDeliverable()
+	if first != id(2) || second != id(1) {
+		t.Errorf("tie-break order wrong: got %v then %v", first, second)
+	}
+}
+
+// referenceQueue is a brute-force model of the delivery rule.
+type referenceQueue struct {
+	pending map[mcast.MsgID]mcast.Timestamp
+	commit  map[mcast.MsgID]mcast.Timestamp
+}
+
+func (r *referenceQueue) popDeliverable() (mcast.MsgID, bool) {
+	var best mcast.MsgID
+	var bestTS mcast.Timestamp
+	found := false
+	for id, gts := range r.commit {
+		if !found || gts.Less(bestTS) {
+			best, bestTS, found = id, gts, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	for _, lts := range r.pending {
+		if !bestTS.Less(lts) {
+			return 0, false
+		}
+	}
+	delete(r.commit, best)
+	return best, true
+}
+
+// TestQueueMatchesReference drives Queue and the brute-force model with the
+// same random operation sequence and requires identical behaviour.
+func TestQueueMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQueue()
+		ref := &referenceQueue{
+			pending: map[mcast.MsgID]mcast.Timestamp{},
+			commit:  map[mcast.MsgID]mcast.Timestamp{},
+		}
+		nextID := uint32(0)
+		// Global timestamps are unique in the protocols (Invariant 4), so
+		// the generator must not produce duplicate GTS either: ties would
+		// make the pop order between the two implementations unspecified.
+		used := map[mcast.Timestamp]bool{}
+		uniqueTS := func() mcast.Timestamp {
+			for {
+				c := ts(uint64(rng.Intn(500))+1, mcast.GroupID(rng.Intn(3)))
+				if !used[c] {
+					used[c] = true
+					return c
+				}
+			}
+		}
+		var livePending []mcast.MsgID
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(4) {
+			case 0: // new pending
+				nextID++
+				m := id(nextID)
+				lts := ts(uint64(rng.Intn(50))+1, mcast.GroupID(rng.Intn(3)))
+				q.SetPending(m, lts)
+				ref.pending[m] = lts
+				livePending = append(livePending, m)
+			case 1: // commit a random pending message
+				if len(livePending) == 0 {
+					continue
+				}
+				i := rng.Intn(len(livePending))
+				m := livePending[i]
+				livePending = append(livePending[:i], livePending[i+1:]...)
+				if _, ok := ref.pending[m]; !ok {
+					continue
+				}
+				gts := uniqueTS()
+				q.Commit(m, gts)
+				delete(ref.pending, m)
+				ref.commit[m] = gts
+			case 2: // remove a random pending message
+				if len(livePending) == 0 {
+					continue
+				}
+				i := rng.Intn(len(livePending))
+				m := livePending[i]
+				livePending = append(livePending[:i], livePending[i+1:]...)
+				q.Remove(m)
+				delete(ref.pending, m)
+				delete(ref.commit, m)
+			case 3: // drain deliverables
+				for {
+					gotID, _, gotOK := q.PopDeliverable()
+					wantID, wantOK := ref.popDeliverable()
+					if gotOK != wantOK {
+						t.Fatalf("seed %d step %d: ok mismatch got=%v want=%v", seed, step, gotOK, wantOK)
+					}
+					if !gotOK {
+						break
+					}
+					if gotID != wantID {
+						t.Fatalf("seed %d step %d: id mismatch got=%v want=%v", seed, step, gotID, wantID)
+					}
+				}
+			}
+			if q.NumPending() != len(ref.pending) || q.NumCommitted() != len(ref.commit) {
+				t.Fatalf("seed %d step %d: size mismatch (%d,%d) vs (%d,%d)",
+					seed, step, q.NumPending(), q.NumCommitted(), len(ref.pending), len(ref.commit))
+			}
+		}
+	}
+}
+
+// TestQueueDeliversInGTSOrder commits n messages in random order with random
+// GTS and checks they drain sorted by GTS.
+func TestQueueDeliversInGTSOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewQueue()
+	type pair struct {
+		id  mcast.MsgID
+		gts mcast.Timestamp
+	}
+	var all []pair
+	for i := uint32(1); i <= 200; i++ {
+		p := pair{id(i), ts(uint64(rng.Intn(1000)), mcast.GroupID(rng.Intn(4)))}
+		// GTS must be unique system-wide; regenerate collisions.
+		dup := false
+		for _, q := range all {
+			if q.gts == p.gts {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		all = append(all, p)
+		q.Commit(p.id, p.gts)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].gts.Less(all[j].gts) })
+	for i := range all {
+		got, gts, ok := q.PopDeliverable()
+		if !ok {
+			t.Fatalf("drained early at %d", i)
+		}
+		if got != all[i].id || gts != all[i].gts {
+			t.Fatalf("position %d: got %v@%v want %v@%v", i, got, gts, all[i].id, all[i].gts)
+		}
+	}
+}
+
+func BenchmarkQueueCommitPop(b *testing.B) {
+	q := NewQueue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := mcast.MakeMsgID(1, uint32(i))
+		q.SetPending(m, ts(uint64(i)+1, 0))
+		q.Commit(m, ts(uint64(i)+2, 0))
+		q.PopDeliverable()
+	}
+}

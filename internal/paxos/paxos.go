@@ -1,0 +1,437 @@
+// Package paxos implements the per-group multi-Paxos replicated log used as
+// the black-box consensus substrate of the baseline protocols (fault-
+// tolerant Skeen [Fritzke et al.] and FastCast [Coelho et al.]), exactly the
+// strawman design the paper's white-box protocol improves on (§IV).
+//
+// Each group runs an independent instance: a leader assigns log slots and
+// drives acceptance (phase 2); a quorum of acknowledgements chooses a slot,
+// which the leader announces with Learn messages. Leader changes run phase 1
+// (P1a/P1b), adopt the highest-ballot accepted value per slot, and fill
+// holes with no-ops. Commands are applied in slot order on every replica
+// through the App callback, giving the embedding protocol a deterministic
+// replicated state machine.
+//
+// The component is not a node.Handler itself: the embedding protocol routes
+// inputs to HandleMessage/HandleTimer and uses Propose when leading.
+package paxos
+
+import (
+	"fmt"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+)
+
+// App receives chosen commands in slot order, exactly once per slot, on
+// every replica. leading reports whether this replica is currently the
+// group's leader (so the app can perform leader-only duties such as
+// inter-group messaging).
+type App interface {
+	Apply(slot uint64, cmd msgs.Command, leading bool, fx *node.Effects)
+}
+
+// Config parametrises a Replica.
+type Config struct {
+	// PID is this replica's process; it must be a member of a group.
+	PID mcast.ProcessID
+	// Top is the topology.
+	Top *mcast.Topology
+	// HeartbeatInterval enables leader heartbeats and failure detection;
+	// zero disables them (deterministic tests drive candidacy manually).
+	HeartbeatInterval time.Duration
+	// SuspectTimeout defaults to 4×HeartbeatInterval.
+	SuspectTimeout time.Duration
+	// ColdStart starts all replicas as followers with no leader; otherwise
+	// replicas boot pre-synchronised into ballot (1, first member).
+	ColdStart bool
+	// OnLead, if non-nil, is invoked when this replica completes a leader
+	// change and is ready to propose (the embedding protocol re-drives its
+	// pending work).
+	OnLead func(fx *node.Effects)
+}
+
+type entry struct {
+	vbal      mcast.Ballot
+	cmd       msgs.Command
+	committed bool
+	acks      map[mcast.ProcessID]bool
+}
+
+// Replica is one group member's Paxos state.
+type Replica struct {
+	cfg   Config
+	pid   mcast.ProcessID
+	group mcast.GroupID
+	app   App
+
+	leading    bool
+	recovering bool
+	bal        mcast.Ballot // highest ballot joined (promise)
+	cbal       mcast.Ballot // ballot of the established leader we follow
+	log        map[uint64]*entry
+	nextSlot   uint64 // leader: next free slot
+	executed   uint64 // next slot to apply
+
+	// Phase-1 bookkeeping for an in-flight candidacy.
+	p1bs map[mcast.ProcessID]msgs.P1b
+
+	hbSeen bool
+}
+
+// New constructs a Paxos replica for cfg.PID.
+func New(cfg Config, app App) (*Replica, error) {
+	if cfg.Top == nil {
+		return nil, fmt.Errorf("paxos: nil topology")
+	}
+	g := cfg.Top.GroupOf(cfg.PID)
+	if g == mcast.NoGroup {
+		return nil, fmt.Errorf("paxos: process %d is not a member of any group", cfg.PID)
+	}
+	if cfg.SuspectTimeout == 0 {
+		cfg.SuspectTimeout = 4 * cfg.HeartbeatInterval
+	}
+	r := &Replica{
+		cfg:   cfg,
+		pid:   cfg.PID,
+		group: g,
+		app:   app,
+		log:   make(map[uint64]*entry),
+		p1bs:  make(map[mcast.ProcessID]msgs.P1b),
+	}
+	if !cfg.ColdStart {
+		r.bal = cfg.Top.InitialBallot(g)
+		r.cbal = r.bal
+		r.leading = r.bal.Leader() == r.pid
+	}
+	return r, nil
+}
+
+// Leading reports whether this replica is the established leader.
+func (r *Replica) Leading() bool { return r.leading }
+
+// Ballot returns the current established ballot.
+func (r *Replica) Ballot() mcast.Ballot { return r.cbal }
+
+// Leader returns the process currently believed to lead the group.
+func (r *Replica) Leader() mcast.ProcessID { return r.cbal.Leader() }
+
+// Executed returns the number of applied log slots.
+func (r *Replica) Executed() uint64 { return r.executed }
+
+// Start arms the liveness timers; call from the embedding handler's Start.
+func (r *Replica) Start(fx *node.Effects) {
+	if r.cfg.HeartbeatInterval > 0 {
+		if r.leading {
+			r.broadcastHeartbeat(fx)
+			fx.SetTimer(r.cfg.HeartbeatInterval, node.TimerHeartbeat, r.cbal.N)
+		}
+		r.hbSeen = true
+		fx.SetTimer(r.suspectAfter(), node.TimerSuspect, 0)
+	}
+}
+
+// Propose appends cmd to the replicated log. Only the leader may call it;
+// it returns the assigned slot. The command is chosen once a quorum accepts
+// it, then applied everywhere in slot order.
+func (r *Replica) Propose(cmd msgs.Command, fx *node.Effects) (uint64, bool) {
+	if !r.leading {
+		return 0, false
+	}
+	slot := r.nextSlot
+	r.nextSlot++
+	e := &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
+	r.log[slot] = e
+	p2a := msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd}
+	for _, p := range r.cfg.Top.Members(r.group) {
+		if p != r.pid {
+			fx.Send(p, p2a)
+		}
+	}
+	r.maybeChoose(slot, fx) // singleton groups choose immediately
+	return slot, true
+}
+
+// HandleMessage consumes Paxos and election messages; it returns false for
+// messages the embedding protocol should handle itself.
+func (r *Replica) HandleMessage(from mcast.ProcessID, m msgs.Message, fx *node.Effects) bool {
+	switch m := m.(type) {
+	case msgs.P1a:
+		r.onP1a(from, m, fx)
+	case msgs.P1b:
+		r.onP1b(from, m, fx)
+	case msgs.P2a:
+		r.onP2a(from, m, fx)
+	case msgs.P2b:
+		r.onP2b(from, m, fx)
+	case msgs.Learn:
+		r.onLearn(m, fx)
+	case msgs.Heartbeat:
+		r.onHeartbeat(from, m, fx)
+	case msgs.HeartbeatAck:
+		// Watermark piggybacking is unused by the baselines.
+	default:
+		return false
+	}
+	return true
+}
+
+// HandleTimer consumes election timers; it returns false for timer kinds the
+// embedding protocol owns.
+func (r *Replica) HandleTimer(t node.Timer, fx *node.Effects) bool {
+	switch t.Kind {
+	case node.TimerHeartbeat:
+		if r.leading && r.cbal.N == t.Data {
+			r.broadcastHeartbeat(fx)
+			fx.SetTimer(r.cfg.HeartbeatInterval, node.TimerHeartbeat, t.Data)
+		}
+	case node.TimerSuspect:
+		r.onSuspectTimer(fx)
+	case node.TimerCandidacy:
+		if t.Data == 1 {
+			r.startCandidacy(fx)
+			return true
+		}
+		if r.recovering && r.bal.Leader() == r.pid {
+			r.startCandidacy(fx)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// --------------------------------------------------------------------------
+// Phase 2 (steady state)
+// --------------------------------------------------------------------------
+
+func (r *Replica) onP2a(from mcast.ProcessID, m msgs.P2a, fx *node.Effects) {
+	if m.Group != r.group || m.Bal.Less(r.bal) {
+		return
+	}
+	if r.bal.Less(m.Bal) {
+		r.bal = m.Bal
+	}
+	r.cbal = m.Bal
+	if m.Bal.Leader() != r.pid {
+		r.leading = false
+		r.recovering = false
+	}
+	e := r.log[m.Slot]
+	if e == nil || e.vbal.Less(m.Bal) {
+		if e == nil || !e.committed {
+			r.log[m.Slot] = &entry{vbal: m.Bal, cmd: m.Cmd}
+		}
+	}
+	fx.Send(from, msgs.P2b{Group: r.group, Bal: m.Bal, Slot: m.Slot})
+}
+
+func (r *Replica) onP2b(from mcast.ProcessID, m msgs.P2b, fx *node.Effects) {
+	if m.Group != r.group || !r.leading || m.Bal != r.cbal {
+		return
+	}
+	e := r.log[m.Slot]
+	if e == nil || e.committed || e.vbal != m.Bal {
+		return
+	}
+	if e.acks == nil {
+		e.acks = make(map[mcast.ProcessID]bool)
+	}
+	e.acks[from] = true
+	r.maybeChoose(m.Slot, fx)
+}
+
+func (r *Replica) maybeChoose(slot uint64, fx *node.Effects) {
+	e := r.log[slot]
+	if e == nil || e.committed || len(e.acks) < r.cfg.Top.QuorumSize(r.group) {
+		return
+	}
+	e.committed = true
+	learn := msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd}
+	for _, p := range r.cfg.Top.Members(r.group) {
+		if p != r.pid {
+			fx.Send(p, learn)
+		}
+	}
+	r.execute(fx)
+}
+
+func (r *Replica) onLearn(m msgs.Learn, fx *node.Effects) {
+	if m.Group != r.group {
+		return
+	}
+	e := r.log[m.Slot]
+	if e != nil && e.committed {
+		return
+	}
+	r.log[m.Slot] = &entry{vbal: r.cbal, cmd: m.Cmd, committed: true}
+	r.execute(fx)
+}
+
+// execute applies committed commands in slot order.
+func (r *Replica) execute(fx *node.Effects) {
+	for {
+		e := r.log[r.executed]
+		if e == nil || !e.committed {
+			return
+		}
+		slot := r.executed
+		r.executed++
+		if e.cmd.Op != msgs.CmdNoop {
+			r.app.Apply(slot, e.cmd, r.leading, fx)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Phase 1 (leader change)
+// --------------------------------------------------------------------------
+
+func (r *Replica) startCandidacy(fx *node.Effects) {
+	b := mcast.Ballot{N: r.bal.N + 1, Proc: r.pid}
+	p1a := msgs.P1a{Group: r.group, Bal: b}
+	for _, p := range r.cfg.Top.Members(r.group) {
+		fx.Send(p, p1a)
+	}
+	if r.cfg.HeartbeatInterval > 0 {
+		fx.SetTimer(2*r.suspectAfter(), node.TimerCandidacy, 0)
+	}
+}
+
+func (r *Replica) onP1a(from mcast.ProcessID, m msgs.P1a, fx *node.Effects) {
+	if m.Group != r.group || !r.bal.Less(m.Bal) {
+		return
+	}
+	r.bal = m.Bal
+	r.leading = false
+	r.recovering = true
+	clear(r.p1bs)
+	// Report accepted, uncommitted entries plus the commit frontier;
+	// committed entries are re-sent too so a lagging candidate catches up.
+	p1b := msgs.P1b{Group: r.group, Bal: m.Bal, Executed: r.executed}
+	for slot, e := range r.log {
+		p1b.Entries = append(p1b.Entries, msgs.P1bEntry{Slot: slot, VBal: e.vbal, Cmd: e.cmd})
+	}
+	fx.Send(from, p1b)
+}
+
+func (r *Replica) onP1b(from mcast.ProcessID, m msgs.P1b, fx *node.Effects) {
+	if m.Group != r.group || !r.recovering || r.bal != m.Bal || r.bal.Leader() != r.pid {
+		return
+	}
+	if r.cbal == r.bal {
+		return // already took over in this ballot
+	}
+	r.p1bs[from] = m
+	if len(r.p1bs) < r.cfg.Top.QuorumSize(r.group) {
+		return
+	}
+	// Adopt the highest-ballot value per slot; fill holes with no-ops.
+	adopted := make(map[uint64]msgs.P1bEntry)
+	var maxSlot uint64
+	have := false
+	for _, p1b := range r.p1bs {
+		for _, ent := range p1b.Entries {
+			cur, ok := adopted[ent.Slot]
+			if !ok || cur.VBal.Less(ent.VBal) {
+				adopted[ent.Slot] = ent
+			}
+			if !have || ent.Slot > maxSlot {
+				maxSlot, have = ent.Slot, true
+			}
+		}
+	}
+	r.cbal = r.bal
+	r.leading = true
+	r.recovering = false
+	end := uint64(0)
+	if have {
+		end = maxSlot + 1
+	}
+	if end < r.nextSlot {
+		end = r.nextSlot
+	}
+	r.nextSlot = end
+	// Re-propose every adopted value (and no-ops for holes) in the new
+	// ballot. Entries already committed locally keep their commands.
+	for slot := uint64(0); slot < end; slot++ {
+		e := r.log[slot]
+		if e != nil && e.committed {
+			// Re-announce so lagging replicas catch up.
+			learn := msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd}
+			for _, p := range r.cfg.Top.Members(r.group) {
+				if p != r.pid {
+					fx.Send(p, learn)
+				}
+			}
+			continue
+		}
+		cmd := msgs.Command{Op: msgs.CmdNoop}
+		if ent, ok := adopted[slot]; ok && !ent.VBal.IsZero() {
+			cmd = ent.Cmd
+		}
+		r.log[slot] = &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
+		p2a := msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd}
+		for _, p := range r.cfg.Top.Members(r.group) {
+			if p != r.pid {
+				fx.Send(p, p2a)
+			}
+		}
+		r.maybeChoose(slot, fx)
+	}
+	// Propose one no-op in a fresh slot so that every follower sees a P2a
+	// of the new ballot and adopts it, even when every recovered slot was
+	// already committed (Learn messages carry no ballot).
+	r.Propose(msgs.Command{Op: msgs.CmdNoop}, fx)
+	if r.cfg.HeartbeatInterval > 0 {
+		r.broadcastHeartbeat(fx)
+		fx.SetTimer(r.cfg.HeartbeatInterval, node.TimerHeartbeat, r.cbal.N)
+	}
+	if r.cfg.OnLead != nil {
+		r.cfg.OnLead(fx)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Failure detector
+// --------------------------------------------------------------------------
+
+func (r *Replica) broadcastHeartbeat(fx *node.Effects) {
+	hb := msgs.Heartbeat{Group: r.group, Bal: r.cbal}
+	for _, p := range r.cfg.Top.Members(r.group) {
+		if p != r.pid {
+			fx.Send(p, hb)
+		}
+	}
+}
+
+func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.Effects) {
+	if m.Group != r.group {
+		return
+	}
+	if m.Bal == r.cbal && !r.leading {
+		r.hbSeen = true
+		fx.Send(from, msgs.HeartbeatAck{Group: r.group, Bal: m.Bal})
+	}
+}
+
+func (r *Replica) onSuspectTimer(fx *node.Effects) {
+	if r.cfg.HeartbeatInterval == 0 {
+		return
+	}
+	defer fx.SetTimer(r.suspectAfter(), node.TimerSuspect, 0)
+	if r.leading {
+		return
+	}
+	if !r.recovering && r.hbSeen {
+		r.hbSeen = false
+		return
+	}
+	r.startCandidacy(fx)
+}
+
+func (r *Replica) suspectAfter() time.Duration {
+	rank := r.cfg.Top.Rank(r.pid)
+	return r.cfg.SuspectTimeout + time.Duration(rank)*r.cfg.SuspectTimeout/2
+}

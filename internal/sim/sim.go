@@ -1,0 +1,350 @@
+// Package sim is a deterministic discrete-event network simulator for the
+// protocol nodes of this repository.
+//
+// The simulator models the system of paper §II: processes connected by
+// reliable FIFO channels, with per-message network delays chosen by a
+// pluggable Latency function (at most δ after GST). Virtual time is a
+// time.Duration; local steps are instantaneous. Determinism (a seeded RNG
+// and a stable event order) makes every test reproducible, and exact latency
+// control lets tests assert the paper's latency theorems in units of δ and
+// replay the adversarial schedule of Fig. 2.
+//
+// Fault injection covers the paper's model: crash-stop process failures
+// (Crash) plus pre-GST message-delay inflation (Delay functions). Channels
+// never drop or reorder messages.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+)
+
+// Latency decides the network delay of one message. It may consult mutable
+// test state (the simulator is single-threaded) and the seeded RNG for
+// reproducible jitter. Self-sends bypass it and take zero time.
+type Latency func(from, to mcast.ProcessID, m msgs.Message, now time.Duration, rng *rand.Rand) time.Duration
+
+// Uniform returns a Latency with constant delay d on every link.
+func Uniform(d time.Duration) Latency {
+	return func(_, _ mcast.ProcessID, _ msgs.Message, _ time.Duration, _ *rand.Rand) time.Duration {
+		return d
+	}
+}
+
+// UniformJitter returns a Latency uniformly distributed in [d, d+jitter).
+func UniformJitter(d, jitter time.Duration) Latency {
+	return func(_, _ mcast.ProcessID, _ msgs.Message, _ time.Duration, rng *rand.Rand) time.Duration {
+		if jitter <= 0 {
+			return d
+		}
+		return d + time.Duration(rng.Int63n(int64(jitter)))
+	}
+}
+
+// Config parametrises a simulation.
+type Config struct {
+	// Latency decides per-message delays; nil defaults to Uniform(10ms).
+	Latency Latency
+	// Seed initialises the simulator's RNG.
+	Seed int64
+	// Trace, if non-nil, receives every event as it is processed.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent describes one processed input for debugging and audits.
+type TraceEvent struct {
+	At   time.Duration
+	Proc mcast.ProcessID
+	In   node.Input
+}
+
+// DeliveryRecord is an application-message delivery observed at a process.
+type DeliveryRecord struct {
+	Proc mcast.ProcessID
+	At   time.Duration
+	D    mcast.Delivery
+}
+
+// Sim is the simulator. Not safe for concurrent use.
+type Sim struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     time.Duration
+	seq     uint64
+	pq      eventHeap
+	nodes   map[mcast.ProcessID]node.Handler
+	crashed map[mcast.ProcessID]bool
+	// lastArrival enforces FIFO per ordered process pair: arrival times on a
+	// link never decrease, and equal-time events are dispatched in schedule
+	// (seq) order.
+	lastArrival map[linkKey]time.Duration
+
+	deliveries []DeliveryRecord
+	msgCounts  map[msgs.Kind]int
+	sent       int
+
+	// Genuineness audit (paper §II): for every application message, the set
+	// of processes that received a protocol message concerning it.
+	touched map[mcast.MsgID]map[mcast.ProcessID]bool
+	// submitted records dest(m) and the sender for every Submit.
+	submitted map[mcast.MsgID]submitRecord
+}
+
+type submitRecord struct {
+	sender mcast.ProcessID
+	dest   mcast.GroupSet
+	at     time.Duration
+}
+
+type linkKey struct{ from, to mcast.ProcessID }
+
+// New creates a simulator.
+func New(cfg Config) *Sim {
+	if cfg.Latency == nil {
+		cfg.Latency = Uniform(10 * time.Millisecond)
+	}
+	return &Sim{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		nodes:       make(map[mcast.ProcessID]node.Handler),
+		crashed:     make(map[mcast.ProcessID]bool),
+		lastArrival: make(map[linkKey]time.Duration),
+		msgCounts:   make(map[msgs.Kind]int),
+		touched:     make(map[mcast.MsgID]map[mcast.ProcessID]bool),
+		submitted:   make(map[mcast.MsgID]submitRecord),
+	}
+}
+
+// Add registers a handler and schedules its Start input at the current time.
+func (s *Sim) Add(h node.Handler) {
+	pid := h.ID()
+	if _, dup := s.nodes[pid]; dup {
+		panic(fmt.Sprintf("sim: duplicate handler for process %d", pid))
+	}
+	s.nodes[pid] = h
+	s.schedule(s.now, pid, node.Start{})
+}
+
+// Crash marks a process as crashed: it processes no further events. Crashes
+// are permanent (crash-stop model, paper §II).
+func (s *Sim) Crash(pid mcast.ProcessID) { s.crashed[pid] = true }
+
+// Crashed reports whether pid has crashed.
+func (s *Sim) Crashed(pid mcast.ProcessID) bool { return s.crashed[pid] }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// SubmitAt schedules a Submit input for the client handler at time at,
+// recording the message for the latency and genuineness audits.
+func (s *Sim) SubmitAt(at time.Duration, client mcast.ProcessID, m mcast.AppMsg) {
+	if at < s.now {
+		panic("sim: SubmitAt in the past")
+	}
+	s.NoteSubmit(at, client, m)
+	s.schedule(at, client, node.Submit{Msg: m})
+}
+
+// NoteSubmit records a submission for the latency and genuineness audits
+// without scheduling any event. Tests that inject MULTICAST traffic directly
+// (bypassing a client handler) use it to keep the audits accurate.
+func (s *Sim) NoteSubmit(at time.Duration, client mcast.ProcessID, m mcast.AppMsg) {
+	s.submitted[m.ID] = submitRecord{sender: client, dest: m.Dest.Clone(), at: at}
+}
+
+// Inject schedules an arbitrary input at time at (tests of single handlers).
+func (s *Sim) Inject(at time.Duration, pid mcast.ProcessID, in node.Input) {
+	if at < s.now {
+		panic("sim: Inject in the past")
+	}
+	s.schedule(at, pid, in)
+}
+
+// Run processes events until the queue is exhausted or virtual time would
+// exceed until. Returns the number of events processed.
+func (s *Sim) Run(until time.Duration) int {
+	n := 0
+	for s.pq.Len() > 0 {
+		ev := s.pq[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.pq)
+		s.now = ev.at
+		n++
+		s.dispatch(ev)
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunQuiescent processes events until none remain or maxTime is reached.
+// Protocols with periodic timers (heartbeats) never quiesce; use Run.
+func (s *Sim) RunQuiescent(maxTime time.Duration) int {
+	return s.Run(maxTime)
+}
+
+func (s *Sim) dispatch(ev event) {
+	if s.crashed[ev.proc] {
+		return
+	}
+	h, ok := s.nodes[ev.proc]
+	if !ok {
+		return
+	}
+	if rcv, ok := ev.in.(node.Recv); ok {
+		s.msgCounts[rcv.Msg.Kind()]++
+		if c, ok := rcv.Msg.(msgs.Concerner); ok {
+			if id, ok := c.Concerns(); ok {
+				set := s.touched[id]
+				if set == nil {
+					set = make(map[mcast.ProcessID]bool)
+					s.touched[id] = set
+				}
+				set[ev.proc] = true
+			}
+		}
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(TraceEvent{At: s.now, Proc: ev.proc, In: ev.in})
+	}
+	var fx node.Effects
+	h.Handle(ev.in, &fx)
+	s.apply(ev.proc, &fx)
+}
+
+func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
+	for _, d := range fx.Deliveries {
+		s.deliveries = append(s.deliveries, DeliveryRecord{Proc: from, At: s.now, D: d})
+	}
+	for _, tm := range fx.Timers {
+		s.schedule(s.now+tm.After, from, node.Timer{Kind: tm.Kind, Data: tm.Data})
+	}
+	for _, snd := range fx.Sends {
+		s.sent++
+		var lat time.Duration
+		if snd.To != from {
+			lat = s.cfg.Latency(from, snd.To, snd.Msg, s.now, s.rng)
+			if lat < 0 {
+				lat = 0
+			}
+		}
+		at := s.now + lat
+		// FIFO: never deliver before an earlier message on the same link.
+		lk := linkKey{from, snd.To}
+		if prev, ok := s.lastArrival[lk]; ok && at < prev {
+			at = prev
+		}
+		s.lastArrival[lk] = at
+		s.schedule(at, snd.To, node.Recv{From: from, Msg: snd.Msg})
+	}
+}
+
+func (s *Sim) schedule(at time.Duration, pid mcast.ProcessID, in node.Input) {
+	s.seq++
+	heap.Push(&s.pq, event{at: at, seq: s.seq, proc: pid, in: in})
+}
+
+// Deliveries returns all recorded deliveries in processing order.
+func (s *Sim) Deliveries() []DeliveryRecord { return s.deliveries }
+
+// DeliveriesAt returns the deliveries observed at one process, in order.
+func (s *Sim) DeliveriesAt(pid mcast.ProcessID) []DeliveryRecord {
+	var out []DeliveryRecord
+	for _, d := range s.deliveries {
+		if d.Proc == pid {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FirstDelivery returns the earliest delivery time of message id at any
+// member of group g, and false if it was never delivered there. This is the
+// paper's per-group delivery latency reference point (§II).
+func (s *Sim) FirstDelivery(top *mcast.Topology, id mcast.MsgID, g mcast.GroupID) (time.Duration, bool) {
+	best := time.Duration(-1)
+	for _, d := range s.deliveries {
+		if d.D.Msg.ID != id || top.GroupOf(d.Proc) != g {
+			continue
+		}
+		if best < 0 || d.At < best {
+			best = d.At
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// SubmitTime returns when message id was submitted.
+func (s *Sim) SubmitTime(id mcast.MsgID) (time.Duration, bool) {
+	r, ok := s.submitted[id]
+	return r.at, ok
+}
+
+// MessageCount returns how many messages of kind k were received in total.
+func (s *Sim) MessageCount(k msgs.Kind) int { return s.msgCounts[k] }
+
+// TotalSent returns the total number of protocol messages sent.
+func (s *Sim) TotalSent() int { return s.sent }
+
+// AuditGenuineness verifies the minimality property of paper §II: every
+// process that received a message concerning application message m is either
+// m's sender or a member of a destination group of m. It returns one error
+// per violation.
+func (s *Sim) AuditGenuineness(top *mcast.Topology) []error {
+	var errs []error
+	for id, procs := range s.touched {
+		rec, ok := s.submitted[id]
+		if !ok {
+			errs = append(errs, fmt.Errorf("sim: message %v was never submitted but was ordered", id))
+			continue
+		}
+		for p := range procs {
+			if p == rec.sender {
+				continue
+			}
+			if g := top.GroupOf(p); g != mcast.NoGroup && rec.dest.Contains(g) {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("sim: process %d participated in ordering %v with dest %v (genuineness violation)", p, id, rec.dest))
+		}
+	}
+	return errs
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	proc mcast.ProcessID
+	in   node.Input
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

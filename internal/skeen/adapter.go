@@ -1,0 +1,24 @@
+package skeen
+
+import (
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+)
+
+// Protocol is the harness adapter for Skeen's protocol (it satisfies
+// internal/harness.Protocol structurally).
+type Protocol struct{}
+
+// Name implements harness.Protocol.
+func (Protocol) Name() string { return "skeen" }
+
+// NewReplica implements harness.Protocol.
+func (Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error) {
+	return New(pid, top)
+}
+
+// Contacts implements harness.Protocol: each singleton group is contacted
+// directly.
+func (Protocol) Contacts(top *mcast.Topology) func(g mcast.GroupID) []mcast.ProcessID {
+	return func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) }
+}

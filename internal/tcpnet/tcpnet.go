@@ -1,0 +1,304 @@
+// Package tcpnet runs a protocol handler over TCP: length-prefixed frames
+// of wire-encoded messages, persistent outbound connections with lazy
+// dialling and reconnection, and the same serialised handler loop as the
+// in-process runtimes. It turns any node.Handler — a white-box replica, a
+// baseline replica or a client — into a network server.
+//
+// Frame format: 4-byte big-endian length, then a varint sender ProcessID,
+// then one wire-encoded message.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+	"wbcast/internal/wire"
+)
+
+// MaxFrame bounds accepted frame sizes (defensive).
+const MaxFrame = 16 << 20
+
+// Config parametrises a Node.
+type Config struct {
+	// PID is this process's ID.
+	PID mcast.ProcessID
+	// ListenAddr is the TCP address to accept peer connections on.
+	ListenAddr string
+	// Peers maps every process (replicas and clients) to its address.
+	Peers map[mcast.ProcessID]string
+	// Handler is the protocol state machine to run.
+	Handler node.Handler
+	// Logf, if non-nil, receives diagnostics (connection errors etc.).
+	Logf func(format string, args ...any)
+	// OnDeliver, if non-nil, receives the handler's application deliveries.
+	OnDeliver func(d mcast.Delivery)
+	// DialTimeout bounds outbound connection attempts (default 3s).
+	DialTimeout time.Duration
+	// MailboxSize bounds the input queue (default 4096).
+	MailboxSize int
+}
+
+// Node is a running TCP-hosted process.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	mailbox chan node.Input
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	peers map[mcast.ProcessID]*peer
+}
+
+type peer struct {
+	addr string
+	out  chan []byte
+}
+
+// Serve starts listening and processing.
+func Serve(cfg Config) (*Node, error) {
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("tcpnet: nil handler")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.MailboxSize <= 0 {
+		cfg.MailboxSize = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.ListenAddr, err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		ln:      ln,
+		mailbox: make(chan node.Input, cfg.MailboxSize),
+		quit:    make(chan struct{}),
+		peers:   make(map[mcast.ProcessID]*peer),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.mainLoop()
+	n.mailbox <- node.Start{}
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() net.Addr { return n.ln.Addr() }
+
+// Inject posts a local input (e.g. a client Submit).
+func (n *Node) Inject(in node.Input) error {
+	select {
+	case n.mailbox <- in:
+		return nil
+	case <-n.quit:
+		return fmt.Errorf("tcpnet: node closed")
+	}
+}
+
+// Close stops the node and joins its goroutines.
+func (n *Node) Close() {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+	n.ln.Close()
+	n.wg.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.quit:
+				return
+			default:
+				n.logf("tcpnet: accept: %v", err)
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	go func() { // unblock the read on shutdown
+		<-n.quit
+		conn.Close()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > MaxFrame {
+			n.logf("tcpnet: bad frame size %d from %s", size, conn.RemoteAddr())
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		from, k := binary.Varint(frame)
+		if k <= 0 {
+			n.logf("tcpnet: bad sender varint from %s", conn.RemoteAddr())
+			return
+		}
+		m, err := wire.Decode(frame[k:])
+		if err != nil {
+			n.logf("tcpnet: %v", err)
+			return
+		}
+		select {
+		case n.mailbox <- node.Recv{From: mcast.ProcessID(from), Msg: m}:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+func (n *Node) mainLoop() {
+	defer n.wg.Done()
+	var fx node.Effects
+	for {
+		select {
+		case <-n.quit:
+			return
+		case in := <-n.mailbox:
+			fx.Reset()
+			n.cfg.Handler.Handle(in, &fx)
+			n.apply(&fx)
+		}
+	}
+}
+
+func (n *Node) apply(fx *node.Effects) {
+	for _, tm := range fx.Timers {
+		in := node.Timer{Kind: tm.Kind, Data: tm.Data}
+		time.AfterFunc(tm.After, func() {
+			select {
+			case n.mailbox <- in:
+			case <-n.quit:
+			}
+		})
+	}
+	for _, snd := range fx.Sends {
+		if snd.To == n.cfg.PID {
+			// Self-send: loop back through the mailbox.
+			select {
+			case n.mailbox <- node.Recv{From: n.cfg.PID, Msg: snd.Msg}:
+			case <-n.quit:
+			}
+			continue
+		}
+		frame, err := n.encodeFrame(snd.Msg)
+		if err != nil {
+			n.logf("tcpnet: encode to %d: %v", snd.To, err)
+			continue
+		}
+		n.enqueue(snd.To, frame)
+	}
+	for _, d := range fx.Deliveries {
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(d)
+		}
+	}
+}
+
+// encodeFrame builds [len u32][sender varint][wire message].
+func (n *Node) encodeFrame(m msgs.Message) ([]byte, error) {
+	body := binary.AppendVarint(make([]byte, 0, 128), int64(n.cfg.PID))
+	body, err := wire.Encode(body, m)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// enqueue hands a frame to the destination's writer, creating it on demand.
+func (n *Node) enqueue(to mcast.ProcessID, frame []byte) {
+	n.mu.Lock()
+	p, ok := n.peers[to]
+	if !ok {
+		addr, have := n.cfg.Peers[to]
+		if !have {
+			n.mu.Unlock()
+			n.logf("tcpnet: no address for process %d", to)
+			return
+		}
+		p = &peer{addr: addr, out: make(chan []byte, 1024)}
+		n.peers[to] = p
+		n.wg.Add(1)
+		go n.writeLoop(p)
+	}
+	n.mu.Unlock()
+	select {
+	case p.out <- frame:
+	default:
+		// Never block the handler loop on a slow peer. Dropped frames are
+		// recovered by the protocols' retry machinery (the reliable-channel
+		// assumption of the model is an eventual property).
+		n.logf("tcpnet: outbound queue to %d full; dropping frame", to)
+	}
+}
+
+// writeLoop owns the outbound connection to one peer, dialling lazily and
+// reconnecting once per frame on failure.
+func (n *Node) writeLoop(p *peer) {
+	defer n.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case frame := <-p.out:
+			for attempt := 0; attempt < 2; attempt++ {
+				if conn == nil {
+					c, err := net.DialTimeout("tcp", p.addr, n.cfg.DialTimeout)
+					if err != nil {
+						n.logf("tcpnet: dial %s: %v", p.addr, err)
+						break // drop; retries re-send
+					}
+					conn = c
+				}
+				if _, err := conn.Write(frame); err != nil {
+					n.logf("tcpnet: write %s: %v", p.addr, err)
+					conn.Close()
+					conn = nil
+					continue
+				}
+				break
+			}
+		}
+	}
+}

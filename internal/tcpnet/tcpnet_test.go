@@ -1,0 +1,126 @@
+package tcpnet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wbcast/internal/client"
+	"wbcast/internal/core"
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+	"wbcast/internal/tcpnet"
+)
+
+// TestWhiteBoxOverTCP runs a full white-box cluster (2 groups × 3 replicas)
+// plus one client as seven real TCP servers on loopback, multicasts
+// messages and verifies delivery counts and per-group agreement.
+func TestWhiteBoxOverTCP(t *testing.T) {
+	top := mcast.UniformTopology(2, 3)
+	const clientPID = mcast.ProcessID(6)
+
+	// Allocate loopback addresses by starting each node on port 0 and
+	// collecting the bound addresses into the shared peer book. Peers are
+	// dialled lazily, so the book can be filled before any traffic flows.
+	peers := make(map[mcast.ProcessID]string)
+	var nodes []*tcpnet.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	delivered := make(map[mcast.ProcessID][]mcast.Delivery)
+
+	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
+		r, err := core.NewReplica(core.DefaultConfig(pid, top, 2*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pid
+		n, err := tcpnet.Serve(tcpnet.Config{
+			PID:        pid,
+			ListenAddr: "127.0.0.1:0",
+			Peers:      peers,
+			Handler:    r,
+			OnDeliver: func(d mcast.Delivery) {
+				mu.Lock()
+				delivered[p] = append(delivered[p], d)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		peers[pid] = n.Addr().String()
+	}
+
+	const numMsgs = 20
+	done := make(chan mcast.MsgID, numMsgs)
+	cl := client.New(client.Config{
+		PID: clientPID,
+		Contacts: func(g mcast.GroupID) []mcast.ProcessID {
+			return []mcast.ProcessID{top.InitialLeader(g)}
+		},
+		Retry:         300 * time.Millisecond,
+		RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
+		OnComplete:    func(id mcast.MsgID) { done <- id },
+	})
+	cn, err := tcpnet.Serve(tcpnet.Config{
+		PID:        clientPID,
+		ListenAddr: "127.0.0.1:0",
+		Peers:      peers,
+		Handler:    cl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes = append(nodes, cn)
+	peers[clientPID] = cn.Addr().String()
+
+	dests := []mcast.GroupSet{mcast.NewGroupSet(0), mcast.NewGroupSet(1), mcast.NewGroupSet(0, 1)}
+	for i := 0; i < numMsgs; i++ {
+		m := mcast.AppMsg{
+			ID:      mcast.MakeMsgID(clientPID, uint32(i+1)),
+			Dest:    dests[i%3],
+			Payload: []byte(fmt.Sprintf("tcp-%d", i)),
+		}
+		if err := cn.Inject(node.Submit{Msg: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < numMsgs; i++ {
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("timed out after %d completions", i)
+		}
+	}
+	time.Sleep(200 * time.Millisecond) // let followers drain
+
+	mu.Lock()
+	defer mu.Unlock()
+	for g := mcast.GroupID(0); g < 2; g++ {
+		members := top.Members(g)
+		ref := delivered[members[0]]
+		if len(ref) == 0 {
+			t.Fatalf("group %d leader delivered nothing", g)
+		}
+		for _, p := range members[1:] {
+			got := delivered[p]
+			if len(got) != len(ref) {
+				t.Errorf("group %d: replica %d delivered %d, leader %d", g, p, len(got), len(ref))
+				continue
+			}
+			for i := range ref {
+				if got[i].Msg.ID != ref[i].Msg.ID {
+					t.Errorf("group %d: replica %d diverges at %d", g, p, i)
+					break
+				}
+			}
+		}
+	}
+}

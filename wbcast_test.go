@@ -1,0 +1,202 @@
+package wbcast_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wbcast"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := wbcast.New(wbcast.Config{}); err == nil {
+		t.Error("zero Groups accepted")
+	}
+	if _, err := wbcast.New(wbcast.Config{Groups: 1, Replicas: 2}); err == nil {
+		t.Error("even Replicas accepted")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	var mu sync.Mutex
+	delivered := map[wbcast.ProcessID][]wbcast.Delivery{}
+	c, err := wbcast.New(wbcast.Config{
+		Groups: 2,
+		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
+			mu.Lock()
+			delivered[p] = append(delivered[p], d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.Multicast(ctx, []byte("to-both"), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Multicast(ctx, []byte("to-g0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// The synchronous Multicast already guarantees first delivery per
+	// group; give followers a beat to catch up.
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range c.GroupMembers(0) {
+		if len(delivered[p]) != 2 {
+			t.Errorf("group-0 replica %d delivered %d messages, want 2", p, len(delivered[p]))
+		}
+	}
+	for _, p := range c.GroupMembers(1) {
+		if len(delivered[p]) != 1 {
+			t.Errorf("group-1 replica %d delivered %d messages, want 1", p, len(delivered[p]))
+		}
+	}
+}
+
+func TestMulticastValidation(t *testing.T) {
+	c, err := wbcast.New(wbcast.Config{Groups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cl.Multicast(ctx, []byte("x")); err == nil {
+		t.Error("empty destination accepted")
+	}
+	if _, err := cl.Multicast(ctx, []byte("x"), 7); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	c, err := wbcast.New(wbcast.Config{Groups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash the whole group so the multicast cannot complete.
+	for _, p := range c.GroupMembers(0) {
+		c.CrashReplica(p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Multicast(ctx, []byte("x"), 0); err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	c.Close()
+}
+
+// TestAllProtocolsEndToEnd drives every protocol through the public API.
+func TestAllProtocolsEndToEnd(t *testing.T) {
+	for _, proto := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen} {
+		t.Run(proto.String(), func(t *testing.T) {
+			var mu sync.Mutex
+			count := 0
+			c, err := wbcast.New(wbcast.Config{
+				Protocol: proto,
+				Groups:   3,
+				OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cl, err := c.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			for i := 0; i < 10; i++ {
+				dest := []wbcast.GroupID{wbcast.GroupID(i % 3), wbcast.GroupID((i + 1) % 3)}
+				if _, err := cl.Multicast(ctx, []byte(fmt.Sprintf("m%d", i)), dest...); err != nil {
+					t.Fatalf("multicast %d: %v", i, err)
+				}
+			}
+			time.Sleep(100 * time.Millisecond)
+			mu.Lock()
+			defer mu.Unlock()
+			if count != 10*2*3 { // 10 messages × 2 groups × 3 replicas
+				t.Errorf("deliveries = %d, want %d", count, 60)
+			}
+		})
+	}
+}
+
+// TestFailoverThroughPublicAPI: crash a group leader mid-stream; the
+// cluster must keep accepting multicasts.
+func TestFailoverThroughPublicAPI(t *testing.T) {
+	c, err := wbcast.New(wbcast.Config{Groups: 2, Delta: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := cl.Multicast(ctx, []byte("before"), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashReplica(c.InitialLeader(0))
+	if _, err := cl.Multicast(ctx, []byte("after"), 0, 1); err != nil {
+		t.Fatalf("multicast after leader crash: %v", err)
+	}
+}
+
+// TestConcurrentClients: multiple clients hammer the cluster concurrently.
+func TestConcurrentClients(t *testing.T) {
+	c, err := wbcast.New(wbcast.Config{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*20)
+	for i := 0; i < 4; i++ {
+		cl, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cl *wbcast.Client) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for j := 0; j < 20; j++ {
+				if _, err := cl.Multicast(ctx, []byte("x"), 0, 1); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
