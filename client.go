@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/client"
 	"wbcast/internal/mcast"
 )
@@ -21,12 +22,21 @@ type Client struct {
 	waiters map[MsgID]chan struct{}
 }
 
-// NewClient attaches a new client process to the cluster.
+// NewClient attaches a new client process to the cluster. When
+// Config.Batching is set, the client's payloads are accumulated into batch
+// envelopes per destination set (internal/batch); Multicast semantics are
+// unchanged — each call completes when its payload's batch has been
+// delivered everywhere.
 func (c *Cluster) NewClient() (*Client, error) {
 	cl := &Client{c: c, waiters: make(map[MsgID]chan struct{})}
 	c.nextClient++
 	cl.pid = c.nextClient
-	h := client.New(client.Config{
+	var opts *batch.Options
+	if c.cfg.Batching != nil {
+		o := c.cfg.Batching.options()
+		opts = &o
+	}
+	h := batch.NewHandler(client.Config{
 		PID: cl.pid,
 		Contacts: func(g GroupID) []ProcessID {
 			return []ProcessID{c.top.InitialLeader(g)}
@@ -34,7 +44,7 @@ func (c *Cluster) NewClient() (*Client, error) {
 		RetryContacts: func(g GroupID) []ProcessID { return c.top.Members(g) },
 		Retry:         50 * c.cfg.Delta,
 		OnComplete:    cl.complete,
-	})
+	}, opts)
 	if err := c.net.Add(h); err != nil {
 		return nil, err
 	}

@@ -10,6 +10,14 @@
 //	    -clients 16,64,256,1024 -dest 1,2,4 \
 //	    -warmup 500ms -measure 2s
 //
+// Batching (internal/batch) is enabled with -batch-msgs / -batch-bytes /
+// -batch-delay; -outstanding sets each client's pipelining depth so the
+// accumulator has payloads to aggregate. With batching on, the tool prints
+// both msgs/sec (application throughput) and batch/sec (protocol-level
+// multicasts), whose ratio is the achieved mean batch size:
+//
+//	wbcast-bench -net lan -batch-msgs 64 -batch-delay 1ms -outstanding 256
+//
 // The paper's testbeds (CloudLab; Google Cloud across Oregon, N. Virginia
 // and England) are modelled by injected latency profiles on a single
 // machine, so absolute throughput differs from the paper while the relative
@@ -24,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/bench"
 	"wbcast/internal/harness"
 	"wbcast/internal/live"
@@ -41,8 +50,18 @@ func main() {
 		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warm-up window per point")
 		measure    = flag.Duration("measure", 2*time.Second, "measurement window per point")
 		payload    = flag.Int("payload", 20, "payload size in bytes (the paper uses 20)")
+
+		outstanding = flag.Int("outstanding", 1, "multicasts each client keeps in flight (pipelining depth)")
+		batchMsgs   = flag.Int("batch-msgs", 0, "flush a batch at this many payloads (0 disables batching unless -batch-bytes/-batch-delay set)")
+		batchBytes  = flag.Int("batch-bytes", 0, "flush a batch at this many payload bytes")
+		batchDelay  = flag.Duration("batch-delay", 0, "flush deadline for a non-empty batch")
 	)
 	flag.Parse()
+
+	var batching *batch.Options
+	if *batchMsgs > 0 || *batchBytes > 0 || *batchDelay > 0 {
+		batching = &batch.Options{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay}
+	}
 
 	var lat live.LatencyFunc
 	switch *netProfile {
@@ -68,18 +87,22 @@ func main() {
 	clientCounts := parseInts(*clients)
 	destCounts := parseDests(*dests, *groups)
 
-	fmt.Printf("# figure: %s — %d groups × %d replicas, %d-byte payloads, closed-loop clients\n",
+	fmt.Printf("# figure: %s — %d groups × %d replicas, %d-byte payloads, closed-loop clients ×%d outstanding\n",
 		map[string]string{"lan": "Fig. 7 (LAN profile)", "wan": "Fig. 8 (WAN profile)"}[*netProfile],
-		*groups, *size, *payload)
-	fmt.Printf("%-10s %5s %8s %14s %12s %12s %12s\n",
-		"protocol", "dest", "clients", "throughput", "mean_lat", "p50_lat", "p99_lat")
+		*groups, *size, *payload, *outstanding)
+	if batching != nil {
+		fmt.Printf("# batching: msgs=%d bytes=%d delay=%v\n", *batchMsgs, *batchBytes, *batchDelay)
+	}
+	fmt.Printf("%-10s %5s %8s %14s %14s %12s %12s %12s\n",
+		"protocol", "dest", "clients", "msgs/s", "batch/s", "mean_lat", "p50_lat", "p99_lat")
 	for _, d := range destCounts {
 		for _, p := range protos {
 			for _, c := range clientCounts {
 				res, err := bench.Throughput(p, bench.ThroughputConfig{
 					Groups: *groups, GroupSize: *size,
-					Clients: c, DestGroups: d,
+					Clients: c, Outstanding: *outstanding, DestGroups: d,
 					PayloadSize: *payload,
+					Batching:    batching,
 					Latency:     lat,
 					Warmup:      *warmup, Measure: *measure,
 				})
@@ -87,8 +110,8 @@ func main() {
 					fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
 					os.Exit(1)
 				}
-				fmt.Printf("%-10s %5d %8d %11.0f/s %12s %12s %12s\n",
-					p.Name(), d, c, res.Throughput,
+				fmt.Printf("%-10s %5d %8d %12.0f/s %12.0f/s %12s %12s %12s\n",
+					p.Name(), d, c, res.Throughput, res.Batches,
 					round(res.Latency.Mean), round(res.Latency.P50), round(res.Latency.P99))
 			}
 		}

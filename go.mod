@@ -1,0 +1,3 @@
+module wbcast
+
+go 1.24

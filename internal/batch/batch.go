@@ -1,0 +1,162 @@
+// Package batch implements message batching and pipelining for atomic
+// multicast: many application payloads destined for the same group set are
+// aggregated into a single protocol-level multicast (amortising the
+// fixed per-message ordering cost — timestamp proposals, ACK quorums, a
+// delivery-queue pass), and unpacked back into individual ordered
+// deliveries on the far side.
+//
+// The subsystem has three parts:
+//
+//   - Options and Client: a client-side accumulator with size-, count- and
+//     latency-bound flush triggers plus a pipelining window bounding how
+//     many batches per destination set may be in flight concurrently.
+//   - MakeBatchID/IsBatchID: a reserved slice of the per-sender MsgID
+//     sequence space that marks batch envelopes, so the delivery path can
+//     recognise them without sniffing payloads.
+//   - ExpandInto: the delivery-side unpacker used by every protocol
+//     (white-box core, FT-Skeen, FastCast, Skeen), which turns one batch
+//     delivery into per-payload deliveries sharing the batch's GTS and
+//     sub-sequenced by their position in the batch.
+//
+// Ordering: all payloads of a batch inherit the batch's global timestamp
+// and are delivered in batch order, so the per-payload total order is the
+// lexicographic (GTS, Sub) order. Because every replica decodes the same
+// batch bytes, all replicas agree on the sub-order by construction.
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+	"wbcast/internal/wire"
+)
+
+// Options bounds the accumulator's flush triggers and the pipelining
+// window. The zero value of any field selects its default; use New*Client
+// constructors or normalize to apply them.
+type Options struct {
+	// MaxMsgs flushes a batch once it holds this many payloads
+	// (default 64).
+	MaxMsgs int
+	// MaxBytes flushes a batch once its payloads total this many bytes
+	// (default 64 KiB). A single payload larger than MaxBytes still ships,
+	// as a singleton batch.
+	MaxBytes int
+	// MaxDelay bounds how long the first payload of a batch may wait
+	// before the batch is flushed regardless of size (default 1ms). It is
+	// the batching latency tax and must be positive: without it, a trickle
+	// of payloads below the size triggers would buffer forever.
+	MaxDelay time.Duration
+	// Window is the maximum number of batches in flight per destination
+	// set (default 4). When the window is full, further payloads
+	// accumulate (growing batches) until a completion frees a slot —
+	// the pipelining backpressure.
+	Window int
+}
+
+// Default flush-trigger values.
+const (
+	DefaultMaxMsgs  = 64
+	DefaultMaxBytes = 64 << 10
+	DefaultMaxDelay = time.Millisecond
+	DefaultWindow   = 4
+)
+
+// normalize fills defaulted fields.
+func (o Options) normalize() Options {
+	if o.MaxMsgs <= 0 {
+		o.MaxMsgs = DefaultMaxMsgs
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = DefaultMaxDelay
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	return o
+}
+
+// batchSeqBit marks the per-sender sequence numbers reserved for batch
+// envelopes. Payload sequence numbers are allocated from 1 upwards by
+// clients and never reach it in any realistic run (2^31 submissions from
+// one process).
+const batchSeqBit uint32 = 1 << 31
+
+// MakeBatchID packs a batch envelope ID for the given sender. The sender
+// must be the batching client's own process ID: replicas send the
+// per-group ClientReply for a batch to ID.Sender().
+func MakeBatchID(sender mcast.ProcessID, seq uint32) mcast.MsgID {
+	return mcast.MakeMsgID(sender, seq|batchSeqBit)
+}
+
+// IsBatchID reports whether id identifies a batch envelope rather than an
+// individual application message.
+func IsBatchID(id mcast.MsgID) bool { return id.Seq()&batchSeqBit != 0 }
+
+// EncodePayload serialises the entries into the opaque AppMsg payload of a
+// batch envelope, using the wire encoding of msgs.Batch.
+func EncodePayload(entries []msgs.BatchEntry) []byte {
+	buf, err := wire.Encode(nil, msgs.Batch{Entries: entries})
+	if err != nil {
+		// wire.Encode cannot fail for msgs.Batch; keep the invariant loud.
+		panic("batch: encode: " + err.Error())
+	}
+	return buf
+}
+
+// DecodePayload parses a batch envelope payload produced by EncodePayload.
+func DecodePayload(payload []byte) ([]msgs.BatchEntry, error) {
+	m, err := wire.Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := m.(msgs.Batch)
+	if !ok {
+		return nil, fmt.Errorf("batch: payload decodes to %v, not BATCH", m.Kind())
+	}
+	return b.Entries, nil
+}
+
+// ExpandInto appends d to fx, unpacking it first if it is a batch
+// delivery: each payload becomes its own delivery carrying the original
+// submission's message ID, the batch's destination set and global
+// timestamp, and its position in the batch as the sub-sequence number.
+// Protocol delivery paths call this instead of fx.Deliver, which keeps
+// batched and unbatched deployments — and all protocol baselines —
+// observationally identical at the application boundary.
+func ExpandInto(fx *node.Effects, d mcast.Delivery) {
+	if !IsBatchID(d.Msg.ID) {
+		fx.Deliver(d)
+		return
+	}
+	entries, err := DecodePayload(d.Msg.Payload)
+	if err != nil {
+		// A batch envelope this replica committed but cannot decode is a
+		// programming error on the encode side; surface the raw delivery
+		// rather than silently dropping payloads.
+		fx.Deliver(d)
+		return
+	}
+	for i, e := range entries {
+		fx.Deliver(mcast.Delivery{
+			Msg: mcast.AppMsg{ID: e.ID, Dest: d.Msg.Dest, Payload: e.Payload},
+			GTS: d.GTS,
+			Sub: i,
+		})
+	}
+}
+
+// Expand returns the per-payload deliveries of d (see ExpandInto), or d
+// itself when it is not a batch. Runtimes that post-process delivery
+// callbacks (e.g. tcpnet) use it.
+func Expand(d mcast.Delivery) []mcast.Delivery {
+	var fx node.Effects
+	ExpandInto(&fx, d)
+	return fx.Deliveries
+}

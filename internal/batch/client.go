@@ -1,0 +1,289 @@
+package batch
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+
+	"wbcast/internal/client"
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/node"
+)
+
+// Client is a batching, pipelining multicast client: a node.Handler that
+// accumulates submitted payloads per destination set, flushes them as
+// batch envelopes through an embedded protocol client (client.Client), and
+// reports completion per payload. It is a drop-in replacement for
+// client.Client wherever a runtime hosts one.
+type Client struct {
+	pid  mcast.ProcessID
+	opts Options
+	// onComplete is invoked once per payload, in batch order, when the
+	// batch carrying it has been delivered by every destination group.
+	onComplete func(id mcast.MsgID)
+
+	inner *client.Client
+
+	buckets  map[string]*bucket
+	byToken  []*bucket
+	flights  map[mcast.MsgID]*flight
+	batchSeq uint32
+
+	buffered  int // payloads currently accumulated across buckets
+	completed int // payloads completed
+
+	// batchesSent is read concurrently by benchmark reporters.
+	batchesSent atomic.Int64
+
+	// curFX holds the Effects sink of the Handle call in progress, so the
+	// inner client's OnComplete callback (which fires during inner.Handle)
+	// can emit follow-up flushes. Handlers are never called concurrently.
+	curFX *node.Effects
+}
+
+// bucket accumulates payloads for one destination set.
+type bucket struct {
+	token uint32
+	dest  mcast.GroupSet
+	// entries/bytes are the accumulated, not-yet-flushed payloads.
+	entries []msgs.BatchEntry
+	bytes   int
+	// inflight counts unfinished batch envelopes for this destination set
+	// (the pipelining window occupancy).
+	inflight int
+	// pending records that a flush trigger fired while the window was
+	// full: everything buffered is due and ships as completions free
+	// window slots.
+	pending bool
+	// timerArmed tracks whether a MaxDelay flush timer is outstanding.
+	timerArmed bool
+}
+
+// flight is one batch envelope in flight.
+type flight struct {
+	b   *bucket
+	ids []mcast.MsgID
+}
+
+// Config parametrises New.
+type Config struct {
+	// PID is the client's process ID (must not collide with replicas).
+	PID mcast.ProcessID
+	// Contacts supplies the MULTICAST targets per group for batch
+	// envelopes (see client.Config.Contacts).
+	Contacts client.Contacts
+	// RetryContacts optionally widens re-send targets (see
+	// client.Config.RetryContacts).
+	RetryContacts client.Contacts
+	// Retry is the envelope re-send interval; zero disables retries.
+	Retry time.Duration
+	// OnComplete, if non-nil, is invoked once per payload — in batch
+	// order — when every destination group has delivered the batch
+	// carrying it.
+	OnComplete func(id mcast.MsgID)
+	// Options are the flush triggers and pipelining window.
+	Options Options
+}
+
+// NewHandler builds the client handler for a runtime: a batching Client
+// when opts is non-nil, a plain protocol client otherwise. It is the one
+// construction point shared by the public API, the test harness and the
+// benchmarks, so batched and unbatched deployments stay field-for-field
+// identical apart from the accumulator.
+func NewHandler(cfg client.Config, opts *Options) node.Handler {
+	if opts == nil {
+		return client.New(cfg)
+	}
+	return New(Config{
+		PID:           cfg.PID,
+		Contacts:      cfg.Contacts,
+		RetryContacts: cfg.RetryContacts,
+		Retry:         cfg.Retry,
+		OnComplete:    cfg.OnComplete,
+		Options:       *opts,
+	})
+}
+
+// New builds a batching client.
+func New(cfg Config) *Client {
+	c := &Client{
+		pid:        cfg.PID,
+		opts:       cfg.Options.normalize(),
+		onComplete: cfg.OnComplete,
+		buckets:    make(map[string]*bucket),
+		flights:    make(map[mcast.MsgID]*flight),
+	}
+	c.inner = client.New(client.Config{
+		PID:           cfg.PID,
+		Contacts:      cfg.Contacts,
+		RetryContacts: cfg.RetryContacts,
+		Retry:         cfg.Retry,
+		OnComplete:    c.onBatchDone,
+	})
+	return c
+}
+
+// ID implements node.Handler.
+func (c *Client) ID() mcast.ProcessID { return c.pid }
+
+// Buffered returns the number of payloads accumulated but not yet flushed.
+func (c *Client) Buffered() int { return c.buffered }
+
+// Completed returns the number of payloads whose batch has completed.
+func (c *Client) Completed() int { return c.completed }
+
+// InflightBatches returns the number of batch envelopes awaiting replies.
+func (c *Client) InflightBatches() int { return c.inner.Inflight() }
+
+// BatchesSent returns how many batch envelopes have been flushed. It is
+// safe to call concurrently with the handler (benchmark reporters sample
+// it from other goroutines).
+func (c *Client) BatchesSent() int64 { return c.batchesSent.Load() }
+
+// Handle implements node.Handler: Submits are accumulated, TimerBatch
+// expiries flush, and everything else (replies, retry timers, Start) is
+// forwarded to the embedded protocol client.
+func (c *Client) Handle(in node.Input, fx *node.Effects) {
+	c.curFX = fx
+	defer func() { c.curFX = nil }()
+	switch in := in.(type) {
+	case node.Submit:
+		c.submit(in.Msg, fx)
+	case node.Timer:
+		if in.Kind == node.TimerBatch {
+			c.onFlushTimer(in.Data, fx)
+			return
+		}
+		c.inner.Handle(in, fx)
+	default:
+		c.inner.Handle(in, fx)
+	}
+}
+
+// submit accumulates one payload and fires any size/count flush trigger.
+func (c *Client) submit(m mcast.AppMsg, fx *node.Effects) {
+	b := c.bucket(m.Dest)
+	payload := make([]byte, len(m.Payload))
+	copy(payload, m.Payload)
+	b.entries = append(b.entries, msgs.BatchEntry{ID: m.ID, Payload: payload})
+	b.bytes += len(payload)
+	c.buffered++
+	c.drain(b, fx)
+	if len(b.entries) > 0 && !b.timerArmed {
+		fx.SetTimer(c.opts.MaxDelay, node.TimerBatch, uint64(b.token))
+		b.timerArmed = true
+	}
+}
+
+// onFlushTimer handles a MaxDelay expiry: everything buffered for the
+// bucket is now due, regardless of size.
+func (c *Client) onFlushTimer(token uint64, fx *node.Effects) {
+	if token >= uint64(len(c.byToken)) {
+		return
+	}
+	b := c.byToken[token]
+	b.timerArmed = false
+	if len(b.entries) == 0 {
+		return
+	}
+	b.pending = true
+	c.drain(b, fx)
+	if len(b.entries) > 0 && !b.timerArmed {
+		// Window full: leftovers ship on completions (pending is set), but
+		// re-arm so a lost reply cannot strand them without a deadline.
+		fx.SetTimer(c.opts.MaxDelay, node.TimerBatch, uint64(b.token))
+		b.timerArmed = true
+	}
+}
+
+// drain flushes batches while a flush is due and the pipelining window has
+// room. A flush is due when the bucket is pending (deadline passed) or the
+// accumulated payloads reach a size trigger.
+func (c *Client) drain(b *bucket, fx *node.Effects) {
+	for len(b.entries) > 0 && b.inflight < c.opts.Window {
+		if !b.pending && len(b.entries) < c.opts.MaxMsgs && b.bytes < c.opts.MaxBytes {
+			return
+		}
+		c.flushOne(b, fx)
+	}
+	if len(b.entries) == 0 {
+		b.pending = false
+	}
+}
+
+// flushOne ships the oldest payloads of b as one batch envelope: entries
+// are taken until the batch reaches MaxMsgs payloads or MaxBytes bytes
+// (the bytes bound may overshoot by the final payload, mirroring the
+// trigger in drain — a lone payload above MaxBytes still ships).
+func (c *Client) flushOne(b *bucket, fx *node.Effects) {
+	n, size := 0, 0
+	for n < len(b.entries) && n < c.opts.MaxMsgs && size < c.opts.MaxBytes {
+		size += len(b.entries[n].Payload)
+		n++
+	}
+	entries := b.entries[:n:n]
+	rest := make([]msgs.BatchEntry, len(b.entries)-n)
+	copy(rest, b.entries[n:])
+	b.entries = rest
+	b.bytes -= size
+	c.buffered -= n
+
+	c.batchSeq++
+	id := MakeBatchID(c.pid, c.batchSeq)
+	ids := make([]mcast.MsgID, n)
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	c.flights[id] = &flight{b: b, ids: ids}
+	b.inflight++
+	if len(b.entries) == 0 {
+		b.pending = false
+	}
+	c.batchesSent.Add(1)
+	env := mcast.AppMsg{ID: id, Dest: b.dest.Clone(), Payload: EncodePayload(entries)}
+	c.inner.Handle(node.Submit{Msg: env}, fx)
+}
+
+// onBatchDone is the embedded client's completion callback: every
+// destination group has delivered the batch envelope. It fires during
+// c.inner.Handle, so c.curFX is the live Effects sink.
+func (c *Client) onBatchDone(id mcast.MsgID) {
+	fl, ok := c.flights[id]
+	if !ok {
+		return
+	}
+	delete(c.flights, id)
+	fl.b.inflight--
+	c.completed += len(fl.ids)
+	if c.onComplete != nil {
+		for _, pid := range fl.ids {
+			c.onComplete(pid)
+		}
+	}
+	// A window slot is free: ship whatever is due.
+	c.drain(fl.b, c.curFX)
+}
+
+// bucket returns (creating on demand) the accumulator for dest.
+func (c *Client) bucket(dest mcast.GroupSet) *bucket {
+	key := destKey(dest)
+	b, ok := c.buckets[key]
+	if !ok {
+		b = &bucket{token: uint32(len(c.byToken)), dest: dest.Clone()}
+		c.buckets[key] = b
+		c.byToken = append(c.byToken, b)
+	}
+	return b
+}
+
+// destKey builds a compact map key for a normalised destination set.
+func destKey(dest mcast.GroupSet) string {
+	buf := make([]byte, 0, 4*len(dest))
+	for _, g := range dest {
+		buf = binary.AppendVarint(buf, int64(g))
+	}
+	return string(buf)
+}
+
+var _ node.Handler = (*Client)(nil)

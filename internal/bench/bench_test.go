@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/bench"
 	"wbcast/internal/live"
 )
@@ -101,5 +102,76 @@ func TestThroughputSmoke(t *testing.T) {
 			t.Errorf("%s: mean latency = %v", p.Name(), res.Latency.Mean)
 		}
 		t.Logf("%s: %.0f msg/s, mean %v, p99 %v", p.Name(), res.Throughput, res.Latency.Mean, res.Latency.P99)
+	}
+}
+
+// TestBatchingThroughputGain is the batching acceptance benchmark: with
+// MaxMsgs=64 batches, the white-box protocol on the in-process harness
+// must sustain at least 2× the msgs/sec of the identically loaded
+// unbatched configuration (the achieved ratio is far larger — batching
+// divides the per-message ordering cost by the mean batch size).
+func TestBatchingThroughputGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark")
+	}
+	p, err := bench.ProtocolByName("wbcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bench.ThroughputConfig{
+		Groups: 2, GroupSize: 3, Clients: 4, DestGroups: 2,
+		Outstanding: 256,
+		Warmup:      200 * time.Millisecond,
+		Measure:     500 * time.Millisecond,
+	}
+	plainCfg := base
+	plain, err := bench.Throughput(p, plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedCfg := base
+	batchedCfg.Batching = &batch.Options{MaxMsgs: 64, MaxDelay: 200 * time.Microsecond}
+	batched, err := bench.Throughput(p, batchedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unbatched: %.0f msg/s (%.0f batch/s); batched: %.0f msg/s (%.0f batch/s, mean batch %.1f)",
+		plain.Throughput, plain.Batches, batched.Throughput, batched.Batches,
+		batched.Throughput/batched.Batches)
+	if plain.Throughput <= 0 || batched.Throughput <= 0 {
+		t.Fatalf("degenerate throughput: plain %v, batched %v", plain.Throughput, batched.Throughput)
+	}
+	if batched.Throughput < 2*plain.Throughput {
+		t.Errorf("batched throughput %.0f msg/s < 2× unbatched %.0f msg/s", batched.Throughput, plain.Throughput)
+	}
+	// The protocol must have ordered fewer multicasts than payloads:
+	// amortisation is the mechanism of the gain.
+	if batched.Batches <= 0 || batched.Throughput/batched.Batches < 2 {
+		t.Errorf("mean batch size %.2f < 2 — batching did not aggregate", batched.Throughput/batched.Batches)
+	}
+}
+
+// TestThroughputOutstanding checks the pipelining generalisation alone:
+// Outstanding > 1 must not break the measurement plumbing.
+func TestThroughputOutstanding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark")
+	}
+	p, _ := bench.ProtocolByName("wbcast")
+	res, err := bench.Throughput(p, bench.ThroughputConfig{
+		Groups: 2, GroupSize: 3, Clients: 2, DestGroups: 1,
+		Outstanding: 8,
+		Latency:     live.LAN(),
+		Warmup:      100 * time.Millisecond,
+		Measure:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+	if res.Batches != res.Throughput {
+		t.Errorf("unbatched Batches %.0f != Throughput %.0f", res.Batches, res.Throughput)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/client"
 	"wbcast/internal/harness"
 	"wbcast/internal/live"
@@ -23,11 +24,19 @@ type ThroughputConfig struct {
 	GroupSize int
 	// Clients is the number of closed-loop clients.
 	Clients int
+	// Outstanding is the number of multicasts each client keeps in flight
+	// (its pipelining depth). Default 1, the paper's strict closed loop.
+	// Batching only pays off with Outstanding > 1: a client with a single
+	// outstanding payload never has anything to aggregate.
+	Outstanding int
 	// DestGroups is the number of destination groups per message (the
 	// per-panel parameter of Figs. 7–8).
 	DestGroups int
 	// PayloadSize is the message payload (the paper uses 20 bytes).
 	PayloadSize int
+	// Batching, when non-nil, batches client payloads into protocol-level
+	// envelopes (internal/batch). Zero-valued fields take their defaults.
+	Batching *batch.Options
 	// Latency is the injected network profile (live.LAN(), live.WAN(...)).
 	Latency live.LatencyFunc
 	// Warmup and Measure are the warm-up and measurement windows.
@@ -39,16 +48,38 @@ type ThroughputConfig struct {
 
 // ThroughputResult is one measured point.
 type ThroughputResult struct {
-	Config     ThroughputConfig
-	Protocol   string
-	Throughput float64 // completed multicasts per second
-	Latency    LatencyStats
+	Config   ThroughputConfig
+	Protocol string
+	// Throughput is completed application multicasts (payloads) per
+	// second — msgs/sec.
+	Throughput float64
+	// Batches is protocol-level multicasts per second: the rate the
+	// ordering protocol actually sustained. Without batching it equals
+	// Throughput; with batching, Throughput/Batches is the achieved mean
+	// batch size.
+	Batches float64
+	Latency LatencyStats
 }
 
-// Throughput runs a closed-loop benchmark: each client multicasts a message
-// to DestGroups random groups, waits for delivery replies from every
-// destination group, and immediately submits the next message — the
-// evaluation methodology of the paper (§VI, following Coelho et al.).
+// clientProbe is the per-client measurement state shared between the
+// submitter goroutine and the client handler's completion callback.
+type clientProbe struct {
+	sem chan struct{} // occupied slots of the pipelining window
+
+	mu                sync.Mutex
+	t0                map[uint32]time.Time // submit time per in-flight seq
+	samples           []time.Duration
+	completedInWindow int64
+
+	batcher *batch.Client // nil when batching is off
+}
+
+// Throughput runs a closed-loop benchmark: each client keeps Outstanding
+// multicasts in flight to DestGroups random groups, submitting a new
+// message whenever a completion (delivery replies from every destination
+// group) frees a window slot — the evaluation methodology of the paper
+// (§VI, following Coelho et al.), generalised with client pipelining and
+// optional batching.
 func Throughput(p harness.Protocol, cfg ThroughputConfig) (ThroughputResult, error) {
 	if cfg.Groups <= 0 || cfg.GroupSize <= 0 || cfg.Clients <= 0 {
 		return ThroughputResult{}, fmt.Errorf("bench: invalid topology/client config")
@@ -58,6 +89,9 @@ func Throughput(p harness.Protocol, cfg ThroughputConfig) (ThroughputResult, err
 	}
 	if cfg.PayloadSize <= 0 {
 		cfg.PayloadSize = 20
+	}
+	if cfg.Outstanding <= 0 {
+		cfg.Outstanding = 1
 	}
 	if cfg.Warmup <= 0 {
 		cfg.Warmup = 500 * time.Millisecond
@@ -77,18 +111,42 @@ func Throughput(p harness.Protocol, cfg ThroughputConfig) (ThroughputResult, err
 		}
 	}
 	contacts := p.Contacts(top)
-	type done struct{}
-	doneCh := make([]chan done, cfg.Clients)
+	blanket := func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) }
+
+	// measureFrom/deadline are written before the first Submit and only
+	// read from callbacks that are downstream of a Submit, so the channel
+	// send of Submit orders the accesses.
+	var measureFrom, deadline time.Time
+	probes := make([]*clientProbe, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
-		doneCh[i] = make(chan done, 1)
-		ch := doneCh[i]
-		cl := client.New(client.Config{
+		probe := &clientProbe{
+			sem: make(chan struct{}, cfg.Outstanding),
+			t0:  make(map[uint32]time.Time),
+		}
+		probes[i] = probe
+		onComplete := func(id mcast.MsgID) {
+			t1 := time.Now()
+			probe.mu.Lock()
+			if t0, ok := probe.t0[id.Seq()]; ok {
+				delete(probe.t0, id.Seq())
+				if t1.After(measureFrom) && t1.Before(deadline) {
+					probe.samples = append(probe.samples, t1.Sub(t0))
+					probe.completedInWindow++
+				}
+			}
+			probe.mu.Unlock()
+			<-probe.sem
+		}
+		cl := batch.NewHandler(client.Config{
 			PID:           harness.ClientPID(top, i),
 			Contacts:      contacts,
 			Retry:         5 * time.Second, // safety net; unused without faults
-			RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
-			OnComplete:    func(mcast.MsgID) { ch <- done{} },
-		})
+			RetryContacts: blanket,
+			OnComplete:    onComplete,
+		}, cfg.Batching)
+		if bc, ok := cl.(*batch.Client); ok {
+			probe.batcher = bc // sampled for the batch/s report
+		}
 		if err := net.Add(cl); err != nil {
 			return ThroughputResult{}, err
 		}
@@ -99,21 +157,21 @@ func Throughput(p harness.Protocol, cfg ThroughputConfig) (ThroughputResult, err
 	defer net.Close()
 
 	start := time.Now()
-	measureFrom := start.Add(cfg.Warmup)
-	deadline := measureFrom.Add(cfg.Measure)
+	measureFrom = start.Add(cfg.Warmup)
+	deadline = measureFrom.Add(cfg.Measure)
 
 	var wg sync.WaitGroup
-	samples := make([][]time.Duration, cfg.Clients)
-	completedInWindow := make([]int64, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			probe := probes[i]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
 			pid := harness.ClientPID(top, i)
 			payload := make([]byte, cfg.PayloadSize)
 			var seq uint32
 			for time.Now().Before(deadline) {
+				probe.sem <- struct{}{} // wait for a window slot
 				seq++
 				perm := rng.Perm(cfg.Groups)[:cfg.DestGroups]
 				gs := make([]mcast.GroupID, cfg.DestGroups)
@@ -125,33 +183,53 @@ func Throughput(p harness.Protocol, cfg ThroughputConfig) (ThroughputResult, err
 					Dest:    mcast.NewGroupSet(gs...),
 					Payload: payload,
 				}
-				t0 := time.Now()
+				probe.mu.Lock()
+				probe.t0[seq] = time.Now()
+				probe.mu.Unlock()
 				if err := net.Submit(pid, m); err != nil {
+					<-probe.sem
 					return
-				}
-				<-doneCh[i]
-				t1 := time.Now()
-				if t1.After(measureFrom) && t1.Before(deadline) {
-					samples[i] = append(samples[i], t1.Sub(t0))
-					completedInWindow[i]++
 				}
 			}
 		}(i)
 	}
+
+	// Sample the protocol-level batch counters at the window edges.
+	batchCount := func() int64 {
+		var n int64
+		for _, probe := range probes {
+			if probe.batcher != nil {
+				n += probe.batcher.BatchesSent()
+			}
+		}
+		return n
+	}
+	time.Sleep(time.Until(measureFrom))
+	batchesAtWarmup := batchCount()
+	time.Sleep(time.Until(deadline))
+	batchesAtDeadline := batchCount()
 	wg.Wait()
 
 	var all []time.Duration
 	var completed int64
-	for i := range samples {
-		all = append(all, samples[i]...)
-		completed += completedInWindow[i]
+	for _, probe := range probes {
+		probe.mu.Lock()
+		all = append(all, probe.samples...)
+		completed += probe.completedInWindow
+		probe.mu.Unlock()
 	}
-	return ThroughputResult{
+	res := ThroughputResult{
 		Config:     cfg,
 		Protocol:   p.Name(),
 		Throughput: float64(completed) / cfg.Measure.Seconds(),
 		Latency:    Summarise(all),
-	}, nil
+	}
+	if cfg.Batching != nil {
+		res.Batches = float64(batchesAtDeadline-batchesAtWarmup) / cfg.Measure.Seconds()
+	} else {
+		res.Batches = res.Throughput
+	}
+	return res, nil
 }
 
 // RunN drives exactly n closed-loop multicasts through a live cluster and

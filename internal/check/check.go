@@ -69,8 +69,12 @@ type Config struct {
 	// must be delivered everywhere it is addressed.
 	AtQuiescence bool
 	// CheckGTS enables the timestamp checks: deliveries at each process are
-	// in strictly increasing GTS order; all processes agree on each
-	// message's GTS; distinct messages have distinct GTS.
+	// in strictly increasing (GTS, Sub) order; all processes agree on each
+	// message's (GTS, Sub); distinct messages have distinct (GTS, Sub).
+	// The Sub component sub-sequences payloads that were ordered as one
+	// protocol-level batch and therefore share a GTS (internal/batch);
+	// unbatched histories have Sub ≡ 0, reducing these to the paper's pure
+	// GTS invariants.
 	CheckGTS bool
 }
 
@@ -176,29 +180,37 @@ func (h *History) checkOrdering() []error {
 	return errs
 }
 
-// checkGTS verifies the timestamp-facing guarantees.
+// checkGTS verifies the timestamp-facing guarantees over the (GTS, Sub)
+// pairs that order per-payload deliveries.
 func (h *History) checkGTS() []error {
+	type stamp struct {
+		gts mcast.Timestamp
+		sub int
+	}
 	var errs []error
-	gtsOf := make(map[mcast.MsgID]mcast.Timestamp)
-	tsUsed := make(map[mcast.Timestamp]mcast.MsgID)
+	gtsOf := make(map[mcast.MsgID]stamp)
+	tsUsed := make(map[stamp]mcast.MsgID)
 	for _, p := range h.procs {
-		prev := mcast.Timestamp{}
+		var prev mcast.Delivery
 		first := true
 		for _, d := range h.deliveries[p] {
-			if !first && !prev.Less(d.GTS) {
-				errs = append(errs, fmt.Errorf("gts: p%d delivered %v with GTS %v not above previous %v", p, d.Msg.ID, d.GTS, prev))
+			if !first && !prev.Before(d) {
+				errs = append(errs, fmt.Errorf("gts: p%d delivered %v with (GTS,sub) (%v,%d) not above previous (%v,%d)",
+					p, d.Msg.ID, d.GTS, d.Sub, prev.GTS, prev.Sub))
 			}
-			prev, first = d.GTS, false
+			prev, first = d, false
+			st := stamp{gts: d.GTS, sub: d.Sub}
 			if want, ok := gtsOf[d.Msg.ID]; ok {
-				if want != d.GTS {
-					errs = append(errs, fmt.Errorf("gts: %v has GTS %v at p%d but %v elsewhere (Invariant 3b)", d.Msg.ID, d.GTS, p, want))
+				if want != st {
+					errs = append(errs, fmt.Errorf("gts: %v has (GTS,sub) (%v,%d) at p%d but (%v,%d) elsewhere (Invariant 3b)",
+						d.Msg.ID, d.GTS, d.Sub, p, want.gts, want.sub))
 				}
 			} else {
-				gtsOf[d.Msg.ID] = d.GTS
-				if other, clash := tsUsed[d.GTS]; clash && other != d.Msg.ID {
-					errs = append(errs, fmt.Errorf("gts: %v and %v share GTS %v (Invariant 4)", d.Msg.ID, other, d.GTS))
+				gtsOf[d.Msg.ID] = st
+				if other, clash := tsUsed[st]; clash && other != d.Msg.ID {
+					errs = append(errs, fmt.Errorf("gts: %v and %v share (GTS,sub) (%v,%d) (Invariant 4)", d.Msg.ID, other, d.GTS, d.Sub))
 				}
-				tsUsed[d.GTS] = d.Msg.ID
+				tsUsed[st] = d.Msg.ID
 			}
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
@@ -483,7 +484,8 @@ func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
 	r.maxDeliveredGTS = d.GTS // line 30
 	st.delivered = true
 	r.queue.Remove(d.ID)
-	fx.Deliver(mcast.Delivery{Msg: st.app, GTS: d.GTS}) // line 31
+	// line 31, unpacking batch envelopes into per-payload deliveries.
+	batch.ExpandInto(fx, mcast.Delivery{Msg: st.app, GTS: d.GTS})
 	fx.Send(d.ID.Sender(), msgs.ClientReply{ID: d.ID, Group: r.group})
 }
 

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
@@ -365,7 +366,7 @@ func (r *Replica) drain(fx *node.Effects) {
 
 func (r *Replica) deliver(d mcast.Delivery, fx *node.Effects) {
 	r.maxDelivered = d.GTS
-	fx.Deliver(d)
+	batch.ExpandInto(fx, d)
 	fx.Send(d.Msg.ID.Sender(), msgs.ClientReply{ID: d.Msg.ID, Group: r.group})
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
@@ -188,7 +189,7 @@ func (r *Replica) drain(fx *node.Effects) {
 		if !ok {
 			return
 		}
-		fx.Deliver(d)
+		batch.ExpandInto(fx, d)
 		fx.Send(d.Msg.ID.Sender(), msgs.ClientReply{ID: d.Msg.ID, Group: r.group})
 	}
 }

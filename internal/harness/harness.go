@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/check"
 	"wbcast/internal/client"
 	"wbcast/internal/mcast"
@@ -41,16 +42,23 @@ type Options struct {
 	Seed    int64
 	// Retry is the client re-multicast interval; zero disables retries.
 	Retry time.Duration
+	// Batching, when non-nil, replaces the plain protocol clients with
+	// batching clients (internal/batch): submissions are aggregated into
+	// batch envelopes per destination set and unpacked into per-payload
+	// deliveries at the replicas. Zero-valued fields take their defaults.
+	Batching *batch.Options
 	// Trace is forwarded to the simulator.
 	Trace func(sim.TraceEvent)
 }
 
 // Cluster is a simulated deployment of one protocol.
 type Cluster struct {
-	Proto    Protocol
-	Sim      *sim.Sim
-	Top      *mcast.Topology
-	Clients  []*client.Client
+	Proto Protocol
+	Sim   *sim.Sim
+	Top   *mcast.Topology
+	// Clients holds the client handlers: *client.Client, or *batch.Client
+	// when Options.Batching is set.
+	Clients  []node.Handler
 	Replicas map[mcast.ProcessID]node.Handler
 
 	hist      *check.History
@@ -94,18 +102,19 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 	}
 	contacts := p.Contacts(top)
 	blanket := func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) }
+	complete := func(id mcast.MsgID) {
+		if c.onComplete != nil {
+			c.onComplete(id)
+		}
+	}
 	for i := 0; i < opts.NumClients; i++ {
-		cl := client.New(client.Config{
+		cl := batch.NewHandler(client.Config{
 			PID:           ClientPID(top, i),
 			Contacts:      contacts,
 			Retry:         opts.Retry,
 			RetryContacts: blanket,
-			OnComplete: func(id mcast.MsgID) {
-				if c.onComplete != nil {
-					c.onComplete(id)
-				}
-			},
-		})
+			OnComplete:    complete,
+		}, opts.Batching)
 		c.Clients = append(c.Clients, cl)
 		s.Add(cl)
 	}

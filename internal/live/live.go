@@ -29,7 +29,12 @@ type LatencyFunc func(from, to mcast.ProcessID) time.Duration
 type Config struct {
 	// Latency is the injected one-way delay; nil means no injection.
 	Latency LatencyFunc
-	// MailboxSize bounds each process's input queue (default 4096).
+	// MailboxSize is the initial capacity of each process's input queue.
+	// Queues grow elastically (senders never block), so this is a
+	// pre-allocation hint, not a bound: in-flight load is limited by the
+	// closed-loop pacing of the submitters, and elastic queues make the
+	// blocking-channel deadlock (a cycle of processes stalled on each
+	// other's full mailboxes) impossible by construction.
 	MailboxSize int
 	// OnDeliver receives every application delivery; it is invoked from
 	// the delivering process's goroutine and must not block for long.
@@ -50,7 +55,7 @@ type Network struct {
 // New creates an empty network.
 func New(cfg Config) *Network {
 	if cfg.MailboxSize <= 0 {
-		cfg.MailboxSize = 4096
+		cfg.MailboxSize = 64
 	}
 	return &Network{cfg: cfg, procs: make(map[mcast.ProcessID]*proc)}
 }
@@ -65,11 +70,30 @@ type proc struct {
 	net     *Network
 	pid     mcast.ProcessID
 	h       node.Handler
-	mailbox chan envelope
 	delayIn chan envelope
 	quit    chan struct{}
 	crashed chan struct{}
 	crashMu sync.Once
+
+	// The input queue: an elastic FIFO. post appends under qmu and nudges
+	// wake; mainLoop swaps the slice out and processes it in order.
+	// Envelopes from one sender are appended by that sender's goroutine
+	// in send order, so per-link FIFO is preserved.
+	qmu   sync.Mutex
+	queue []envelope
+	wake  chan struct{}
+}
+
+// post enqueues an input for the process. It never blocks, which is what
+// rules out buffer-deadlock cycles between processes.
+func (p *proc) post(env envelope) {
+	p.qmu.Lock()
+	p.queue = append(p.queue, env)
+	p.qmu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
 }
 
 // Add registers a handler. Handlers added after Start (e.g. late-joining
@@ -88,10 +112,11 @@ func (n *Network) Add(h node.Handler) error {
 		net:     n,
 		pid:     pid,
 		h:       h,
-		mailbox: make(chan envelope, n.cfg.MailboxSize),
 		delayIn: make(chan envelope, 1024),
 		quit:    make(chan struct{}),
 		crashed: make(chan struct{}),
+		queue:   make([]envelope, 0, n.cfg.MailboxSize),
+		wake:    make(chan struct{}, 1),
 	}
 	n.procs[pid] = p
 	if n.started {
@@ -104,7 +129,7 @@ func (n *Network) launch(p *proc) {
 	n.wg.Add(2)
 	go p.delayLoop()
 	go p.mainLoop()
-	p.mailbox <- envelope{in: node.Start{}}
+	p.post(envelope{in: node.Start{}})
 }
 
 // Start launches every process goroutine and delivers the Start input.
@@ -149,9 +174,9 @@ func (n *Network) Crash(pid mcast.ProcessID) {
 	}
 }
 
-// Submit posts a Submit input to a client process. It may block briefly if
-// the client's mailbox is full; it must not be called from that client's
-// own handler (use a separate generator goroutine).
+// Submit posts a Submit input to a client process. It never blocks;
+// submitters are expected to pace themselves on completions (closed loop
+// or a pipelining window), since queues grow elastically.
 func (n *Network) Submit(pid mcast.ProcessID, m mcast.AppMsg) error {
 	return n.Inject(pid, node.Submit{Msg: m})
 }
@@ -165,14 +190,16 @@ func (n *Network) Inject(pid mcast.ProcessID, in node.Input) error {
 		return fmt.Errorf("live: unknown process %d", pid)
 	}
 	select {
-	case p.mailbox <- envelope{in: in}:
-		return nil
 	case <-p.quit:
 		return fmt.Errorf("live: network closed")
+	default:
 	}
+	p.post(envelope{in: in})
+	return nil
 }
 
-// mainLoop serialises a handler's inputs.
+// mainLoop serialises a handler's inputs, draining the elastic queue in
+// arrival order.
 func (p *proc) mainLoop() {
 	defer p.net.wg.Done()
 	var fx node.Effects
@@ -180,15 +207,28 @@ func (p *proc) mainLoop() {
 		select {
 		case <-p.quit:
 			return
-		case env := <-p.mailbox:
-			select {
-			case <-p.crashed:
-				continue // crashed processes discard all input
-			default:
+		case <-p.wake:
+		}
+		for {
+			p.qmu.Lock()
+			batch := p.queue
+			p.queue = nil
+			p.qmu.Unlock()
+			if len(batch) == 0 {
+				break
 			}
-			fx.Reset()
-			p.h.Handle(env.in, &fx)
-			p.apply(&fx)
+			for _, env := range batch {
+				select {
+				case <-p.quit:
+					return
+				case <-p.crashed:
+					// Crashed processes discard all input.
+				default:
+					fx.Reset()
+					p.h.Handle(env.in, &fx)
+					p.apply(&fx)
+				}
+			}
 		}
 	}
 }
@@ -204,8 +244,9 @@ func (p *proc) apply(fx *node.Effects) {
 		pp := p
 		time.AfterFunc(tm.After, func() {
 			select {
-			case pp.mailbox <- envelope{in: in}:
 			case <-pp.quit:
+			default:
+				pp.post(envelope{in: in})
 			}
 		})
 	}
@@ -229,10 +270,7 @@ func (n *Network) route(from, to mcast.ProcessID, m msgs.Message) {
 	}
 	env := envelope{in: node.Recv{From: from, Msg: m}}
 	if lat <= 0 {
-		select {
-		case q.mailbox <- env:
-		case <-q.quit:
-		}
+		q.post(env)
 		return
 	}
 	env.deliverAt = time.Now().Add(lat)
@@ -255,12 +293,7 @@ func (p *proc) delayLoop() {
 		// Deliver everything due.
 		now := time.Now()
 		for pq.Len() > 0 && !pq[0].deliverAt.After(now) {
-			env := pq.popMin()
-			select {
-			case p.mailbox <- env:
-			case <-p.quit:
-				return
-			}
+			p.post(pq.popMin())
 		}
 		wait := time.Hour
 		if pq.Len() > 0 {

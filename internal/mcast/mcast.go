@@ -240,11 +240,25 @@ func (m AppMsg) String() string {
 
 // Delivery records the delivery of an application message at a process,
 // together with the global timestamp the protocol assigned to it. Deliveries
-// at one process happen in increasing GTS order; GTS exposes the system-wide
-// total order to applications that need it (e.g. shared logs).
+// at one process happen in increasing (GTS, Sub) order; that pair exposes
+// the system-wide total order to applications that need it (e.g. shared
+// logs).
 type Delivery struct {
 	Msg AppMsg
 	GTS Timestamp
+	// Sub sub-sequences payloads that were ordered as one protocol-level
+	// batch (internal/batch) and therefore share a GTS: the i-th payload of
+	// a batch is delivered with Sub = i. Unbatched deliveries have Sub 0.
+	Sub int
+}
+
+// Before reports whether d is ordered strictly before other in the global
+// delivery order, which is lexicographic on (GTS, Sub).
+func (d Delivery) Before(other Delivery) bool {
+	if d.GTS != other.GTS {
+		return d.GTS.Less(other.GTS)
+	}
+	return d.Sub < other.Sub
 }
 
 // Topology describes the static process-group layout: Groups[g] lists the

@@ -41,6 +41,7 @@ const (
 	KindP2b
 	KindLearn
 	KindConfirm
+	KindBatch
 )
 
 var kindNames = map[Kind]string{
@@ -64,6 +65,7 @@ var kindNames = map[Kind]string{
 	KindP2b:          "PAXOS_2B",
 	KindLearn:        "PAXOS_LEARN",
 	KindConfirm:      "CONFIRM",
+	KindBatch:        "BATCH",
 }
 
 func (k Kind) String() string {
@@ -157,6 +159,26 @@ type Multicast struct {
 type ClientReply struct {
 	ID    mcast.MsgID
 	Group mcast.GroupID
+}
+
+// BatchEntry is one application payload carried inside a Batch, tagged with
+// the message ID its submitter assigned to it. IDs survive batching so that
+// per-payload deliveries and client completions refer to the original
+// submission.
+type BatchEntry struct {
+	ID      mcast.MsgID
+	Payload []byte
+}
+
+// Batch is the payload container of the batching subsystem (internal/batch):
+// many application payloads with a common destination set, aggregated into a
+// single protocol-level multicast. It travels wire-encoded inside the
+// AppMsg.Payload of a batch message (whose ID is marked by
+// batch.MakeBatchID), so the ordering protocols treat it as one opaque
+// message; the delivery path unpacks it back into per-payload deliveries in
+// entry order.
+type Batch struct {
+	Entries []BatchEntry
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +429,7 @@ func (P1b) Kind() Kind          { return KindP1b }
 func (P2a) Kind() Kind          { return KindP2a }
 func (P2b) Kind() Kind          { return KindP2b }
 func (Learn) Kind() Kind        { return KindLearn }
+func (Batch) Kind() Kind        { return KindBatch }
 
 // Concerns implementations: messages that take part in ordering a specific
 // application message report its ID for the genuineness audit.
@@ -442,6 +465,7 @@ var (
 	_ Message = P2a{}
 	_ Message = P2b{}
 	_ Message = Learn{}
+	_ Message = Batch{}
 
 	_ Concerner = Multicast{}
 	_ Concerner = Accept{}

@@ -15,6 +15,7 @@ func TestKindStrings(t *testing.T) {
 		msgs.KindNewStateAck, msgs.KindHeartbeat, msgs.KindHeartbeatAck,
 		msgs.KindPrune, msgs.KindGCMark, msgs.KindP1a, msgs.KindP1b,
 		msgs.KindP2a, msgs.KindP2b, msgs.KindLearn, msgs.KindConfirm,
+		msgs.KindBatch,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

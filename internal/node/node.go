@@ -73,6 +73,9 @@ const (
 	TimerGC
 	// TimerClient is the client's per-request retry timer.
 	TimerClient
+	// TimerBatch is the batching client's flush-deadline timer
+	// (internal/batch, MaxDelay trigger).
+	TimerBatch
 	// TimerApp is reserved for application-level handlers built on the
 	// public API.
 	TimerApp

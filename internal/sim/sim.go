@@ -230,6 +230,16 @@ func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
 	}
 	for _, snd := range fx.Sends {
 		s.sent++
+		// A MULTICAST for an ID the audits have never seen originates here:
+		// the sender synthesised the message itself (e.g. a batching client
+		// flushing an envelope, internal/batch). Record it so genuineness
+		// accounting covers protocol-level messages the test harness did not
+		// submit explicitly.
+		if mc, ok := snd.Msg.(msgs.Multicast); ok {
+			if _, known := s.submitted[mc.M.ID]; !known {
+				s.NoteSubmit(s.now, from, mc.M)
+			}
+		}
 		var lat time.Duration
 		if snd.To != from {
 			lat = s.cfg.Latency(from, snd.To, snd.Msg, s.now, s.rng)

@@ -12,6 +12,7 @@ package skeen
 import (
 	"fmt"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
@@ -159,7 +160,7 @@ func (n *Node) drain(fx *node.Effects) {
 		}
 		st := n.state[id]
 		st.delivered = true
-		fx.Deliver(mcast.Delivery{Msg: st.app, GTS: gts})
+		batch.ExpandInto(fx, mcast.Delivery{Msg: st.app, GTS: gts})
 		fx.Send(id.Sender(), msgs.ClientReply{ID: id, Group: n.group})
 	}
 }

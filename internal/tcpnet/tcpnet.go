@@ -25,13 +25,24 @@ import (
 // MaxFrame bounds accepted frame sizes (defensive).
 const MaxFrame = 16 << 20
 
+// Outbound write coalescing bounds: a writeLoop drains up to
+// coalesceFrames queued frames (or coalesceBytes bytes) into one
+// vectored write, so bursts — batch envelopes, ACK fans — cost one
+// syscall instead of one per frame.
+const (
+	coalesceFrames = 64
+	coalesceBytes  = 256 << 10
+)
+
 // Config parametrises a Node.
 type Config struct {
 	// PID is this process's ID.
 	PID mcast.ProcessID
 	// ListenAddr is the TCP address to accept peer connections on.
 	ListenAddr string
-	// Peers maps every process (replicas and clients) to its address.
+	// Peers maps every process (replicas and clients) to its address. It
+	// is copied at Serve time; peers learned later (e.g. port-0 test
+	// clusters, late-joining clients) are registered with Node.SetPeer.
 	Peers map[mcast.ProcessID]string
 	// Handler is the protocol state machine to run.
 	Handler node.Handler
@@ -55,12 +66,13 @@ type Node struct {
 	wg      sync.WaitGroup
 
 	mu    sync.Mutex
+	addrs map[mcast.ProcessID]string
 	peers map[mcast.ProcessID]*peer
 }
 
 type peer struct {
-	addr string
-	out  chan []byte
+	pid mcast.ProcessID
+	out chan []byte
 }
 
 // Serve starts listening and processing.
@@ -83,7 +95,11 @@ func Serve(cfg Config) (*Node, error) {
 		ln:      ln,
 		mailbox: make(chan node.Input, cfg.MailboxSize),
 		quit:    make(chan struct{}),
+		addrs:   make(map[mcast.ProcessID]string, len(cfg.Peers)),
 		peers:   make(map[mcast.ProcessID]*peer),
+	}
+	for pid, addr := range cfg.Peers {
+		n.addrs[pid] = addr
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -94,6 +110,23 @@ func Serve(cfg Config) (*Node, error) {
 
 // Addr returns the bound listen address.
 func (n *Node) Addr() net.Addr { return n.ln.Addr() }
+
+// SetPeer registers (or updates) the address of a peer process. Writers
+// consult the address book on every (re)dial, so an update takes effect
+// the next time the connection to that peer is (re-)established.
+func (n *Node) SetPeer(pid mcast.ProcessID, addr string) {
+	n.mu.Lock()
+	n.addrs[pid] = addr
+	n.mu.Unlock()
+}
+
+// peerAddr looks up the current address of a peer.
+func (n *Node) peerAddr(pid mcast.ProcessID) (string, bool) {
+	n.mu.Lock()
+	addr, ok := n.addrs[pid]
+	n.mu.Unlock()
+	return addr, ok
+}
 
 // Inject posts a local input (e.g. a client Submit).
 func (n *Node) Inject(in node.Input) error {
@@ -245,13 +278,12 @@ func (n *Node) enqueue(to mcast.ProcessID, frame []byte) {
 	n.mu.Lock()
 	p, ok := n.peers[to]
 	if !ok {
-		addr, have := n.cfg.Peers[to]
-		if !have {
+		if _, have := n.addrs[to]; !have {
 			n.mu.Unlock()
 			n.logf("tcpnet: no address for process %d", to)
 			return
 		}
-		p = &peer{addr: addr, out: make(chan []byte, 1024)}
+		p = &peer{pid: to, out: make(chan []byte, 1024)}
 		n.peers[to] = p
 		n.wg.Add(1)
 		go n.writeLoop(p)
@@ -268,7 +300,9 @@ func (n *Node) enqueue(to mcast.ProcessID, frame []byte) {
 }
 
 // writeLoop owns the outbound connection to one peer, dialling lazily and
-// reconnecting once per frame on failure.
+// reconnecting once per write on failure. Queued frames are coalesced
+// into a single vectored write, which pipelines bursts (batch envelopes,
+// quorum ACK fans) through one syscall.
 func (n *Node) writeLoop(p *peer) {
 	defer n.wg.Done()
 	var conn net.Conn
@@ -282,17 +316,35 @@ func (n *Node) writeLoop(p *peer) {
 		case <-n.quit:
 			return
 		case frame := <-p.out:
+			frames := net.Buffers{frame}
+			size := len(frame)
+		drain:
+			for len(frames) < coalesceFrames && size < coalesceBytes {
+				select {
+				case f := <-p.out:
+					frames = append(frames, f)
+					size += len(f)
+				default:
+					break drain
+				}
+			}
 			for attempt := 0; attempt < 2; attempt++ {
 				if conn == nil {
-					c, err := net.DialTimeout("tcp", p.addr, n.cfg.DialTimeout)
+					addr, ok := n.peerAddr(p.pid)
+					if !ok {
+						break // address retracted; drop
+					}
+					c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 					if err != nil {
-						n.logf("tcpnet: dial %s: %v", p.addr, err)
+						n.logf("tcpnet: dial %s: %v", addr, err)
 						break // drop; retries re-send
 					}
 					conn = c
 				}
-				if _, err := conn.Write(frame); err != nil {
-					n.logf("tcpnet: write %s: %v", p.addr, err)
+				// WriteTo consumes its receiver; give each attempt a copy.
+				bufs := append(net.Buffers(nil), frames...)
+				if _, err := bufs.WriteTo(conn); err != nil {
+					n.logf("tcpnet: write to %d: %v", p.pid, err)
 					conn.Close()
 					conn = nil
 					continue

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/client"
 	"wbcast/internal/core"
 	"wbcast/internal/mcast"
@@ -20,10 +21,6 @@ func TestWhiteBoxOverTCP(t *testing.T) {
 	top := mcast.UniformTopology(2, 3)
 	const clientPID = mcast.ProcessID(6)
 
-	// Allocate loopback addresses by starting each node on port 0 and
-	// collecting the bound addresses into the shared peer book. Peers are
-	// dialled lazily, so the book can be filled before any traffic flows.
-	peers := make(map[mcast.ProcessID]string)
 	var nodes []*tcpnet.Node
 	defer func() {
 		for _, n := range nodes {
@@ -43,7 +40,6 @@ func TestWhiteBoxOverTCP(t *testing.T) {
 		n, err := tcpnet.Serve(tcpnet.Config{
 			PID:        pid,
 			ListenAddr: "127.0.0.1:0",
-			Peers:      peers,
 			Handler:    r,
 			OnDeliver: func(d mcast.Delivery) {
 				mu.Lock()
@@ -55,7 +51,6 @@ func TestWhiteBoxOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		nodes = append(nodes, n)
-		peers[pid] = n.Addr().String()
 	}
 
 	const numMsgs = 20
@@ -72,14 +67,16 @@ func TestWhiteBoxOverTCP(t *testing.T) {
 	cn, err := tcpnet.Serve(tcpnet.Config{
 		PID:        clientPID,
 		ListenAddr: "127.0.0.1:0",
-		Peers:      peers,
 		Handler:    cl,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	nodes = append(nodes, cn)
-	peers[clientPID] = cn.Addr().String()
+	// Nodes listened on port 0; distribute the bound addresses through the
+	// race-free SetPeer registration (peers are dialled lazily, so the
+	// book just has to be complete before traffic flows).
+	sharePeerAddrs(nodes, clientPID)
 
 	dests := []mcast.GroupSet{mcast.NewGroupSet(0), mcast.NewGroupSet(1), mcast.NewGroupSet(0, 1)}
 	for i := 0; i < numMsgs; i++ {
@@ -120,6 +117,136 @@ func TestWhiteBoxOverTCP(t *testing.T) {
 					t.Errorf("group %d: replica %d diverges at %d", g, p, i)
 					break
 				}
+			}
+		}
+	}
+}
+
+// sharePeerAddrs registers every node's bound address with every other
+// node. Node i < len(nodes)-1 is replica i; the last node is the client.
+func sharePeerAddrs(nodes []*tcpnet.Node, clientPID mcast.ProcessID) {
+	pidOf := func(i int) mcast.ProcessID {
+		if i == len(nodes)-1 {
+			return clientPID
+		}
+		return mcast.ProcessID(i)
+	}
+	for i, n := range nodes {
+		for j, m := range nodes {
+			if i != j {
+				n.SetPeer(pidOf(j), m.Addr().String())
+			}
+		}
+	}
+}
+
+// TestBatchedClientOverTCP runs a white-box cluster over real TCP with a
+// batching client: batch envelopes must survive the wire (frame encoding,
+// write coalescing) and unpack into per-payload deliveries in submission
+// order at every replica.
+func TestBatchedClientOverTCP(t *testing.T) {
+	top := mcast.UniformTopology(2, 3)
+	const clientPID = mcast.ProcessID(6)
+
+	var nodes []*tcpnet.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	delivered := make(map[mcast.ProcessID][]mcast.Delivery)
+
+	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
+		r, err := core.NewReplica(core.DefaultConfig(pid, top, 2*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pid
+		n, err := tcpnet.Serve(tcpnet.Config{
+			PID:        pid,
+			ListenAddr: "127.0.0.1:0",
+			Handler:    r,
+			OnDeliver: func(d mcast.Delivery) {
+				mu.Lock()
+				delivered[p] = append(delivered[p], d)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	const numMsgs = 24
+	done := make(chan mcast.MsgID, numMsgs)
+	cl := batch.New(batch.Config{
+		PID: clientPID,
+		Contacts: func(g mcast.GroupID) []mcast.ProcessID {
+			return []mcast.ProcessID{top.InitialLeader(g)}
+		},
+		Retry:         300 * time.Millisecond,
+		RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
+		OnComplete:    func(id mcast.MsgID) { done <- id },
+		Options:       batch.Options{MaxMsgs: 8, MaxDelay: 2 * time.Millisecond},
+	})
+	cn, err := tcpnet.Serve(tcpnet.Config{
+		PID:        clientPID,
+		ListenAddr: "127.0.0.1:0",
+		Handler:    cl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes = append(nodes, cn)
+	sharePeerAddrs(nodes, clientPID)
+
+	want := make([]mcast.MsgID, numMsgs)
+	for i := 0; i < numMsgs; i++ {
+		m := mcast.AppMsg{
+			ID:      mcast.MakeMsgID(clientPID, uint32(i+1)),
+			Dest:    mcast.NewGroupSet(0, 1),
+			Payload: []byte(fmt.Sprintf("tcp-batched-%d", i)),
+		}
+		want[i] = m.ID
+		if err := cn.Inject(node.Submit{Msg: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	completed := make(map[mcast.MsgID]bool)
+	for i := 0; i < numMsgs; i++ {
+		select {
+		case id := <-done:
+			completed[id] = true
+		case <-time.After(20 * time.Second):
+			t.Fatalf("timed out after %d completions", i)
+		}
+	}
+	for _, id := range want {
+		if !completed[id] {
+			t.Errorf("payload %v never completed", id)
+		}
+	}
+	time.Sleep(200 * time.Millisecond) // let followers drain
+
+	mu.Lock()
+	defer mu.Unlock()
+	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
+		ds := delivered[pid]
+		if len(ds) != numMsgs {
+			t.Fatalf("replica %d delivered %d payloads, want %d", pid, len(ds), numMsgs)
+		}
+		for i, d := range ds {
+			if batch.IsBatchID(d.Msg.ID) {
+				t.Fatalf("replica %d surfaced a raw batch envelope %v", pid, d.Msg.ID)
+			}
+			if d.Msg.ID != want[i] {
+				t.Errorf("replica %d: delivery %d = %v, want %v (submission order)", pid, i, d.Msg.ID, want[i])
+			}
+			if i > 0 && !ds[i-1].Before(d) {
+				t.Errorf("replica %d: delivery %d not above predecessor in (GTS, Sub)", pid, i)
 			}
 		}
 	}

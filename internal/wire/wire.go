@@ -100,6 +100,12 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 		e.i32(int32(m.Group))
 		e.u64(m.Slot)
 		e.command(m.Cmd)
+	case msgs.Batch:
+		e.u64(uint64(len(m.Entries)))
+		for _, ent := range m.Entries {
+			e.u64(uint64(ent.ID))
+			e.bytes(ent.Payload)
+		}
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message kind %v", m.Kind())
 	}
@@ -172,6 +178,16 @@ func Decode(data []byte) (msgs.Message, error) {
 		m = msgs.P2b{Group: mcast.GroupID(d.i32()), Bal: d.ballot(), Slot: d.u64()}
 	case msgs.KindLearn:
 		m = msgs.Learn{Group: mcast.GroupID(d.i32()), Slot: d.u64(), Cmd: d.command()}
+	case msgs.KindBatch:
+		b := msgs.Batch{}
+		n := d.u64()
+		if d.validCount(n) {
+			b.Entries = make([]msgs.BatchEntry, 0, n)
+			for i := uint64(0); i < n; i++ {
+				b.Entries = append(b.Entries, msgs.BatchEntry{ID: mcast.MsgID(d.u64()), Payload: d.bytes()})
+			}
+		}
+		m = b
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", data[0])
 	}

@@ -58,6 +58,11 @@ func allMessages() []msgs.Message {
 		}},
 		msgs.P2b{Group: 0, Bal: bal(6, 1), Slot: 9},
 		msgs.Learn{Group: 0, Slot: 9, Cmd: msgs.Command{Op: msgs.CmdAssign, M: app(13), LTS: ts(8, 0)}},
+		msgs.Batch{Entries: []msgs.BatchEntry{
+			{ID: mcast.MakeMsgID(7, 14), Payload: []byte("first")},
+			{ID: mcast.MakeMsgID(7, 15), Payload: []byte("second")},
+			{ID: mcast.MakeMsgID(9, 1), Payload: []byte{}},
+		}},
 	}
 }
 

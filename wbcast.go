@@ -25,12 +25,42 @@
 // Deliveries at each replica happen in increasing global-timestamp (GTS)
 // order; the GTS exposes the system-wide total order to applications such
 // as replicated state machines and shared logs.
+//
+// # Batching
+//
+// For throughput-bound workloads, Config.Batching aggregates the payloads
+// of each client into protocol-level batches per destination set,
+// amortising the fixed per-message ordering cost (timestamp proposals, ACK
+// quorums, a delivery-queue pass) over up to MaxBatchMsgs payloads:
+//
+//	cluster, err := wbcast.New(wbcast.Config{
+//		Groups: 2,
+//		Batching: &wbcast.Batching{
+//			MaxBatchMsgs:  64,                     // flush at 64 payloads
+//			MaxBatchBytes: 64 << 10,               // ... or at 64 KiB
+//			MaxBatchDelay: 500 * time.Microsecond, // ... or after 500µs
+//			Window:        4,                      // batches in flight per dest set
+//		},
+//		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
+//			// One callback per payload: payloads of a batch share d.GTS
+//			// and are sub-ordered by d.Sub.
+//		},
+//	})
+//
+// Batching is transparent to applications: deliveries arrive per payload,
+// with the original message IDs, in the total order (GTS, Sub). Payloads of
+// one batch share a GTS and are sub-sequenced by Delivery.Sub in submission
+// order. Client.Multicast still blocks until the payload's batch has been
+// delivered by every destination group — enable batching together with
+// concurrent (or MulticastAsync-pipelined) submitters, since a lone
+// payload only ships when MaxBatchDelay expires.
 package wbcast
 
 import (
 	"fmt"
 	"time"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/core"
 	"wbcast/internal/fastcast"
 	"wbcast/internal/ftskeen"
@@ -86,6 +116,33 @@ func (p Protocol) String() string {
 	}
 }
 
+// Batching configures client-side payload batching and pipelining
+// (internal/batch). Zero-valued fields take sensible defaults (64
+// payloads, 64 KiB, 1ms, window 4).
+type Batching struct {
+	// MaxBatchMsgs flushes a batch once it holds this many payloads.
+	MaxBatchMsgs int
+	// MaxBatchBytes flushes a batch once its payloads total this many
+	// bytes.
+	MaxBatchBytes int
+	// MaxBatchDelay bounds how long the first payload of a batch may wait
+	// before the batch is flushed regardless of size — the batching
+	// latency tax.
+	MaxBatchDelay time.Duration
+	// Window is the maximum number of batches in flight per destination
+	// set; further payloads accumulate until a completion frees a slot.
+	Window int
+}
+
+func (b *Batching) options() batch.Options {
+	return batch.Options{
+		MaxMsgs:  b.MaxBatchMsgs,
+		MaxBytes: b.MaxBatchBytes,
+		MaxDelay: b.MaxBatchDelay,
+		Window:   b.Window,
+	}
+}
+
 // Config parametrises a Cluster.
 type Config struct {
 	// Protocol defaults to WhiteBox.
@@ -107,6 +164,11 @@ type Config struct {
 	// DisableGC turns off garbage collection of delivered messages
 	// (WhiteBox only; the baselines retain delivered state regardless).
 	DisableGC bool
+	// Batching, when non-nil, batches each client's payloads into
+	// protocol-level multicasts per destination set (see the package
+	// documentation). Nil disables batching: every payload is ordered
+	// individually.
+	Batching *Batching
 }
 
 // Cluster is an in-process atomic multicast deployment: Groups × Replicas

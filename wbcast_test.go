@@ -167,6 +167,88 @@ func TestFailoverThroughPublicAPI(t *testing.T) {
 	}
 }
 
+// TestBatchingPublicAPI drives batched multicasts through the public API
+// on the live runtime: concurrent submitters, payload-level deliveries,
+// identical (GTS, Sub) total order at every replica.
+func TestBatchingPublicAPI(t *testing.T) {
+	const (
+		submitters = 4
+		perWorker  = 25
+	)
+	var mu sync.Mutex
+	delivered := map[wbcast.ProcessID][]wbcast.Delivery{}
+	c, err := wbcast.New(wbcast.Config{
+		Groups: 2,
+		Batching: &wbcast.Batching{
+			MaxBatchMsgs:  8,
+			MaxBatchDelay: time.Millisecond,
+		},
+		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
+			mu.Lock()
+			delivered[p] = append(delivered[p], d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for j := 0; j < perWorker; j++ {
+				if _, err := cl.Multicast(ctx, []byte(fmt.Sprintf("w%d-%d", w, j)), 0, 1); err != nil {
+					errs <- fmt.Errorf("worker %d multicast %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // followers catch up
+	mu.Lock()
+	defer mu.Unlock()
+	total := submitters * perWorker
+	var reference []string
+	for _, p := range append(c.GroupMembers(0), c.GroupMembers(1)...) {
+		ds := delivered[p]
+		if len(ds) != total {
+			t.Fatalf("replica %d delivered %d payloads, want %d", p, len(ds), total)
+		}
+		var seq []string
+		for i, d := range ds {
+			if i > 0 && !ds[i-1].Before(d) {
+				t.Errorf("replica %d: delivery %d not above its predecessor in (GTS, Sub)", p, i)
+			}
+			seq = append(seq, string(d.Msg.Payload))
+		}
+		// All replicas deliver to both groups here, so every replica must
+		// observe the identical per-payload total order.
+		if reference == nil {
+			reference = seq
+		} else {
+			for i := range reference {
+				if seq[i] != reference[i] {
+					t.Fatalf("replica %d diverges from total order at %d: %q vs %q", p, i, seq[i], reference[i])
+				}
+			}
+		}
+	}
+}
+
 // TestConcurrentClients: multiple clients hammer the cluster concurrently.
 func TestConcurrentClients(t *testing.T) {
 	c, err := wbcast.New(wbcast.Config{Groups: 2})
