@@ -114,6 +114,11 @@ type mstate struct {
 	// ackVecs holds, per process, the ballot vector of the latest
 	// ACCEPT_ACK received from it (leader side, Fig. 4 line 17).
 	ackVecs map[mcast.ProcessID][]msgs.GroupBallot
+	// vec caches the sorted ballot vector assembled from accepts. It is
+	// invalidated whenever a stored ACCEPT changes, so the commit check —
+	// which runs once per ACCEPT_ACK — does not rebuild and re-sort it
+	// every time.
+	vec []msgs.GroupBallot
 	// retries counts leader-side MULTICAST re-sends, used to fall back
 	// from the Cur_leader guess to whole-group blanket sends.
 	retries int
@@ -130,6 +135,10 @@ type Replica struct {
 	cfg   Config
 	pid   mcast.ProcessID
 	group mcast.GroupID
+	// groupPeers is Top.Peers(pid): this replica's group minus itself,
+	// the static recipient list for group-internal fan-outs (heartbeats,
+	// state transfer).
+	groupPeers []mcast.ProcessID
 
 	// Fig. 3 variables.
 	clock           uint64
@@ -185,6 +194,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		deliveredWM: make(map[mcast.ProcessID]mcast.Timestamp),
 		groupWM:     make(map[mcast.GroupID]mcast.Timestamp),
 	}
+	r.groupPeers = cfg.Top.Peers(r.pid)
 	for gid := mcast.GroupID(0); int(gid) < cfg.Top.NumGroups(); gid++ {
 		r.curLeader[gid] = cfg.Top.InitialLeader(gid)
 	}
@@ -287,11 +297,10 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 		r.armRetry(app.ID, fx)
 	}
 	// line 9: send ACCEPT to every process of every destination group,
-	// with the locally stored timestamp (fresh or replayed).
+	// with the locally stored timestamp (fresh or replayed). The whole
+	// fan-out is one Send, so network runtimes serialise the ACCEPT once.
 	acc := msgs.Accept{M: st.app, Group: r.group, Bal: r.cballot, LTS: st.lts}
-	for _, g := range st.app.Dest {
-		fx.SendAll(r.cfg.Top.Members(g), acc)
-	}
+	fx.SendGroups(r.cfg.Top, st.app.Dest, acc)
 }
 
 // onAccept stores an ACCEPT and acts once one has arrived from the leader of
@@ -313,6 +322,7 @@ func (r *Replica) onAccept(a msgs.Accept, fx *node.Effects) {
 		return // stale proposal from a deposed leader of that group
 	}
 	st.accepts[a.Group] = acceptInfo{bal: a.Bal, lts: a.LTS}
+	st.vec = nil // the cached ballot vector is stale
 	// Track the other groups' leadership for Cur_leader (retry targets).
 	r.noteLeader(a.Group, a.Bal)
 	r.evalAccepts(st, fx)
@@ -364,13 +374,24 @@ func (r *Replica) evalAccepts(st *mstate, fx *node.Effects) {
 	}
 }
 
-// ballotVector assembles the sorted ballot vector of the stored accepts.
+// ballotVector returns the sorted ballot vector of the stored accepts. The
+// vector is cached on the message state and invalidated when an ACCEPT
+// changes, so the per-ACK commit check reuses it instead of rebuilding and
+// re-sorting (onAcceptAck runs once per group member per message).
 func (r *Replica) ballotVector(st *mstate) []msgs.GroupBallot {
+	if st.vec != nil {
+		return st.vec
+	}
 	vec := make([]msgs.GroupBallot, 0, len(st.app.Dest))
 	for _, g := range st.app.Dest {
 		vec = append(vec, msgs.GroupBallot{Group: g, Bal: st.accepts[g].bal})
 	}
-	sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
+	// Dest is normally sorted (GroupSet invariant); sort defensively for
+	// destination sets that arrived denormalised off the wire.
+	if !sort.SliceIsSorted(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group }) {
+		sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
+	}
+	st.vec = vec
 	return vec
 }
 
@@ -383,7 +404,15 @@ func (r *Replica) onAcceptAck(from mcast.ProcessID, a msgs.AcceptAck, fx *node.E
 		return // pruned or unknown (stale ack)
 	}
 	if st.ackVecs == nil {
-		st.ackVecs = make(map[mcast.ProcessID][]msgs.GroupBallot)
+		// Size for the full acknowledger population: every member of
+		// every destination group may ack.
+		n := 0
+		if st.hasApp {
+			for _, g := range st.app.Dest {
+				n += r.cfg.Top.GroupSize(g)
+			}
+		}
+		st.ackVecs = make(map[mcast.ProcessID][]msgs.GroupBallot, n)
 	}
 	st.ackVecs[from] = a.Bals
 	r.evalCommit(st, fx)
@@ -501,15 +530,15 @@ func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
 		return
 	}
 	st.retries++
-	for _, g := range st.app.Dest { // line 34
-		if st.retries <= 2 {
+	if st.retries <= 2 { // line 34
+		for _, g := range st.app.Dest {
 			fx.Send(r.curLeader[g], msgs.Multicast{M: st.app})
-		} else {
-			// The Cur_leader guess may be stale; blanket the group (§IV:
-			// "the multicasting process can always send the message to
-			// all the processes in a given group").
-			fx.SendAll(r.cfg.Top.Members(g), msgs.Multicast{M: st.app})
 		}
+	} else {
+		// The Cur_leader guess may be stale; blanket every destination
+		// group in one fan-out (§IV: "the multicasting process can always
+		// send the message to all the processes in a given group").
+		fx.SendGroups(r.cfg.Top, st.app.Dest, msgs.Multicast{M: st.app})
 	}
 	r.armRetry(id, fx)
 }

@@ -60,12 +60,7 @@ func (r *Replica) onTimer(t node.Timer, fx *node.Effects) {
 }
 
 func (r *Replica) broadcastHeartbeat(fx *node.Effects) {
-	hb := msgs.Heartbeat{Group: r.group, Bal: r.cballot}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		if p != r.pid {
-			fx.Send(p, hb)
-		}
-	}
+	fx.SendAll(r.groupPeers, msgs.Heartbeat{Group: r.group, Bal: r.cballot})
 }
 
 func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.Effects) {
@@ -169,12 +164,7 @@ func (r *Replica) onGCTimer(fx *node.Effects) {
 	for g, w := range r.groupWM {
 		marks = append(marks, msgs.GroupTS{Group: g, TS: w})
 	}
-	pr := msgs.Prune{Group: r.group, Marks: marks}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		if p != r.pid {
-			fx.Send(p, pr)
-		}
-	}
+	fx.SendAll(r.groupPeers, msgs.Prune{Group: r.group, Marks: marks})
 	r.prune()
 }
 

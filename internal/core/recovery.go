@@ -54,7 +54,10 @@ func (r *Replica) onNewLeader(from mcast.ProcessID, m msgs.NewLeader, fx *node.E
 	})
 }
 
-// exportState snapshots the ACCEPTED/COMMITTED message records.
+// exportState snapshots the ACCEPTED/COMMITTED message records. The records
+// share the replica's stored (owned, immutable) application messages rather
+// than cloning them: sending never mutates, network receivers decode their
+// own copies, and in-process receivers clone at their retention boundary.
 func (r *Replica) exportState() []msgs.MsgRecord {
 	recs := make([]msgs.MsgRecord, 0, len(r.state))
 	for _, st := range r.state {
@@ -65,7 +68,7 @@ func (r *Replica) exportState() []msgs.MsgRecord {
 			continue
 		}
 		recs = append(recs, msgs.MsgRecord{
-			M:     st.app.Clone(),
+			M:     st.app,
 			Phase: st.phase,
 			LTS:   st.lts,
 			GTS:   st.gts,
@@ -83,6 +86,10 @@ func (r *Replica) onNewLeaderAck(from mcast.ProcessID, m msgs.NewLeaderAck, fx *
 	if r.cballot == r.ballot {
 		return // merge already performed for this ballot
 	}
+	// Retention boundary: the vote outlives this Handle call, and its
+	// records may alias a borrowed network frame. Clone once here; the
+	// merge below then adopts the records without further copying.
+	m.State = msgs.CloneRecords(m.State)
 	r.nlAcks[from] = m
 	if len(r.nlAcks) < r.cfg.Top.QuorumSize(r.group) {
 		return
@@ -113,14 +120,14 @@ func (r *Replica) onNewLeaderAck(from mcast.ProcessID, m msgs.NewLeaderAck, fx *
 			case msgs.PhaseCommitted: // lines 47–50
 				if cur == nil || cur.phase != msgs.PhaseCommitted {
 					merged[rec.M.ID] = &mstate{
-						app: rec.M.Clone(), hasApp: true,
+						app: rec.M, hasApp: true,
 						phase: msgs.PhaseCommitted, lts: rec.LTS, gts: rec.GTS,
 					}
 				}
 			case msgs.PhaseAccepted: // lines 51–53
 				if inJ && cur == nil {
 					merged[rec.M.ID] = &mstate{
-						app: rec.M.Clone(), hasApp: true,
+						app: rec.M, hasApp: true,
 						phase: msgs.PhaseAccepted, lts: rec.LTS,
 					}
 				}
@@ -142,12 +149,7 @@ func (r *Replica) onNewLeaderAck(from mcast.ProcessID, m msgs.NewLeaderAck, fx *
 	}
 
 	// line 56: push the new state to the rest of the group.
-	ns := msgs.NewState{Bal: r.ballot, Clock: r.clock, State: r.exportState()}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		if p != r.pid {
-			fx.Send(p, ns)
-		}
-	}
+	fx.SendAll(r.groupPeers, msgs.NewState{Bal: r.ballot, Clock: r.clock, State: r.exportState()})
 	clear(r.nsAcks)
 	r.maybeFinishRecovery(fx) // a singleton group needs no acknowledgements
 }

@@ -57,6 +57,8 @@ type Replica struct {
 	cfg   Config
 	pid   mcast.ProcessID
 	group mcast.GroupID
+	// peers is Top.Peers(pid): the group member list minus this replica.
+	peers []mcast.ProcessID
 
 	px *paxos.Replica
 	sm *rsm.Machine
@@ -100,6 +102,7 @@ func New(cfg Config) (*Replica, error) {
 		commitVec:     make(map[mcast.MsgID][]msgs.GroupTS),
 		remoteLeaders: make(map[mcast.GroupID]mcast.ProcessID),
 	}
+	r.peers = cfg.Top.Peers(r.pid)
 	px, err := paxos.New(paxos.Config{
 		PID: cfg.PID, Top: cfg.Top,
 		HeartbeatInterval: cfg.HeartbeatInterval,
@@ -155,7 +158,10 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 	if !r.px.Leading() {
 		return
 	}
-	r.apps[app.ID] = app.Clone()
+	// Clone once at the retention boundary; the owned copy is shared by
+	// the app index and (below) the proposed command.
+	app = app.Clone()
+	r.apps[app.ID] = app
 	if lts, ok := r.sm.LTS(app.ID); ok {
 		// Already assigned durably: re-announce (message recovery).
 		r.sendToLeaders(app.Dest, msgs.Propose{ID: app.ID, Group: r.group, LTS: lts}, fx)
@@ -173,7 +179,7 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 	r.specTime++
 	lts := mcast.Timestamp{Time: r.specTime, Group: r.group}
 	r.specPending[app.ID] = lts
-	r.px.Propose(msgs.Command{Op: msgs.CmdAssign, M: app.Clone(), LTS: lts}, fx)
+	r.px.Propose(msgs.Command{Op: msgs.CmdAssign, M: app, LTS: lts}, fx)
 	r.sendToLeaders(app.Dest, msgs.Propose{ID: app.ID, Group: r.group, LTS: lts}, fx)
 	r.armRetry(app.ID, fx)
 }
@@ -187,7 +193,7 @@ func (a fcApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effects)
 	switch cmd.Op {
 	case msgs.CmdAssign:
 		lts, _ := r.sm.ApplyAssign(cmd.M, cmd.LTS)
-		r.apps[cmd.M.ID] = cmd.M.Clone()
+		r.apps[cmd.M.ID] = cmd.M // owned by the Paxos log; immutable
 		if leading {
 			delete(r.specPending, cmd.M.ID)
 			// The timestamp is durable: confirm it to all destination
@@ -355,12 +361,7 @@ func (r *Replica) drain(fx *node.Effects) {
 		}
 		r.deliver(d, fx)
 		lts, _ := r.sm.LTS(id)
-		del := msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: d.GTS}
-		for _, p := range r.cfg.Top.Members(r.group) {
-			if p != r.pid {
-				fx.Send(p, del)
-			}
-		}
+		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: d.GTS})
 	}
 }
 
@@ -465,12 +466,7 @@ func (r *Replica) onLead(fx *node.Effects) {
 	for _, id := range r.sm.Delivered() {
 		gts, _ := r.sm.GTS(id)
 		lts, _ := r.sm.LTS(id)
-		del := msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts}
-		for _, p := range r.cfg.Top.Members(r.group) {
-			if p != r.pid {
-				fx.Send(p, del)
-			}
-		}
+		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts})
 	}
 }
 

@@ -251,7 +251,9 @@ func (p *proc) apply(fx *node.Effects) {
 		})
 	}
 	for _, snd := range fx.Sends {
-		p.net.route(p.pid, snd.To, snd.Msg)
+		for i := 0; i < snd.NumRecipients(); i++ {
+			p.net.route(p.pid, snd.Recipient(i), snd.Msg)
+		}
 	}
 }
 

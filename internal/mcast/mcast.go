@@ -266,6 +266,9 @@ func (d Delivery) Before(other Delivery) bool {
 type Topology struct {
 	groups  [][]ProcessID
 	groupOf map[ProcessID]GroupID
+	// peersOf[p] is p's group members minus p, precomputed so protocol
+	// fan-outs to "everyone else in my group" reuse one static slice.
+	peersOf map[ProcessID][]ProcessID
 }
 
 // NewTopology validates and indexes a group layout. Every group must be
@@ -274,6 +277,7 @@ func NewTopology(groups [][]ProcessID) (*Topology, error) {
 	t := &Topology{
 		groups:  make([][]ProcessID, len(groups)),
 		groupOf: make(map[ProcessID]GroupID),
+		peersOf: make(map[ProcessID][]ProcessID),
 	}
 	for g, members := range groups {
 		if len(members) == 0 {
@@ -289,6 +293,15 @@ func NewTopology(groups [][]ProcessID) (*Topology, error) {
 				return nil, fmt.Errorf("mcast: process %d in both group %d and group %d", p, prev, g)
 			}
 			t.groupOf[p] = GroupID(g)
+		}
+		for _, p := range members {
+			peers := make([]ProcessID, 0, len(members)-1)
+			for _, q := range members {
+				if q != p {
+					peers = append(peers, q)
+				}
+			}
+			t.peersOf[p] = peers
 		}
 	}
 	return t, nil
@@ -326,6 +339,12 @@ func (t *Topology) Members(g GroupID) []ProcessID { return t.groups[g] }
 
 // GroupSize returns the number of replicas in group g.
 func (t *Topology) GroupSize(g GroupID) int { return len(t.groups[g]) }
+
+// Peers returns the members of p's group excluding p itself — the static
+// recipient list for "everyone else in my group" fan-outs (heartbeats,
+// state transfer, DELIVER replication). The returned slice must not be
+// modified. It is nil if p is not a replica.
+func (t *Topology) Peers(p ProcessID) []ProcessID { return t.peersOf[p] }
 
 // QuorumSize returns f+1 for a group of 2f+1 replicas.
 func (t *Topology) QuorumSize(g GroupID) int { return len(t.groups[g])/2 + 1 }

@@ -250,6 +250,26 @@ type MsgRecord struct {
 	GTS   mcast.Timestamp
 }
 
+// Clone deep-copies the record's application message (the only part that
+// may alias a borrowed network frame).
+func (r MsgRecord) Clone() MsgRecord {
+	r.M = r.M.Clone()
+	return r
+}
+
+// CloneRecords deep-copies a state-transfer record list for retention
+// across handler calls.
+func CloneRecords(recs []MsgRecord) []MsgRecord {
+	if recs == nil {
+		return nil
+	}
+	out := make([]MsgRecord, len(recs))
+	for i, r := range recs {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
 // NewLeader asks the members of the sender's group to join ballot Bal
 // (Fig. 4 line 36; analogous to Paxos "1a").
 type NewLeader struct {
@@ -345,6 +365,16 @@ type Command struct {
 	LTS  mcast.Timestamp // CmdAssign only: the local timestamp to install
 	ID   mcast.MsgID     // CmdCommit only
 	LTSs []GroupTS       // CmdCommit only, sorted by group
+}
+
+// Clone deep-copies the parts of a command that may alias a borrowed
+// network frame (the application message's payload; see the frame-ownership
+// notes on node.Handler). Components that retain a command across handler
+// calls — the Paxos log, recovery vote sets — clone it once at the
+// retention boundary; downstream consumers may then alias it freely.
+func (c Command) Clone() Command {
+	c.M = c.M.Clone()
+	return c
 }
 
 // CmdMsgID returns the application message a command concerns, if any.

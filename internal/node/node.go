@@ -90,11 +90,36 @@ type Effects struct {
 	Timers     []SetTimer
 }
 
-// Send is a request to transmit msg to the process to. Self-sends are
+// Send is a request to transmit Msg. When Tos is nil the send is a unicast
+// to To; when Tos is non-nil the same message goes to every process in Tos
+// (and To is ignored). Representing a fan-out as one Send lets runtimes
+// exploit it — the TCP runtime serialises Msg exactly once and shares the
+// encoded frame across every recipient's writer queue. Self-sends are
 // permitted and are delivered with zero network latency.
+//
+// Tos is owned by the runtime only for the duration of the apply step; it
+// may alias long-lived slices such as Topology.Members and must not be
+// mutated or retained.
 type Send struct {
 	To  mcast.ProcessID
+	Tos []mcast.ProcessID
 	Msg msgs.Message
+}
+
+// NumRecipients returns how many processes the send addresses.
+func (s Send) NumRecipients() int {
+	if s.Tos == nil {
+		return 1
+	}
+	return len(s.Tos)
+}
+
+// Recipient returns the i-th recipient (0 ≤ i < NumRecipients).
+func (s Send) Recipient(i int) mcast.ProcessID {
+	if s.Tos == nil {
+		return s.To
+	}
+	return s.Tos[i]
 }
 
 // SetTimer is a request to deliver a Timer{Kind, Data} input After from now.
@@ -111,11 +136,42 @@ func (fx *Effects) Send(to mcast.ProcessID, m msgs.Message) {
 	fx.Sends = append(fx.Sends, Send{To: to, Msg: m})
 }
 
-// SendAll appends a send of m to every process in tos.
+// SendAll appends one fan-out send of m to every process in tos. The slice
+// is not copied: it must stay unmodified until the runtime has applied the
+// effects (topology member slices and other static recipient lists qualify;
+// a scratch buffer the handler reuses does not).
 func (fx *Effects) SendAll(tos []mcast.ProcessID, m msgs.Message) {
-	for _, to := range tos {
-		fx.Send(to, m)
+	switch len(tos) {
+	case 0:
+	case 1:
+		fx.Send(tos[0], m)
+	default:
+		fx.Sends = append(fx.Sends, Send{Tos: tos, Msg: m})
 	}
+}
+
+// SendGroups appends one fan-out send of m to every member of every group
+// in gs, resolved through top. The whole multi-group fan-out is a single
+// Send, so runtimes serialise m once regardless of how many groups and
+// replicas it addresses (e.g. an ACCEPT to 3 groups of 3 is one encode, not
+// nine).
+func (fx *Effects) SendGroups(top *mcast.Topology, gs mcast.GroupSet, m msgs.Message) {
+	switch len(gs) {
+	case 0:
+		return
+	case 1:
+		fx.SendAll(top.Members(gs[0]), m)
+		return
+	}
+	n := 0
+	for _, g := range gs {
+		n += top.GroupSize(g)
+	}
+	tos := make([]mcast.ProcessID, 0, n)
+	for _, g := range gs {
+		tos = append(tos, top.Members(g)...)
+	}
+	fx.Sends = append(fx.Sends, Send{Tos: tos, Msg: m})
 }
 
 // Deliver appends an application-message delivery.
@@ -138,6 +194,24 @@ func (fx *Effects) Reset() {
 // Handler is a deterministic protocol node. Handle must not retain in or fx
 // and must not perform I/O or read clocks; runtimes may call it from
 // different goroutines over time but never concurrently.
+//
+// # Frame ownership
+//
+// The []byte fields of a received message (application payloads, batch
+// entries) may alias a network frame buffer owned by the runtime — the TCP
+// runtime decodes inbound frames in borrow mode (wire.DecodeBorrowed) and
+// recycles the frame as soon as Handle returns. A handler that stores any
+// part of a received message across Handle calls must therefore deep-copy
+// it first (AppMsg.Clone, Command.Clone, MsgRecord.Clone). Non-byte slices
+// of a decoded message (destination sets, ballot vectors, timestamp
+// vectors) are always freshly allocated by the decoder and safe to retain.
+// Once cloned, messages are immutable by convention and may be shared
+// freely — including being re-sent via Effects. Re-sending counts as
+// retention whenever the send can outlive the Handle call — in particular
+// a self-send, which loops back through the runtime's mailbox — so a
+// handler forwards borrowed payload-carrying messages only after cloning
+// them. (Remote sends are encoded before the frame is recycled and are
+// safe either way.)
 type Handler interface {
 	// ID returns the process this handler implements.
 	ID() mcast.ProcessID

@@ -15,11 +15,15 @@ func TestEffectsCollectAndReset(t *testing.T) {
 	fx.SendAll([]mcast.ProcessID{2, 3}, msgs.Heartbeat{Group: 0})
 	fx.Deliver(mcast.Delivery{GTS: mcast.Timestamp{Time: 1}})
 	fx.SetTimer(time.Second, node.TimerRetry, 42)
-	if len(fx.Sends) != 3 || len(fx.Deliveries) != 1 || len(fx.Timers) != 1 {
+	// SendAll collapses into ONE fan-out Send carrying both recipients.
+	if len(fx.Sends) != 2 || len(fx.Deliveries) != 1 || len(fx.Timers) != 1 {
 		t.Fatalf("effects = %d sends, %d deliveries, %d timers",
 			len(fx.Sends), len(fx.Deliveries), len(fx.Timers))
 	}
-	if fx.Sends[1].To != 2 || fx.Sends[2].To != 3 {
+	if fx.Sends[0].NumRecipients() != 1 || fx.Sends[0].Recipient(0) != 1 {
+		t.Errorf("unicast send wrong: %+v", fx.Sends[0])
+	}
+	if fx.Sends[1].NumRecipients() != 2 || fx.Sends[1].Recipient(0) != 2 || fx.Sends[1].Recipient(1) != 3 {
 		t.Errorf("SendAll targets wrong: %v", fx.Sends)
 	}
 	if fx.Timers[0] != (node.SetTimer{After: time.Second, Kind: node.TimerRetry, Data: 42}) {
@@ -32,6 +36,37 @@ func TestEffectsCollectAndReset(t *testing.T) {
 	// Capacity is retained for reuse.
 	if cap(fx.Sends) == 0 {
 		t.Error("Reset dropped capacity")
+	}
+}
+
+func TestSendGroupsSingleFanout(t *testing.T) {
+	top := mcast.UniformTopology(3, 3)
+	var fx node.Effects
+	fx.SendGroups(top, mcast.NewGroupSet(0, 1, 2), msgs.Heartbeat{Group: 0})
+	if len(fx.Sends) != 1 {
+		t.Fatalf("sends = %d, want 1 (multi-group fan-out must be one Send)", len(fx.Sends))
+	}
+	s := fx.Sends[0]
+	if s.NumRecipients() != 9 {
+		t.Fatalf("recipients = %d, want 9", s.NumRecipients())
+	}
+	seen := map[mcast.ProcessID]bool{}
+	for i := 0; i < s.NumRecipients(); i++ {
+		seen[s.Recipient(i)] = true
+	}
+	for p := mcast.ProcessID(0); p < 9; p++ {
+		if !seen[p] {
+			t.Errorf("recipient %d missing", p)
+		}
+	}
+	// A single-group fan-out aliases the topology's member slice: no copy.
+	fx.Reset()
+	fx.SendGroups(top, mcast.NewGroupSet(1), msgs.Heartbeat{Group: 1})
+	if len(fx.Sends) != 1 || fx.Sends[0].NumRecipients() != 3 {
+		t.Fatalf("single-group fan-out = %+v", fx.Sends)
+	}
+	if &fx.Sends[0].Tos[0] != &top.Members(1)[0] {
+		t.Error("single-group fan-out should alias Topology.Members")
 	}
 }
 

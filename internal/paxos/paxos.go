@@ -65,6 +65,9 @@ type Replica struct {
 	pid   mcast.ProcessID
 	group mcast.GroupID
 	app   App
+	// peers is Top.Peers(pid): the static recipient list for intra-group
+	// fan-outs.
+	peers []mcast.ProcessID
 
 	leading    bool
 	recovering bool
@@ -100,6 +103,7 @@ func New(cfg Config, app App) (*Replica, error) {
 		log:   make(map[uint64]*entry),
 		p1bs:  make(map[mcast.ProcessID]msgs.P1b),
 	}
+	r.peers = cfg.Top.Peers(r.pid)
 	if !cfg.ColdStart {
 		r.bal = cfg.Top.InitialBallot(g)
 		r.cbal = r.bal
@@ -135,6 +139,10 @@ func (r *Replica) Start(fx *node.Effects) {
 // Propose appends cmd to the replicated log. Only the leader may call it;
 // it returns the assigned slot. The command is chosen once a quorum accepts
 // it, then applied everywhere in slot order.
+//
+// Ownership: the log retains cmd, so the caller must pass an owned command
+// — one it built itself or cloned from a received message (never one whose
+// payload still aliases a borrowed network frame).
 func (r *Replica) Propose(cmd msgs.Command, fx *node.Effects) (uint64, bool) {
 	if !r.leading {
 		return 0, false
@@ -143,12 +151,7 @@ func (r *Replica) Propose(cmd msgs.Command, fx *node.Effects) (uint64, bool) {
 	r.nextSlot++
 	e := &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
 	r.log[slot] = e
-	p2a := msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		if p != r.pid {
-			fx.Send(p, p2a)
-		}
-	}
+	fx.SendAll(r.peers, msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd})
 	r.maybeChoose(slot, fx) // singleton groups choose immediately
 	return slot, true
 }
@@ -221,7 +224,9 @@ func (r *Replica) onP2a(from mcast.ProcessID, m msgs.P2a, fx *node.Effects) {
 	e := r.log[m.Slot]
 	if e == nil || e.vbal.Less(m.Bal) {
 		if e == nil || !e.committed {
-			r.log[m.Slot] = &entry{vbal: m.Bal, cmd: m.Cmd}
+			// Retention boundary: the log outlives this Handle call, so
+			// deep-copy the command off the (possibly borrowed) frame.
+			r.log[m.Slot] = &entry{vbal: m.Bal, cmd: m.Cmd.Clone()}
 		}
 	}
 	fx.Send(from, msgs.P2b{Group: r.group, Bal: m.Bal, Slot: m.Slot})
@@ -248,12 +253,7 @@ func (r *Replica) maybeChoose(slot uint64, fx *node.Effects) {
 		return
 	}
 	e.committed = true
-	learn := msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		if p != r.pid {
-			fx.Send(p, learn)
-		}
-	}
+	fx.SendAll(r.peers, msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd})
 	r.execute(fx)
 }
 
@@ -265,7 +265,8 @@ func (r *Replica) onLearn(m msgs.Learn, fx *node.Effects) {
 	if e != nil && e.committed {
 		return
 	}
-	r.log[m.Slot] = &entry{vbal: r.cbal, cmd: m.Cmd, committed: true}
+	// Retention boundary (see onP2a).
+	r.log[m.Slot] = &entry{vbal: r.cbal, cmd: m.Cmd.Clone(), committed: true}
 	r.execute(fx)
 }
 
@@ -290,10 +291,7 @@ func (r *Replica) execute(fx *node.Effects) {
 
 func (r *Replica) startCandidacy(fx *node.Effects) {
 	b := mcast.Ballot{N: r.bal.N + 1, Proc: r.pid}
-	p1a := msgs.P1a{Group: r.group, Bal: b}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		fx.Send(p, p1a)
-	}
+	fx.SendAll(r.cfg.Top.Members(r.group), msgs.P1a{Group: r.group, Bal: b})
 	if r.cfg.HeartbeatInterval > 0 {
 		fx.SetTimer(2*r.suspectAfter(), node.TimerCandidacy, 0)
 	}
@@ -322,6 +320,16 @@ func (r *Replica) onP1b(from mcast.ProcessID, m msgs.P1b, fx *node.Effects) {
 	}
 	if r.cbal == r.bal {
 		return // already took over in this ballot
+	}
+	// Retention boundary: the vote set outlives this Handle call, and the
+	// reported entries' commands may alias a borrowed frame.
+	if len(m.Entries) > 0 {
+		ents := make([]msgs.P1bEntry, len(m.Entries))
+		for i, ent := range m.Entries {
+			ent.Cmd = ent.Cmd.Clone()
+			ents[i] = ent
+		}
+		m.Entries = ents
 	}
 	r.p1bs[from] = m
 	if len(r.p1bs) < r.cfg.Top.QuorumSize(r.group) {
@@ -359,25 +367,15 @@ func (r *Replica) onP1b(from mcast.ProcessID, m msgs.P1b, fx *node.Effects) {
 		e := r.log[slot]
 		if e != nil && e.committed {
 			// Re-announce so lagging replicas catch up.
-			learn := msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd}
-			for _, p := range r.cfg.Top.Members(r.group) {
-				if p != r.pid {
-					fx.Send(p, learn)
-				}
-			}
+			fx.SendAll(r.peers, msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd})
 			continue
 		}
 		cmd := msgs.Command{Op: msgs.CmdNoop}
 		if ent, ok := adopted[slot]; ok && !ent.VBal.IsZero() {
-			cmd = ent.Cmd
+			cmd = ent.Cmd // owned: cloned when the P1b was stored
 		}
 		r.log[slot] = &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
-		p2a := msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd}
-		for _, p := range r.cfg.Top.Members(r.group) {
-			if p != r.pid {
-				fx.Send(p, p2a)
-			}
-		}
+		fx.SendAll(r.peers, msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd})
 		r.maybeChoose(slot, fx)
 	}
 	// Propose one no-op in a fresh slot so that every follower sees a P2a
@@ -398,12 +396,7 @@ func (r *Replica) onP1b(from mcast.ProcessID, m msgs.P1b, fx *node.Effects) {
 // --------------------------------------------------------------------------
 
 func (r *Replica) broadcastHeartbeat(fx *node.Effects) {
-	hb := msgs.Heartbeat{Group: r.group, Bal: r.cbal}
-	for _, p := range r.cfg.Top.Members(r.group) {
-		if p != r.pid {
-			fx.Send(p, hb)
-		}
-	}
+	fx.SendAll(r.peers, msgs.Heartbeat{Group: r.group, Bal: r.cbal})
 }
 
 func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.Effects) {

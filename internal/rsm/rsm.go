@@ -144,7 +144,11 @@ func (m *Machine) ApplyAssign(app mcast.AppMsg, lts mcast.Timestamp) (mcast.Time
 		lts = mcast.Timestamp{Time: m.clock + 1, Group: m.group}
 	}
 	m.assigned[lts.Time] = true
-	e.app = app.Clone()
+	// The machine retains app. Callers apply commands out of the Paxos
+	// log, which owns its commands (cloned off the wire at its retention
+	// boundary), so sharing the immutable message here is safe and avoids
+	// a second copy per assignment.
+	e.app = app
 	e.phase = msgs.PhaseProposed
 	e.lts = lts
 	if m.clock < lts.Time {

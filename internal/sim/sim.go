@@ -229,7 +229,6 @@ func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
 		s.schedule(s.now+tm.After, from, node.Timer{Kind: tm.Kind, Data: tm.Data})
 	}
 	for _, snd := range fx.Sends {
-		s.sent++
 		// A MULTICAST for an ID the audits have never seen originates here:
 		// the sender synthesised the message itself (e.g. a batching client
 		// flushing an envelope, internal/batch). Record it so genuineness
@@ -240,21 +239,25 @@ func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
 				s.NoteSubmit(s.now, from, mc.M)
 			}
 		}
-		var lat time.Duration
-		if snd.To != from {
-			lat = s.cfg.Latency(from, snd.To, snd.Msg, s.now, s.rng)
-			if lat < 0 {
-				lat = 0
+		for i := 0; i < snd.NumRecipients(); i++ {
+			to := snd.Recipient(i)
+			s.sent++
+			var lat time.Duration
+			if to != from {
+				lat = s.cfg.Latency(from, to, snd.Msg, s.now, s.rng)
+				if lat < 0 {
+					lat = 0
+				}
 			}
+			at := s.now + lat
+			// FIFO: never deliver before an earlier message on the same link.
+			lk := linkKey{from, to}
+			if prev, ok := s.lastArrival[lk]; ok && at < prev {
+				at = prev
+			}
+			s.lastArrival[lk] = at
+			s.schedule(at, to, node.Recv{From: from, Msg: snd.Msg})
 		}
-		at := s.now + lat
-		// FIFO: never deliver before an earlier message on the same link.
-		lk := linkKey{from, snd.To}
-		if prev, ok := s.lastArrival[lk]; ok && at < prev {
-			at = prev
-		}
-		s.lastArrival[lk] = at
-		s.schedule(at, snd.To, node.Recv{From: from, Msg: snd.Msg})
 	}
 }
 

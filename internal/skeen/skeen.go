@@ -104,12 +104,9 @@ func (n *Node) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 		n.queue.SetPending(app.ID, st.lts)
 	}
 	// line 12: send PROPOSE to every destination process (including self,
-	// for uniformity). On duplicate MULTICAST this re-sends the stored
-	// proposal, which is idempotent.
-	prop := msgs.Propose{ID: app.ID, Group: n.group, LTS: st.lts}
-	for _, g := range st.app.Dest {
-		fx.SendAll(n.top.Members(g), prop)
-	}
+	// for uniformity) as one fan-out. On duplicate MULTICAST this re-sends
+	// the stored proposal, which is idempotent.
+	fx.SendGroups(n.top, st.app.Dest, msgs.Propose{ID: app.ID, Group: n.group, LTS: st.lts})
 	n.maybeCommit(st, fx)
 }
 

@@ -1,0 +1,76 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+)
+
+// benchAccept mirrors the hot-path message shape used by the wire
+// benchmarks: an ACCEPT carrying a 3-group, 64-byte application message.
+func benchAccept() msgs.Accept {
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return msgs.Accept{
+		M: mcast.AppMsg{
+			ID:      mcast.MakeMsgID(30, 7),
+			Dest:    mcast.NewGroupSet(0, 1, 2),
+			Payload: payload,
+		},
+		Group: 1,
+		Bal:   mcast.Ballot{N: 1, Proc: 3},
+		LTS:   mcast.Timestamp{Time: 42, Group: 1},
+	}
+}
+
+// newBenchNode builds a Node with initialised pools but no listener.
+func newBenchNode(pid mcast.ProcessID) *Node {
+	n := &Node{cfg: Config{PID: pid}}
+	n.readPool.New = func() any { return &readFrame{} }
+	n.outPool.New = func() any { return &outFrame{} }
+	return n
+}
+
+// BenchmarkEncodeFrame measures the cost of producing one outbound frame
+// (length prefix + sender varint + wire encoding) for a hot-path message.
+// Frames come from and return to the node's pool, as on the live send path
+// once every writer releases its reference.
+func BenchmarkEncodeFrame(b *testing.B) {
+	n := newBenchNode(3)
+	m := benchAccept()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := n.encodeFrame(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.refs.Store(1)
+		n.release(f)
+	}
+}
+
+// BenchmarkReadFramePath measures the inbound hot path: pooled frame
+// acquisition plus borrow-mode decode, as performed by readLoop/mainLoop.
+func BenchmarkReadFramePath(b *testing.B) {
+	n := newBenchNode(3)
+	src := newBenchNode(4)
+	f, err := src.encodeFrame(benchAccept())
+	if err != nil {
+		b.Fatal(err)
+	}
+	wireBytes := append([]byte(nil), f.buf...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := n.getReadFrame(len(wireBytes) - 4)
+		copy(rf.buf, wireBytes[4:])
+		if _, err := decodeFrameBody(rf.buf); err != nil {
+			b.Fatal(err)
+		}
+		n.putReadFrame(rf)
+	}
+}

@@ -6,6 +6,24 @@
 //
 // Frame format: 4-byte big-endian length, then a varint sender ProcessID,
 // then one wire-encoded message.
+//
+// # Memory discipline
+//
+// The hot path is allocation-lean end to end:
+//
+//   - Outbound, each distinct message of a Handle call is serialised exactly
+//     once, regardless of how many recipients its Send fans out to; the
+//     encoded frame is shared (reference-counted) across all peer writer
+//     queues and returned to a sync.Pool once every writer is done with it.
+//   - Inbound, read frames come from a sync.Pool and are decoded in borrow
+//     mode (wire.DecodeBorrowed): the message's byte fields alias the frame,
+//     which is recycled as soon as the handler returns. Handlers must
+//     deep-copy anything they retain (see the frame-ownership notes on
+//     node.Handler).
+//
+// The input queue is an elastic FIFO (like internal/live): senders never
+// block, which rules out buffer-deadlock cycles between nodes under
+// pipelined load.
 package tcpnet
 
 import (
@@ -14,6 +32,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wbcast/internal/mcast"
@@ -34,6 +53,10 @@ const (
 	coalesceBytes  = 256 << 10
 )
 
+// pooledFrameCap bounds the capacity of buffers returned to the frame
+// pools, so one jumbo frame does not pin megabytes inside the pool.
+const pooledFrameCap = 1 << 20
+
 // Config parametrises a Node.
 type Config struct {
 	// PID is this process's ID.
@@ -52,8 +75,38 @@ type Config struct {
 	OnDeliver func(d mcast.Delivery)
 	// DialTimeout bounds outbound connection attempts (default 3s).
 	DialTimeout time.Duration
-	// MailboxSize bounds the input queue (default 4096).
+	// MailboxSize is the initial capacity of the input queue (default 64).
+	// The queue grows elastically — senders never block the handler loop —
+	// so this is a pre-allocation hint, not a bound.
 	MailboxSize int
+}
+
+// Stats is a snapshot of a Node's I/O counters (see Node.Stats).
+type Stats struct {
+	// MessagesEncoded counts distinct messages serialised to wire form.
+	// With encode-once fan-out this is one per Send, however many
+	// recipients the send addresses.
+	MessagesEncoded int64
+	// FramesSent counts per-recipient frames enqueued to peer writers
+	// (self-sends excluded). FramesSent / MessagesEncoded is the achieved
+	// fan-out sharing factor.
+	FramesSent int64
+	// FramesCoalesced counts frames that rode along in a multi-frame
+	// vectored write instead of costing their own syscall.
+	FramesCoalesced int64
+	// OutboundDrops counts frames dropped because a peer's writer queue
+	// was full or its address was unknown/retracted. Dropped frames are
+	// recovered by the protocols' retry machinery.
+	OutboundDrops int64
+	// Reconnects counts outbound redials after a connection failure.
+	Reconnects int64
+	// FramesRead counts inbound frames successfully decoded.
+	FramesRead int64
+	// MailboxHighWater is the largest inbound-queue length observed. The
+	// queue is elastic (senders never block, which rules out buffer
+	// deadlocks), so sustained overload shows up here rather than as TCP
+	// backpressure — monitor it when perf-debugging a saturated node.
+	MailboxHighWater int64
 }
 
 // Node is a running TCP-hosted process.
@@ -61,18 +114,58 @@ type Node struct {
 	cfg Config
 	ln  net.Listener
 
-	mailbox chan node.Input
-	quit    chan struct{}
-	wg      sync.WaitGroup
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// The input queue: an elastic FIFO. post appends under qmu and nudges
+	// wake; mainLoop swaps the slice out and processes it in order.
+	qmu   sync.Mutex
+	queue []boxedInput
+	wake  chan struct{}
+	// mailboxHW mirrors stats.mailboxHW under qmu, so the hot path only
+	// touches the atomic on a new high-water mark.
+	mailboxHW int64
 
 	mu    sync.Mutex
 	addrs map[mcast.ProcessID]string
 	peers map[mcast.ProcessID]*peer
+
+	// readPool recycles inbound frame buffers; outPool recycles outbound
+	// reference-counted frames.
+	readPool sync.Pool
+	outPool  sync.Pool
+
+	stats struct {
+		encoded    atomic.Int64
+		framesSent atomic.Int64
+		coalesced  atomic.Int64
+		drops      atomic.Int64
+		reconnects atomic.Int64
+		framesRead atomic.Int64
+		mailboxHW  atomic.Int64
+	}
+}
+
+// boxedInput pairs an input with the pooled read frame its decoded message
+// borrows from (nil for timers, injected inputs and self-sends). The frame
+// is recycled after the handler has consumed the input.
+type boxedInput struct {
+	in    node.Input
+	frame *readFrame
+}
+
+type readFrame struct{ buf []byte }
+
+// outFrame is one encoded outbound frame, shared by reference counting
+// across the writer queues of every recipient of a fan-out send.
+type outFrame struct {
+	buf  []byte
+	refs atomic.Int32
 }
 
 type peer struct {
 	pid mcast.ProcessID
-	out chan []byte
+	out chan *outFrame
 }
 
 // Serve starts listening and processing.
@@ -84,32 +177,48 @@ func Serve(cfg Config) (*Node, error) {
 		cfg.DialTimeout = 3 * time.Second
 	}
 	if cfg.MailboxSize <= 0 {
-		cfg.MailboxSize = 4096
+		cfg.MailboxSize = 64
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.ListenAddr, err)
 	}
 	n := &Node{
-		cfg:     cfg,
-		ln:      ln,
-		mailbox: make(chan node.Input, cfg.MailboxSize),
-		quit:    make(chan struct{}),
-		addrs:   make(map[mcast.ProcessID]string, len(cfg.Peers)),
-		peers:   make(map[mcast.ProcessID]*peer),
+		cfg:   cfg,
+		ln:    ln,
+		quit:  make(chan struct{}),
+		queue: make([]boxedInput, 0, cfg.MailboxSize),
+		wake:  make(chan struct{}, 1),
+		addrs: make(map[mcast.ProcessID]string, len(cfg.Peers)),
+		peers: make(map[mcast.ProcessID]*peer),
 	}
+	n.readPool.New = func() any { return &readFrame{} }
+	n.outPool.New = func() any { return &outFrame{} }
 	for pid, addr := range cfg.Peers {
 		n.addrs[pid] = addr
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.mainLoop()
-	n.mailbox <- node.Start{}
+	n.post(boxedInput{in: node.Start{}})
 	return n, nil
 }
 
 // Addr returns the bound listen address.
 func (n *Node) Addr() net.Addr { return n.ln.Addr() }
+
+// Stats returns a snapshot of the node's I/O counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		MessagesEncoded:  n.stats.encoded.Load(),
+		FramesSent:       n.stats.framesSent.Load(),
+		FramesCoalesced:  n.stats.coalesced.Load(),
+		OutboundDrops:    n.stats.drops.Load(),
+		Reconnects:       n.stats.reconnects.Load(),
+		FramesRead:       n.stats.framesRead.Load(),
+		MailboxHighWater: n.stats.mailboxHW.Load(),
+	}
+}
 
 // SetPeer registers (or updates) the address of a peer process. Writers
 // consult the address book on every (re)dial, so an update takes effect
@@ -128,14 +237,31 @@ func (n *Node) peerAddr(pid mcast.ProcessID) (string, bool) {
 	return addr, ok
 }
 
+// post enqueues an input for the handler loop. It never blocks, which is
+// what rules out buffer-deadlock cycles between nodes.
+func (n *Node) post(b boxedInput) {
+	n.qmu.Lock()
+	n.queue = append(n.queue, b)
+	if depth := int64(len(n.queue)); depth > n.mailboxHW {
+		n.mailboxHW = depth
+		n.stats.mailboxHW.Store(depth)
+	}
+	n.qmu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
+
 // Inject posts a local input (e.g. a client Submit).
 func (n *Node) Inject(in node.Input) error {
 	select {
-	case n.mailbox <- in:
-		return nil
 	case <-n.quit:
 		return fmt.Errorf("tcpnet: node closed")
+	default:
 	}
+	n.post(boxedInput{in: in})
+	return nil
 }
 
 // Close stops the node and joins its goroutines.
@@ -190,26 +316,50 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.logf("tcpnet: bad frame size %d from %s", size, conn.RemoteAddr())
 			return
 		}
-		frame := make([]byte, size)
-		if _, err := io.ReadFull(conn, frame); err != nil {
+		rf := n.getReadFrame(int(size))
+		if _, err := io.ReadFull(conn, rf.buf); err != nil {
+			n.putReadFrame(rf)
 			return
 		}
-		from, k := binary.Varint(frame)
-		if k <= 0 {
-			n.logf("tcpnet: bad sender varint from %s", conn.RemoteAddr())
-			return
-		}
-		m, err := wire.Decode(frame[k:])
+		rcv, err := decodeFrameBody(rf.buf)
 		if err != nil {
-			n.logf("tcpnet: %v", err)
+			n.putReadFrame(rf)
+			n.logf("tcpnet: %v (from %s)", err, conn.RemoteAddr())
 			return
 		}
-		select {
-		case n.mailbox <- node.Recv{From: mcast.ProcessID(from), Msg: m}:
-		case <-n.quit:
-			return
-		}
+		n.stats.framesRead.Add(1)
+		n.post(boxedInput{in: rcv, frame: rf})
 	}
+}
+
+// decodeFrameBody parses a frame body — [sender varint][wire message] — in
+// borrow mode: the returned Recv's message aliases buf.
+func decodeFrameBody(buf []byte) (node.Recv, error) {
+	from, k := binary.Varint(buf)
+	if k <= 0 {
+		return node.Recv{}, fmt.Errorf("bad sender varint")
+	}
+	m, err := wire.DecodeBorrowed(buf[k:])
+	if err != nil {
+		return node.Recv{}, err
+	}
+	return node.Recv{From: mcast.ProcessID(from), Msg: m}, nil
+}
+
+func (n *Node) getReadFrame(size int) *readFrame {
+	rf := n.readPool.Get().(*readFrame)
+	if cap(rf.buf) < size {
+		rf.buf = make([]byte, size)
+	}
+	rf.buf = rf.buf[:size]
+	return rf
+}
+
+func (n *Node) putReadFrame(rf *readFrame) {
+	if rf == nil || cap(rf.buf) > pooledFrameCap {
+		return
+	}
+	n.readPool.Put(rf)
 }
 
 func (n *Node) mainLoop() {
@@ -219,39 +369,79 @@ func (n *Node) mainLoop() {
 		select {
 		case <-n.quit:
 			return
-		case in := <-n.mailbox:
-			fx.Reset()
-			n.cfg.Handler.Handle(in, &fx)
-			n.apply(&fx)
+		case <-n.wake:
+		}
+		for {
+			n.qmu.Lock()
+			batch := n.queue
+			n.queue = nil
+			n.qmu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for i := range batch {
+				select {
+				case <-n.quit:
+					return
+				default:
+				}
+				fx.Reset()
+				n.cfg.Handler.Handle(batch[i].in, &fx)
+				n.apply(&fx)
+				// The handler is done with the input; any borrowed
+				// frame may be recycled now.
+				n.putReadFrame(batch[i].frame)
+				batch[i] = boxedInput{}
+			}
 		}
 	}
 }
 
+// apply performs the collected effects. Each Send is serialised at most
+// once: the encoded frame is shared across every remote recipient's writer
+// queue via reference counting.
 func (n *Node) apply(fx *node.Effects) {
 	for _, tm := range fx.Timers {
 		in := node.Timer{Kind: tm.Kind, Data: tm.Data}
 		time.AfterFunc(tm.After, func() {
 			select {
-			case n.mailbox <- in:
 			case <-n.quit:
+			default:
+				n.post(boxedInput{in: in})
 			}
 		})
 	}
-	for _, snd := range fx.Sends {
-		if snd.To == n.cfg.PID {
-			// Self-send: loop back through the mailbox.
-			select {
-			case n.mailbox <- node.Recv{From: n.cfg.PID, Msg: snd.Msg}:
-			case <-n.quit:
+	for i := range fx.Sends {
+		snd := &fx.Sends[i]
+		remote := 0
+		for r := 0; r < snd.NumRecipients(); r++ {
+			if snd.Recipient(r) != n.cfg.PID {
+				remote++
+			} else {
+				// Self-send: loop back through the mailbox without
+				// touching the wire. The message value is shared, not
+				// re-encoded; handlers treat received messages as
+				// immutable either way.
+				n.post(boxedInput{in: node.Recv{From: n.cfg.PID, Msg: snd.Msg}})
 			}
+		}
+		if remote == 0 {
 			continue
 		}
-		frame, err := n.encodeFrame(snd.Msg)
+		f, err := n.encodeFrame(snd.Msg)
 		if err != nil {
-			n.logf("tcpnet: encode to %d: %v", snd.To, err)
+			n.logf("tcpnet: encode %v: %v", snd.Msg.Kind(), err)
 			continue
 		}
-		n.enqueue(snd.To, frame)
+		// Hand out one reference per remote recipient before the first
+		// enqueue, so a fast writer finishing early cannot free the frame
+		// while we are still fanning it out.
+		f.refs.Store(int32(remote))
+		for r := 0; r < snd.NumRecipients(); r++ {
+			if to := snd.Recipient(r); to != n.cfg.PID {
+				n.enqueue(to, f)
+			}
+		}
 	}
 	for _, d := range fx.Deliveries {
 		if n.cfg.OnDeliver != nil {
@@ -260,41 +450,68 @@ func (n *Node) apply(fx *node.Effects) {
 	}
 }
 
-// encodeFrame builds [len u32][sender varint][wire message].
-func (n *Node) encodeFrame(m msgs.Message) ([]byte, error) {
-	body := binary.AppendVarint(make([]byte, 0, 128), int64(n.cfg.PID))
-	body, err := wire.Encode(body, m)
+// encodeFrame builds [len u32][sender varint][wire message] into a pooled
+// buffer. The caller owns the returned frame's references.
+func (n *Node) encodeFrame(m msgs.Message) (*outFrame, error) {
+	f := n.outPool.Get().(*outFrame)
+	buf := f.buf[:0]
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 128)
+	}
+	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
+	buf = binary.AppendVarint(buf, int64(n.cfg.PID))
+	buf, err := wire.Encode(buf, m)
 	if err != nil {
+		f.buf = buf[:0]
+		n.outPool.Put(f)
 		return nil, err
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-	return frame, nil
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	f.buf = buf
+	n.stats.encoded.Add(1)
+	return f, nil
 }
 
-// enqueue hands a frame to the destination's writer, creating it on demand.
-func (n *Node) enqueue(to mcast.ProcessID, frame []byte) {
+// release drops one reference; the last reference returns the frame to the
+// pool.
+func (n *Node) release(f *outFrame) {
+	if f.refs.Add(-1) == 0 {
+		if cap(f.buf) > pooledFrameCap {
+			return
+		}
+		n.outPool.Put(f)
+	}
+}
+
+// enqueue hands a frame reference to the destination's writer, creating it
+// on demand. On failure (unknown address, full queue) the reference is
+// released and the drop is counted; dropped frames are recovered by the
+// protocols' retry machinery (the reliable-channel assumption of the model
+// is an eventual property).
+func (n *Node) enqueue(to mcast.ProcessID, f *outFrame) {
 	n.mu.Lock()
 	p, ok := n.peers[to]
 	if !ok {
 		if _, have := n.addrs[to]; !have {
 			n.mu.Unlock()
+			n.stats.drops.Add(1)
+			n.release(f)
 			n.logf("tcpnet: no address for process %d", to)
 			return
 		}
-		p = &peer{pid: to, out: make(chan []byte, 1024)}
+		p = &peer{pid: to, out: make(chan *outFrame, 1024)}
 		n.peers[to] = p
 		n.wg.Add(1)
 		go n.writeLoop(p)
 	}
 	n.mu.Unlock()
 	select {
-	case p.out <- frame:
+	case p.out <- f:
+		n.stats.framesSent.Add(1)
 	default:
-		// Never block the handler loop on a slow peer. Dropped frames are
-		// recovered by the protocols' retry machinery (the reliable-channel
-		// assumption of the model is an eventual property).
+		// Never block the handler loop on a slow peer.
+		n.stats.drops.Add(1)
+		n.release(f)
 		n.logf("tcpnet: outbound queue to %d full; dropping frame", to)
 	}
 }
@@ -311,23 +528,33 @@ func (n *Node) writeLoop(p *peer) {
 			conn.Close()
 		}
 	}()
+	held := make([]*outFrame, 0, coalesceFrames)
+	var bufs, scratch net.Buffers
 	for {
 		select {
 		case <-n.quit:
 			return
-		case frame := <-p.out:
-			frames := net.Buffers{frame}
-			size := len(frame)
+		case f := <-p.out:
+			held = append(held[:0], f)
+			size := len(f.buf)
 		drain:
-			for len(frames) < coalesceFrames && size < coalesceBytes {
+			for len(held) < coalesceFrames && size < coalesceBytes {
 				select {
 				case f := <-p.out:
-					frames = append(frames, f)
-					size += len(f)
+					held = append(held, f)
+					size += len(f.buf)
 				default:
 					break drain
 				}
 			}
+			if len(held) > 1 {
+				n.stats.coalesced.Add(int64(len(held) - 1))
+			}
+			bufs = bufs[:0]
+			for _, f := range held {
+				bufs = append(bufs, f.buf)
+			}
+			written := false
 			for attempt := 0; attempt < 2; attempt++ {
 				if conn == nil {
 					addr, ok := n.peerAddr(p.pid)
@@ -342,14 +569,26 @@ func (n *Node) writeLoop(p *peer) {
 					conn = c
 				}
 				// WriteTo consumes its receiver; give each attempt a copy.
-				bufs := append(net.Buffers(nil), frames...)
-				if _, err := bufs.WriteTo(conn); err != nil {
+				scratch = append(scratch[:0], bufs...)
+				if _, err := scratch.WriteTo(conn); err != nil {
 					n.logf("tcpnet: write to %d: %v", p.pid, err)
 					conn.Close()
 					conn = nil
+					n.stats.reconnects.Add(1)
 					continue
 				}
+				written = true
 				break
+			}
+			if !written {
+				// Every un-written frame is a drop, whatever path led
+				// here (retracted address, dial failure, both write
+				// attempts failing).
+				n.stats.drops.Add(int64(len(held)))
+			}
+			for i, f := range held {
+				n.release(f)
+				held[i] = nil
 			}
 		}
 	}

@@ -113,12 +113,34 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 }
 
 // Decode parses one message from data, which must contain exactly one
-// encoded message.
+// encoded message. The result is fully independent of data: every byte
+// string is copied out, so the caller may reuse or discard data freely.
 func Decode(data []byte) (msgs.Message, error) {
+	return decode(data, false)
+}
+
+// DecodeBorrowed parses one message from data like Decode, but without
+// copying byte strings: the []byte fields of the returned message
+// (application payloads, batch entries) alias data directly. It is the
+// zero-copy dispatch path for runtimes that own the frame buffer and
+// control its lifetime.
+//
+// Ownership contract: the returned message is valid only while data is.
+// A caller that recycles data (e.g. returns a pooled read frame) must do so
+// only after the message has been fully processed, and consumers that
+// retain any part of the message must deep-copy it first (see the frame-
+// ownership notes on node.Handler). Non-byte slices — destination sets,
+// ballot vectors, timestamp vectors, record lists — are freshly allocated
+// either way and never alias data.
+func DecodeBorrowed(data []byte) (msgs.Message, error) {
+	return decode(data, true)
+}
+
+func decode(data []byte, borrow bool) (msgs.Message, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: empty message")
 	}
-	d := decoder{buf: data[1:]}
+	d := decoder{buf: data[1:], borrow: borrow}
 	kind := msgs.Kind(data[0])
 	var m msgs.Message
 	switch kind {
@@ -269,6 +291,9 @@ func (e *encoder) records(recs []msgs.MsgRecord) {
 type decoder struct {
 	buf []byte
 	err error
+	// borrow makes bytes() alias the input instead of copying
+	// (DecodeBorrowed).
+	borrow bool
 }
 
 // maxCount bounds decoded collection sizes against corrupt or hostile input.
@@ -323,8 +348,13 @@ func (d *decoder) bytes() []byte {
 		d.fail(fmt.Errorf("byte string of %d exceeds remaining %d", n, len(d.buf)))
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.buf[:n])
+	var out []byte
+	if d.borrow {
+		out = d.buf[:n:n]
+	} else {
+		out = make([]byte, n)
+		copy(out, d.buf[:n])
+	}
 	d.buf = d.buf[n:]
 	return out
 }
