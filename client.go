@@ -8,44 +8,72 @@ import (
 	"wbcast/internal/batch"
 	"wbcast/internal/client"
 	"wbcast/internal/mcast"
+	"wbcast/internal/node"
 )
 
-// Client multicasts application messages to groups of the cluster. Safe for
-// concurrent use; each Multicast blocks until every destination group has
-// delivered the message (at its first replica) or the context expires.
+// Client multicasts application messages to the groups of a deployment.
+// Safe for concurrent use; each Multicast blocks until every destination
+// group has delivered the message (at its first replica) or the context
+// expires.
+//
+// Clients are ordinary processes of the deployment: on the TCP transport a
+// client runs its own node (replicas send delivery replies back to it), so
+// its process ID must appear in the transport's peer address map.
 type Client struct {
-	c   *Cluster
+	top *mcast.Topology
+	tr  Transport
 	pid ProcessID
+	h   node.Handler
 
 	mu      sync.Mutex
 	seq     uint32
 	waiters map[MsgID]chan struct{}
 }
 
-// NewClient attaches a new client process to the cluster. When
-// Config.Batching is set, the client's payloads are accumulated into batch
-// envelopes per destination set (internal/batch); Multicast semantics are
-// unchanged — each call completes when its payload's batch has been
-// delivered everywhere.
-func (c *Cluster) NewClient() (*Client, error) {
-	cl := &Client{c: c, waiters: make(map[MsgID]chan struct{})}
-	c.nextClient++
-	cl.pid = c.nextClient
+// NewClient builds and starts a client with the given process ID on
+// cfg.Transport. pid must not collide with a replica slot of the topology
+// (replicas occupy 0..Groups×Replicas-1). Cluster.NewClient does the same
+// with automatic ID assignment.
+func NewClient(cfg Config, pid ProcessID) (*Client, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	top := mcast.UniformTopology(cfg.Groups, cfg.Replicas)
+	if err := cfg.Transport.open(&cfg); err != nil {
+		return nil, err
+	}
+	return newClientOn(cfg, top, pid)
+}
+
+// newClientOn wires a client into an already-opened transport; cfg is
+// normalised.
+func newClientOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Client, error) {
+	if top.IsReplica(pid) {
+		return nil, fmt.Errorf("wbcast: client ID %d collides with a replica of the %d×%d topology", pid, cfg.Groups, cfg.Replicas)
+	}
+	cl := &Client{top: top, tr: cfg.Transport, pid: pid, waiters: make(map[MsgID]chan struct{})}
 	var opts *batch.Options
-	if c.cfg.Batching != nil {
-		o := c.cfg.Batching.options()
+	if cfg.Batching != nil {
+		o := cfg.Batching.options()
 		opts = &o
 	}
-	h := batch.NewHandler(client.Config{
-		PID: cl.pid,
+	retry := 50 * cfg.Delta
+	if cfg.Transport.deterministic() {
+		// The simulated transport pumps submissions to quiescence; a
+		// retry timer would re-arm forever and keep it from quiescing.
+		retry = 0
+	}
+	cl.h = batch.NewHandler(client.Config{
+		PID: pid,
 		Contacts: func(g GroupID) []ProcessID {
-			return []ProcessID{c.top.InitialLeader(g)}
+			return []ProcessID{top.InitialLeader(g)}
 		},
-		RetryContacts: func(g GroupID) []ProcessID { return c.top.Members(g) },
-		Retry:         50 * c.cfg.Delta,
+		RetryContacts: func(g GroupID) []ProcessID { return top.Members(g) },
+		Retry:         retry,
 		OnComplete:    cl.complete,
 	}, opts)
-	if err := c.net.Add(h); err != nil {
+	if err := cfg.Transport.add(cl.h, nil); err != nil {
 		return nil, err
 	}
 	return cl, nil
@@ -54,9 +82,24 @@ func (c *Cluster) NewClient() (*Client, error) {
 // ID returns the client's process ID (the sender of its messages).
 func (cl *Client) ID() ProcessID { return cl.pid }
 
+// BatchesSent returns how many protocol-level batch envelopes the client
+// has flushed, or 0 when batching is disabled. Throughput reporters divide
+// payloads by batches to obtain the achieved mean batch size.
+func (cl *Client) BatchesSent() int64 {
+	if bc, ok := cl.h.(*batch.Client); ok {
+		return bc.BatchesSent()
+	}
+	return 0
+}
+
+// Close crash-stops the client's process on its transport. In-flight
+// multicasts never complete (their contexts expire); messages already
+// handed to the protocol may still be delivered.
+func (cl *Client) Close() { cl.tr.crash(cl.pid) }
+
 // Multicast sends payload to the given destination groups and waits until
 // every destination group has delivered it. It returns the message ID,
-// which appears in the Delivery records observed via Config.OnDeliver.
+// which appears in the Delivery records observed via subscriptions.
 func (cl *Client) Multicast(ctx context.Context, payload []byte, groups ...GroupID) (MsgID, error) {
 	id, done, err := cl.MulticastAsync(payload, groups...)
 	if err != nil {
@@ -82,7 +125,7 @@ func (cl *Client) MulticastAsync(payload []byte, groups ...GroupID) (MsgID, <-ch
 	}
 	dest := NewGroupSet(groups...)
 	for _, g := range dest {
-		if int(g) < 0 || int(g) >= cl.c.top.NumGroups() {
+		if int(g) < 0 || int(g) >= cl.top.NumGroups() {
 			return 0, nil, fmt.Errorf("wbcast: unknown group %d", g)
 		}
 	}
@@ -96,7 +139,7 @@ func (cl *Client) MulticastAsync(payload []byte, groups ...GroupID) (MsgID, <-ch
 	pl := make([]byte, len(payload))
 	copy(pl, payload)
 	m := AppMsg{ID: id, Dest: dest, Payload: pl}
-	if err := cl.c.net.Submit(cl.pid, m); err != nil {
+	if err := cl.tr.inject(cl.pid, node.Submit{Msg: m}); err != nil {
 		cl.mu.Lock()
 		delete(cl.waiters, id)
 		cl.mu.Unlock()

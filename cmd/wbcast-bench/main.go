@@ -1,7 +1,10 @@
 // Command wbcast-bench regenerates the latency/throughput curves of the
 // paper's Fig. 7 (LAN) and Fig. 8 (WAN): closed-loop clients multicast
 // 20-byte messages to a fixed number of destination groups; the tool sweeps
-// the number of clients and prints one series per protocol.
+// the number of clients and prints one series per protocol. It is built
+// entirely on the public wbcast API — an in-process transport with the
+// paper's injected latency profile, public Clusters and Clients — so it
+// doubles as a workout of the surface applications program against.
 //
 // Usage:
 //
@@ -10,13 +13,17 @@
 //	    -clients 16,64,256,1024 -dest 1,2,4 \
 //	    -warmup 500ms -measure 2s
 //
-// Batching (internal/batch) is enabled with -batch-msgs / -batch-bytes /
-// -batch-delay; -outstanding sets each client's pipelining depth so the
-// accumulator has payloads to aggregate. With batching on, the tool prints
-// both msgs/sec (application throughput) and batch/sec (protocol-level
-// multicasts), whose ratio is the achieved mean batch size:
+// Batching is enabled with -batch-msgs / -batch-bytes / -batch-delay;
+// -outstanding sets each client's pipelining depth (workers per client) so
+// the accumulator has payloads to aggregate. With batching on, the tool
+// prints both msgs/sec (application throughput) and batch/sec
+// (protocol-level multicasts), whose ratio is the achieved mean batch size:
 //
 //	wbcast-bench -net lan -batch-msgs 64 -batch-delay 1ms -outstanding 256
+//
+// Each point also reports mbox_hw, the largest replica input-queue length
+// observed (Replica.Stats): the saturation indicator of the elastic
+// mailboxes.
 //
 // The paper's testbeds (CloudLab; Google Cloud across Oregon, N. Virginia
 // and England) are modelled by injected latency profiles on a single
@@ -25,18 +32,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"wbcast/internal/batch"
-	"wbcast/internal/bench"
-	"wbcast/internal/harness"
-	"wbcast/internal/live"
-	"wbcast/internal/mcast"
+	"wbcast"
 )
 
 func main() {
@@ -50,6 +58,7 @@ func main() {
 		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warm-up window per point")
 		measure    = flag.Duration("measure", 2*time.Second, "measurement window per point")
 		payload    = flag.Int("payload", 20, "payload size in bytes (the paper uses 20)")
+		seed       = flag.Int64("seed", 1, "seed for destination-group choices")
 
 		outstanding = flag.Int("outstanding", 1, "multicasts each client keeps in flight (pipelining depth)")
 		batchMsgs   = flag.Int("batch-msgs", 0, "flush a batch at this many payloads (0 disables batching unless -batch-bytes/-batch-delay set)")
@@ -58,26 +67,29 @@ func main() {
 	)
 	flag.Parse()
 
-	var batching *batch.Options
+	var batching *wbcast.Batching
 	if *batchMsgs > 0 || *batchBytes > 0 || *batchDelay > 0 {
-		batching = &batch.Options{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay}
+		batching = &wbcast.Batching{
+			MaxBatchMsgs:  *batchMsgs,
+			MaxBatchBytes: *batchBytes,
+			MaxBatchDelay: *batchDelay,
+		}
 	}
 
-	var lat live.LatencyFunc
+	var latency func(from, to wbcast.ProcessID) time.Duration
 	switch *netProfile {
 	case "lan":
-		lat = live.LAN()
+		latency = wbcast.LAN()
 	case "wan":
-		top := mcast.UniformTopology(*groups, *size)
-		lat = live.WAN(live.PaperWANAssign(top))
+		latency = wbcast.WAN(*groups, *size)
 	default:
 		fmt.Fprintf(os.Stderr, "wbcast-bench: unknown -net %q (want lan or wan)\n", *netProfile)
 		os.Exit(2)
 	}
 
-	var protos []harness.Protocol
+	var protos []wbcast.Protocol
 	for _, name := range strings.Split(*protocols, ",") {
-		p, err := bench.ProtocolByName(strings.TrimSpace(name))
+		p, err := wbcast.ParseProtocol(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
 			os.Exit(2)
@@ -93,30 +105,164 @@ func main() {
 	if batching != nil {
 		fmt.Printf("# batching: msgs=%d bytes=%d delay=%v\n", *batchMsgs, *batchBytes, *batchDelay)
 	}
-	fmt.Printf("%-10s %5s %8s %14s %14s %12s %12s %12s\n",
-		"protocol", "dest", "clients", "msgs/s", "batch/s", "mean_lat", "p50_lat", "p99_lat")
+	fmt.Printf("%-10s %5s %8s %14s %14s %12s %12s %12s %9s\n",
+		"protocol", "dest", "clients", "msgs/s", "batch/s", "mean_lat", "p50_lat", "p99_lat", "mbox_hw")
 	for _, d := range destCounts {
 		for _, p := range protos {
 			for _, c := range clientCounts {
-				res, err := bench.Throughput(p, bench.ThroughputConfig{
-					Groups: *groups, GroupSize: *size,
-					Clients: c, Outstanding: *outstanding, DestGroups: d,
-					PayloadSize: *payload,
-					Batching:    batching,
-					Latency:     lat,
-					Warmup:      *warmup, Measure: *measure,
+				res, err := runPoint(pointConfig{
+					protocol: p, groups: *groups, size: *size,
+					clients: c, outstanding: *outstanding, destGroups: d,
+					payloadSize: *payload, batching: batching, latency: latency,
+					warmup: *warmup, measure: *measure, seed: *seed,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
 					os.Exit(1)
 				}
-				fmt.Printf("%-10s %5d %8d %12.0f/s %12.0f/s %12s %12s %12s\n",
-					p.Name(), d, c, res.Throughput, res.Batches,
-					round(res.Latency.Mean), round(res.Latency.P50), round(res.Latency.P99))
+				fmt.Printf("%-10s %5d %8d %12.0f/s %12.0f/s %12s %12s %12s %9d\n",
+					p, d, c, res.throughput, res.batches,
+					round(res.mean), round(res.p50), round(res.p99), res.mailboxHW)
 			}
 		}
 		fmt.Println()
 	}
+}
+
+type pointConfig struct {
+	protocol    wbcast.Protocol
+	groups      int
+	size        int
+	clients     int
+	outstanding int
+	destGroups  int
+	payloadSize int
+	batching    *wbcast.Batching
+	latency     func(from, to wbcast.ProcessID) time.Duration
+	warmup      time.Duration
+	measure     time.Duration
+	seed        int64
+}
+
+type pointResult struct {
+	throughput     float64 // completed payloads per second
+	batches        float64 // protocol-level multicasts per second
+	mean, p50, p99 time.Duration
+	mailboxHW      int64 // max replica input-queue depth (Replica.Stats)
+}
+
+// runPoint builds a fresh cluster on an in-process transport and drives
+// closed-loop clients against it: each client runs `outstanding` workers,
+// each with one synchronous Multicast in flight — the evaluation
+// methodology of the paper (§VI, following Coelho et al.), generalised
+// with client pipelining and optional batching.
+func runPoint(cfg pointConfig) (pointResult, error) {
+	cluster, err := wbcast.New(wbcast.Config{
+		Protocol:  cfg.protocol,
+		Groups:    cfg.groups,
+		Replicas:  cfg.size,
+		Transport: wbcast.InProcess(),
+		Latency:   cfg.latency,
+		Batching:  cfg.batching,
+	})
+	if err != nil {
+		return pointResult{}, err
+	}
+	defer cluster.Close()
+
+	cls := make([]*wbcast.Client, cfg.clients)
+	for i := range cls {
+		if cls[i], err = cluster.NewClient(); err != nil {
+			return pointResult{}, err
+		}
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.warmup)
+	deadline := measureFrom.Add(cfg.measure)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(30*time.Second))
+	defer cancel()
+
+	var completed atomic.Int64
+	var mu sync.Mutex
+	var samples []time.Duration
+
+	var wg sync.WaitGroup
+	for i, cl := range cls {
+		for w := 0; w < cfg.outstanding; w++ {
+			wg.Add(1)
+			go func(cl *wbcast.Client, worker int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.seed + int64(worker)))
+				payload := make([]byte, cfg.payloadSize)
+				gs := make([]wbcast.GroupID, cfg.destGroups)
+				var local []time.Duration
+				for time.Now().Before(deadline) {
+					for j, g := range rng.Perm(cfg.groups)[:cfg.destGroups] {
+						gs[j] = wbcast.GroupID(g)
+					}
+					t0 := time.Now()
+					if _, err := cl.Multicast(ctx, payload, gs...); err != nil {
+						break
+					}
+					t1 := time.Now()
+					if t1.After(measureFrom) && t1.Before(deadline) {
+						completed.Add(1)
+						local = append(local, t1.Sub(t0))
+					}
+				}
+				mu.Lock()
+				samples = append(samples, local...)
+				mu.Unlock()
+			}(cl, i*cfg.outstanding+w)
+		}
+	}
+
+	batchCount := func() int64 {
+		var n int64
+		for _, cl := range cls {
+			n += cl.BatchesSent()
+		}
+		return n
+	}
+	time.Sleep(time.Until(measureFrom))
+	batchesAtWarmup := batchCount()
+	time.Sleep(time.Until(deadline))
+	batchesAtDeadline := batchCount()
+	wg.Wait()
+
+	res := pointResult{
+		throughput: float64(completed.Load()) / cfg.measure.Seconds(),
+	}
+	if cfg.batching != nil {
+		res.batches = float64(batchesAtDeadline-batchesAtWarmup) / cfg.measure.Seconds()
+	} else {
+		res.batches = res.throughput
+	}
+	res.mean, res.p50, res.p99 = summarise(samples)
+	for _, r := range cluster.Replicas() {
+		if hw := r.Stats().MailboxHighWater; hw > res.mailboxHW {
+			res.mailboxHW = hw
+		}
+	}
+	return res, nil
+}
+
+// summarise computes mean/p50/p99 of the latency samples.
+func summarise(samples []time.Duration) (mean, p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	quantile := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return sum / time.Duration(len(samples)), quantile(0.50), quantile(0.99)
 }
 
 func parseInts(s string) []int {

@@ -1,6 +1,7 @@
 // Command wbcast-client multicasts messages to a running wbcast-node
 // cluster over TCP and reports per-message completion latency (replies
-// received from every destination group).
+// received from every destination group). It is built entirely on the
+// public wbcast API: a TCP transport plus one NewClient.
 //
 // See cmd/wbcast-node for the cluster layout convention. The client's own
 // -id must index its address in the shared -peers list (a non-replica
@@ -8,16 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 	"time"
 
-	"wbcast/internal/client"
-	"wbcast/internal/mcast"
-	"wbcast/internal/node"
-	"wbcast/internal/tcpnet"
+	"wbcast"
 )
 
 func main() {
@@ -26,9 +25,12 @@ func main() {
 		groups   = flag.Int("groups", 2, "number of groups")
 		size     = flag.Int("size", 3, "replicas per group")
 		peersArg = flag.String("peers", "", "comma-separated addresses of all processes, replicas first")
+		listen   = flag.String("listen", "", "bind address (defaults to this process's -peers entry)")
 		destArg  = flag.String("dest", "0", "comma-separated destination groups")
 		count    = flag.Int("count", 10, "number of messages to multicast")
 		payload  = flag.String("payload", "hello", "payload prefix")
+		delta    = flag.Duration("delta", 5*time.Millisecond, "expected one-way network delay (drives retry timing)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-message completion timeout")
 	)
 	flag.Parse()
 
@@ -40,62 +42,41 @@ func main() {
 	if *id < numReplicas || *id >= len(addrs) {
 		log.Fatalf("-id %d must be a client slot (%d..%d)", *id, numReplicas, len(addrs)-1)
 	}
-	top := mcast.UniformTopology(*groups, *size)
-	pid := mcast.ProcessID(*id)
-
-	var dest []mcast.GroupID
+	var dest []wbcast.GroupID
 	for _, part := range strings.Split(*destArg, ",") {
 		var g int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &g); err != nil || g < 0 || g >= *groups {
 			log.Fatalf("bad destination group %q", part)
 		}
-		dest = append(dest, mcast.GroupID(g))
+		dest = append(dest, wbcast.GroupID(g))
 	}
-	destSet := mcast.NewGroupSet(dest...)
+	destSet := wbcast.NewGroupSet(dest...)
 
-	peers := make(map[mcast.ProcessID]string, len(addrs))
+	peers := make(map[wbcast.ProcessID]string, len(addrs))
 	for i, a := range addrs {
-		peers[mcast.ProcessID(i)] = strings.TrimSpace(a)
+		peers[wbcast.ProcessID(i)] = strings.TrimSpace(a)
 	}
-
-	done := make(chan mcast.MsgID, *count)
-	cl := client.New(client.Config{
-		PID: pid,
-		Contacts: func(g mcast.GroupID) []mcast.ProcessID {
-			return []mcast.ProcessID{top.InitialLeader(g)}
-		},
-		Retry:         500 * time.Millisecond,
-		RetryContacts: func(g mcast.GroupID) []mcast.ProcessID { return top.Members(g) },
-		OnComplete:    func(id mcast.MsgID) { done <- id },
-	})
-	n, err := tcpnet.Serve(tcpnet.Config{
-		PID:        pid,
-		ListenAddr: peers[pid],
-		Peers:      peers,
-		Handler:    cl,
-	})
+	cfg := wbcast.Config{
+		Groups:    *groups,
+		Replicas:  *size,
+		Delta:     *delta,
+		Transport: wbcast.TCP(*listen, peers),
+	}
+	cl, err := wbcast.NewClient(cfg, wbcast.ProcessID(*id))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer n.Close()
+	defer cfg.Transport.Close()
 
-	starts := make(map[mcast.MsgID]time.Time, *count)
 	for i := 0; i < *count; i++ {
-		m := mcast.AppMsg{
-			ID:      mcast.MakeMsgID(pid, uint32(i+1)),
-			Dest:    destSet,
-			Payload: []byte(fmt.Sprintf("%s-%d", *payload, i)),
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		start := time.Now()
+		id, err := cl.Multicast(ctx, []byte(fmt.Sprintf("%s-%d", *payload, i)), destSet...)
+		cancel()
+		if err != nil {
+			log.Fatalf("message %d: %v", i, err)
 		}
-		starts[m.ID] = time.Now()
-		if err := n.Inject(node.Submit{Msg: m}); err != nil {
-			log.Fatal(err)
-		}
-		select {
-		case id := <-done:
-			fmt.Printf("%v delivered by groups %v in %v\n", id, destSet, time.Since(starts[id]).Round(10*time.Microsecond))
-		case <-time.After(30 * time.Second):
-			log.Fatalf("timed out waiting for message %d", i)
-		}
+		fmt.Printf("%v delivered by groups %v in %v\n", id, destSet, time.Since(start).Round(10*time.Microsecond))
 	}
 	fmt.Printf("completed %d multicasts to %v\n", *count, destSet)
 }

@@ -1,4 +1,5 @@
-// Command wbcast-node runs one multicast replica as a TCP server.
+// Command wbcast-node runs one multicast replica as a TCP server, built
+// entirely on the public wbcast API: a TCP transport plus one NewReplica.
 //
 // The cluster layout is given as an ordered address list: the first
 // groups×size addresses are the replicas (group-major, so replica i belongs
@@ -12,6 +13,10 @@
 //	  wbcast-node -id $i -groups 2 -size 3 -peers $PEERS &
 //	done
 //	wbcast-client -id 6 -groups 2 -size 3 -peers $PEERS -dest 0,1 -count 10
+//
+// On shutdown (SIGINT/SIGTERM) the node prints its transport statistics:
+// messages encoded, frames sent/coalesced/read, outbound drops, reconnects
+// and the mailbox high-water mark.
 package main
 
 import (
@@ -24,12 +29,7 @@ import (
 	"syscall"
 	"time"
 
-	"wbcast/internal/core"
-	"wbcast/internal/fastcast"
-	"wbcast/internal/ftskeen"
-	"wbcast/internal/mcast"
-	"wbcast/internal/node"
-	"wbcast/internal/tcpnet"
+	"wbcast"
 )
 
 func main() {
@@ -38,6 +38,7 @@ func main() {
 		groups   = flag.Int("groups", 2, "number of groups")
 		size     = flag.Int("size", 3, "replicas per group (2f+1)")
 		peersArg = flag.String("peers", "", "comma-separated addresses of all processes, replicas first")
+		listen   = flag.String("listen", "", "bind address (defaults to this process's -peers entry)")
 		protocol = flag.String("protocol", "wbcast", "protocol: wbcast, fastcast or ftskeen")
 		delta    = flag.Duration("delta", 5*time.Millisecond, "expected one-way network delay (drives timeouts)")
 		verbose  = flag.Bool("v", false, "log deliveries and transport diagnostics")
@@ -51,55 +52,47 @@ func main() {
 	if *id < 0 || *id >= *groups**size {
 		log.Fatalf("-id %d is not a replica index (0..%d)", *id, *groups**size-1)
 	}
-	top := mcast.UniformTopology(*groups, *size)
-	pid := mcast.ProcessID(*id)
-
-	var handler node.Handler
-	var err error
-	switch *protocol {
-	case "wbcast":
-		handler, err = core.NewReplica(core.DefaultConfig(pid, top, *delta))
-	case "fastcast":
-		handler, err = fastcast.New(fastcast.Config{
-			PID: pid, Top: top,
-			RetryInterval: 20 * *delta, HeartbeatInterval: 10 * *delta, SuspectTimeout: 40 * *delta,
-		})
-	case "ftskeen":
-		handler, err = ftskeen.New(ftskeen.Config{
-			PID: pid, Top: top,
-			RetryInterval: 20 * *delta, HeartbeatInterval: 10 * *delta, SuspectTimeout: 40 * *delta,
-		})
-	default:
-		log.Fatalf("unknown -protocol %q", *protocol)
-	}
+	proto, err := wbcast.ParseProtocol(*protocol)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	peers := make(map[mcast.ProcessID]string, len(addrs))
+	pid := wbcast.ProcessID(*id)
+	peers := make(map[wbcast.ProcessID]string, len(addrs))
 	for i, a := range addrs {
-		peers[mcast.ProcessID(i)] = strings.TrimSpace(a)
+		peers[wbcast.ProcessID(i)] = strings.TrimSpace(a)
 	}
-	cfg := tcpnet.Config{
-		PID:        pid,
-		ListenAddr: peers[pid],
-		Peers:      peers,
-		Handler:    handler,
+
+	cfg := wbcast.Config{
+		Protocol:  proto,
+		Groups:    *groups,
+		Replicas:  *size,
+		Delta:     *delta,
+		Transport: wbcast.TCP(*listen, peers),
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
-		cfg.OnDeliver = func(d mcast.Delivery) {
-			log.Printf("deliver %v gts=%v payload=%q", d.Msg.ID, d.GTS, d.Msg.Payload)
-		}
 	}
-	n, err := tcpnet.Serve(cfg)
+	rep, err := wbcast.NewReplica(cfg, pid)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wbcast-node %d (%s, group %d) listening on %s\n", pid, *protocol, top.GroupOf(pid), n.Addr())
+	if *verbose {
+		sub := rep.Deliveries()
+		go func() {
+			for d := range sub.C() {
+				log.Printf("deliver %v gts=%v payload=%q", d.Msg.ID, d.GTS, d.Msg.Payload)
+			}
+		}()
+	}
+	fmt.Printf("wbcast-node %d (%s, group %d) listening on %s\n", pid, proto, rep.Group(), rep.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	n.Close()
+	st := rep.Stats()
+	fmt.Printf("stats: encoded=%d frames_sent=%d coalesced=%d read=%d drops=%d reconnects=%d mailbox_hw=%d\n",
+		st.MessagesEncoded, st.FramesSent, st.FramesCoalesced, st.FramesRead,
+		st.OutboundDrops, st.Reconnects, st.MailboxHighWater)
+	rep.Close()
+	cfg.Transport.Close()
 }

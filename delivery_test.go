@@ -1,0 +1,133 @@
+package wbcast
+
+import (
+	"testing"
+	"time"
+
+	"wbcast/internal/mcast"
+)
+
+func testDelivery(i int) Delivery {
+	return Delivery{
+		Msg: AppMsg{ID: mcast.MakeMsgID(100, uint32(i)), Dest: NewGroupSet(0)},
+		GTS: Timestamp{Time: uint64(i), Group: 0},
+	}
+}
+
+// drain reads everything currently flowing out of the subscription,
+// stopping once the channel stays quiet for the grace period.
+func drain(s *Subscription, grace time.Duration) []Delivery {
+	var out []Delivery
+	for {
+		select {
+		case d, ok := <-s.C():
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		case <-time.After(grace):
+			return out
+		}
+	}
+}
+
+func TestDeliveriesDropOldest(t *testing.T) {
+	const n = 20
+	s := newSubscription(4, DropOldest)
+	defer s.Close()
+	for i := 1; i <= n; i++ {
+		s.push(testDelivery(i))
+	}
+	got := drain(s, 500*time.Millisecond)
+	if len(got) == 0 {
+		t.Fatal("no deliveries received")
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].GTS.Less(got[i].GTS) {
+			t.Errorf("deliveries out of order at %d: %v then %v", i, got[i-1].GTS, got[i].GTS)
+		}
+	}
+	// DropOldest keeps the most recent deliveries: the last one pushed
+	// must have survived.
+	if last := got[len(got)-1].Msg.ID.Seq(); last != n {
+		t.Errorf("last delivery is seq %d, want %d", last, n)
+	}
+	if want := uint64(n - len(got)); s.Dropped() != want {
+		t.Errorf("Dropped() = %d, want %d (received %d of %d)", s.Dropped(), want, len(got), n)
+	}
+	if s.Dropped() == 0 {
+		t.Error("expected drops with buffer 4 and 20 unconsumed deliveries")
+	}
+}
+
+func TestDeliveriesDropNewest(t *testing.T) {
+	const n = 20
+	s := newSubscription(4, DropNewest)
+	defer s.Close()
+	for i := 1; i <= n; i++ {
+		s.push(testDelivery(i))
+	}
+	got := drain(s, 500*time.Millisecond)
+	// DropNewest keeps an uninterrupted prefix: 1..len(got).
+	for i, d := range got {
+		if d.Msg.ID.Seq() != uint32(i+1) {
+			t.Fatalf("delivery %d is seq %d, want the contiguous prefix (seq %d)", i, d.Msg.ID.Seq(), i+1)
+		}
+	}
+	if want := uint64(n - len(got)); s.Dropped() != want {
+		t.Errorf("Dropped() = %d, want %d", s.Dropped(), want)
+	}
+	if s.Dropped() == 0 {
+		t.Error("expected drops with buffer 4 and 20 unconsumed deliveries")
+	}
+}
+
+func TestDeliveriesBackpressure(t *testing.T) {
+	const n = 50
+	s := newSubscription(2, Backpressure)
+	defer s.Close()
+	pushed := make(chan struct{})
+	go func() {
+		for i := 1; i <= n; i++ {
+			s.push(testDelivery(i)) // blocks when the buffer is full
+		}
+		close(pushed)
+	}()
+	var got []Delivery
+	for len(got) < n {
+		select {
+		case d := <-s.C():
+			got = append(got, d)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d deliveries", len(got))
+		}
+	}
+	<-pushed
+	for i, d := range got {
+		if d.Msg.ID.Seq() != uint32(i+1) {
+			t.Fatalf("delivery %d is seq %d; Backpressure must be lossless and ordered", i, d.Msg.ID.Seq())
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0 under Backpressure", s.Dropped())
+	}
+}
+
+func TestDeliveriesCloseUnblocksProducer(t *testing.T) {
+	s := newSubscription(1, Backpressure)
+	done := make(chan struct{})
+	go func() {
+		s.push(testDelivery(1)) // pump holds this one at the channel
+		s.push(testDelivery(2)) // fills the ring
+		s.push(testDelivery(3)) // blocks: nobody consumes
+		s.push(testDelivery(4))
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	s.Close() // must release the blocked producer
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer still blocked after Close")
+	}
+}

@@ -10,6 +10,11 @@
 // Partway through, the leader of group 0 is crashed; its group recovers via
 // the protocol's two-stage leader change and the workload continues.
 //
+// This example consumes deliveries through the push-style Config.OnDeliver
+// adapter (a per-replica goroutine over a lossless subscription); see
+// examples/kvstore and examples/sharedlog for the pull-based
+// Replica.Deliveries form.
+//
 // Run with:
 //
 //	go run ./examples/banking

@@ -11,6 +11,10 @@
 // cross-partition transactions are serialised consistently — no distributed
 // locking or two-phase commit required.
 //
+// Each replica's state machine drains its own pull-based delivery
+// subscription (Replica.Deliveries) — the composable-handle shape that
+// works identically when the replicas are spread over a TCP cluster.
+//
 // Run with:
 //
 //	go run ./examples/kvstore
@@ -74,30 +78,41 @@ func main() {
 	cluster, err := wbcast.New(wbcast.Config{
 		Groups:   numGroups,
 		Replicas: 3,
-		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
-			var o op
-			if err := json.Unmarshal(d.Msg.Payload, &o); err != nil {
-				log.Fatalf("replica %d: bad payload: %v", p, err)
-			}
-			s := getStore(p)
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			s.log = append(s.log, d.GTS)
-			switch o.Kind {
-			case "put":
-				s.data[o.K1] = o.V1
-			case "swap":
-				// Applied at every replica of both partitions; each key
-				// lives in exactly one partition, and both sides apply the
-				// swap at the same point of the total order.
-				s.data[o.K1], s.data[o.K2] = s.data[o.K2], s.data[o.K1]
-			}
-		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	// One state-machine goroutine per replica, applying its delivery
+	// stream in (GTS, Sub) order.
+	apply := func(p wbcast.ProcessID, d wbcast.Delivery) {
+		var o op
+		if err := json.Unmarshal(d.Msg.Payload, &o); err != nil {
+			log.Fatalf("replica %d: bad payload: %v", p, err)
+		}
+		s := getStore(p)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.log = append(s.log, d.GTS)
+		switch o.Kind {
+		case "put":
+			s.data[o.K1] = o.V1
+		case "swap":
+			// Applied at every replica of both partitions; each key
+			// lives in exactly one partition, and both sides apply the
+			// swap at the same point of the total order.
+			s.data[o.K1], s.data[o.K2] = s.data[o.K2], s.data[o.K1]
+		}
+	}
+	for _, r := range cluster.Replicas() {
+		sub := r.Deliveries()
+		go func(p wbcast.ProcessID) {
+			for d := range sub.C() {
+				apply(p, d)
+			}
+		}(r.ID())
+	}
 
 	client, err := cluster.NewClient()
 	if err != nil {

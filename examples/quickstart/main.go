@@ -1,10 +1,11 @@
 // Quickstart: a minimal white-box atomic multicast cluster.
 //
-// Two groups of three replicas run in-process. A client multicasts a few
-// messages — some to one group, some to both — and the program prints every
-// delivery with its global timestamp, demonstrating the core guarantee:
-// both groups deliver the messages addressed to both in the same order, at
-// every replica.
+// Two groups of three replicas run on the default in-process transport. A
+// client multicasts a few messages — some to one group, some to both — and
+// the program consumes every replica's pull-based delivery subscription
+// (Replica.Deliveries), demonstrating the core guarantee: both groups
+// deliver the messages addressed to both in the same order, at every
+// replica.
 //
 // Run with:
 //
@@ -23,22 +24,33 @@ import (
 )
 
 func main() {
-	var mu sync.Mutex
-	deliveries := make(map[wbcast.ProcessID][]wbcast.Delivery)
-
 	cluster, err := wbcast.New(wbcast.Config{
 		Groups:   2,
 		Replicas: 3,
-		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
-			mu.Lock()
-			deliveries[p] = append(deliveries[p], d)
-			mu.Unlock()
-		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	// Subscribe to every replica's delivery stream. Each subscription is
+	// an independent bounded buffer; the default policy (Backpressure) is
+	// lossless.
+	var mu sync.Mutex
+	deliveries := make(map[wbcast.ProcessID][]wbcast.Delivery)
+	var wg sync.WaitGroup
+	for _, r := range cluster.Replicas() {
+		sub := r.Deliveries()
+		wg.Add(1)
+		go func(p wbcast.ProcessID) {
+			defer wg.Done()
+			for d := range sub.C() {
+				mu.Lock()
+				deliveries[p] = append(deliveries[p], d)
+				mu.Unlock()
+			}
+		}(r.ID())
+	}
 
 	client, err := cluster.NewClient()
 	if err != nil {
@@ -67,11 +79,13 @@ func main() {
 	}
 
 	// Synchronous Multicast guarantees the first delivery per group; give
-	// followers a moment to apply the replicated DELIVER messages too.
+	// followers a moment to apply the replicated DELIVER messages, then
+	// close the cluster — that ends every subscription and joins the
+	// consumers.
 	time.Sleep(100 * time.Millisecond)
+	cluster.Close()
+	wg.Wait()
 
-	mu.Lock()
-	defer mu.Unlock()
 	var pids []wbcast.ProcessID
 	for p := range deliveries {
 		pids = append(pids, p)

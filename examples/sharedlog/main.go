@@ -40,16 +40,24 @@ func main() {
 	cluster, err := wbcast.New(wbcast.Config{
 		Groups:   numColors,
 		Replicas: 3,
-		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
-			mu.Lock()
-			chains[p] = append(chains[p], entry{gts: d.GTS, payload: string(d.Msg.Payload)})
-			mu.Unlock()
-		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	// Each replica materialises its chain from its own pull-based delivery
+	// subscription.
+	for _, r := range cluster.Replicas() {
+		sub := r.Deliveries()
+		go func(p wbcast.ProcessID) {
+			for d := range sub.C() {
+				mu.Lock()
+				chains[p] = append(chains[p], entry{gts: d.GTS, payload: string(d.Msg.Payload)})
+				mu.Unlock()
+			}
+		}(r.ID())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()

@@ -82,6 +82,10 @@ type proc struct {
 	qmu   sync.Mutex
 	queue []envelope
 	wake  chan struct{}
+	// hw is the largest queue length observed (under qmu). The queue is
+	// elastic, so sustained overload shows up here rather than as sender
+	// backpressure — the in-process analogue of tcpnet's MailboxHighWater.
+	hw int64
 }
 
 // post enqueues an input for the process. It never blocks, which is what
@@ -89,6 +93,9 @@ type proc struct {
 func (p *proc) post(env envelope) {
 	p.qmu.Lock()
 	p.queue = append(p.queue, env)
+	if depth := int64(len(p.queue)); depth > p.hw {
+		p.hw = depth
+	}
 	p.qmu.Unlock()
 	select {
 	case p.wake <- struct{}{}:
@@ -172,6 +179,22 @@ func (n *Network) Crash(pid mcast.ProcessID) {
 	if ok {
 		p.crashMu.Do(func() { close(p.crashed) })
 	}
+}
+
+// MailboxHighWater returns the largest input-queue length observed at pid
+// so far, or 0 if pid is unknown. Queues are elastic (senders never block),
+// so this is the process's overload indicator.
+func (n *Network) MailboxHighWater(pid mcast.ProcessID) int64 {
+	n.mu.Lock()
+	p, ok := n.procs[pid]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	p.qmu.Lock()
+	hw := p.hw
+	p.qmu.Unlock()
+	return hw
 }
 
 // Submit posts a Submit input to a client process. It never blocks;

@@ -55,6 +55,11 @@ type Config struct {
 	Seed int64
 	// Trace, if non-nil, receives every event as it is processed.
 	Trace func(TraceEvent)
+	// OnDeliver, if non-nil, receives every application delivery as it is
+	// recorded, from inside the dispatch of the delivering event. Runtimes
+	// built on the simulator (the public Simulated transport) use it to
+	// stream deliveries out without polling Deliveries().
+	OnDeliver func(p mcast.ProcessID, d mcast.Delivery)
 }
 
 // TraceEvent describes one processed input for debugging and audits.
@@ -141,6 +146,11 @@ func (s *Sim) Crashed(pid mcast.ProcessID) bool { return s.crashed[pid] }
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
+// Pending returns the number of events still queued. A driver that pumps
+// the simulator to quiescence loops until Pending reaches zero; protocols
+// with periodic timers (heartbeats, GC) never quiesce.
+func (s *Sim) Pending() int { return s.pq.Len() }
+
 // SubmitAt schedules a Submit input for the client handler at time at,
 // recording the message for the latency and genuineness audits.
 func (s *Sim) SubmitAt(at time.Duration, client mcast.ProcessID, m mcast.AppMsg) {
@@ -224,6 +234,9 @@ func (s *Sim) dispatch(ev event) {
 func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
 	for _, d := range fx.Deliveries {
 		s.deliveries = append(s.deliveries, DeliveryRecord{Proc: from, At: s.now, D: d})
+		if s.cfg.OnDeliver != nil {
+			s.cfg.OnDeliver(from, d)
+		}
 	}
 	for _, tm := range fx.Timers {
 		s.schedule(s.now+tm.After, from, node.Timer{Kind: tm.Kind, Data: tm.Data})

@@ -1,0 +1,156 @@
+package wbcast
+
+import (
+	"fmt"
+	"sync"
+
+	"wbcast/internal/mcast"
+)
+
+// Replica is a handle to one protocol replica hosted on a Transport. A
+// Cluster holds one Replica per process of the topology; a distributed
+// deployment starts exactly the replicas that live on this host with
+// NewReplica, one per process (see cmd/wbcast-node).
+type Replica struct {
+	cfg Config // normalised
+	top *mcast.Topology
+	pid ProcessID
+	tr  Transport
+
+	mu     sync.Mutex
+	subs   []*Subscription
+	closed bool
+}
+
+// NewReplica builds, starts and returns replica pid of the topology
+// described by cfg, hosted on cfg.Transport. The replica participates in
+// ordering from the moment NewReplica returns; deliveries are observed
+// through Deliveries/Subscribe (or cfg.OnDeliver).
+//
+// pid must be a replica slot of the topology: 0 ≤ pid < Groups×Replicas,
+// assigned group-major (replica pid belongs to group pid/Replicas).
+func NewReplica(cfg Config, pid ProcessID) (*Replica, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	top := mcast.UniformTopology(cfg.Groups, cfg.Replicas)
+	if err := cfg.Transport.open(&cfg); err != nil {
+		return nil, err
+	}
+	return newReplicaOn(cfg, top, pid)
+}
+
+// newReplicaOn wires one replica into an already-opened transport; cfg is
+// normalised.
+func newReplicaOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Replica, error) {
+	if !top.IsReplica(pid) {
+		return nil, fmt.Errorf("wbcast: process %d is not a replica of a %d×%d topology", pid, cfg.Groups, cfg.Replicas)
+	}
+	h, err := newProtocolHandler(cfg, top, pid)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{cfg: cfg, top: top, pid: pid, tr: cfg.Transport}
+	if cfg.OnDeliver != nil {
+		// The callback contract is an adapter over a lossless
+		// subscription: a dedicated goroutine drains it, so the callback
+		// runs off the replica's critical path while per-replica delivery
+		// order is preserved.
+		sub := r.Subscribe(cfg.DeliveryBuffer, Backpressure)
+		go func() {
+			for d := range sub.C() {
+				cfg.OnDeliver(pid, d)
+			}
+		}()
+	}
+	if err := cfg.Transport.add(h, r.dispatch); err != nil {
+		r.closeSubs()
+		return nil, err
+	}
+	return r, nil
+}
+
+// dispatch fans one delivery out to every live subscription. It runs on
+// the delivering process's goroutine, so per-replica order is preserved.
+func (r *Replica) dispatch(d Delivery) {
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, s := range subs {
+		s.push(d)
+	}
+}
+
+// ID returns the replica's process ID.
+func (r *Replica) ID() ProcessID { return r.pid }
+
+// Group returns the group the replica belongs to.
+func (r *Replica) Group() GroupID { return r.top.GroupOf(r.pid) }
+
+// Addr returns the address the replica is reachable at, or "" on
+// transports without addresses (in-process, simulated).
+func (r *Replica) Addr() string { return r.tr.addr(r.pid) }
+
+// Deliveries subscribes to the replica's deliveries with the buffering and
+// drop policy configured in Config (DeliveryBuffer, DeliveryPolicy). Each
+// call creates an independent subscription that observes every delivery
+// from the point of subscription on.
+func (r *Replica) Deliveries() *Subscription {
+	return r.Subscribe(r.cfg.DeliveryBuffer, r.cfg.DeliveryPolicy)
+}
+
+// Subscribe is Deliveries with explicit buffering and drop policy.
+func (r *Replica) Subscribe(buffer int, policy DeliveryPolicy) *Subscription {
+	s := newSubscription(buffer, policy)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		s.Close()
+		return s
+	}
+	subs := make([]*Subscription, len(r.subs)+1)
+	copy(subs, r.subs)
+	subs[len(subs)-1] = s
+	r.subs = subs
+	r.mu.Unlock()
+	return s
+}
+
+// Stats returns the replica's transport-level counters: the TCP node's I/O
+// statistics on the TCP transport, the mailbox high-water mark on the
+// in-process transport, plus the deliveries its subscriptions have dropped.
+func (r *Replica) Stats() TransportStats {
+	s := r.tr.stats(r.pid)
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, sub := range subs {
+		s.DeliveriesDropped += sub.Dropped()
+	}
+	return s
+}
+
+// Close crash-stops the replica: it stops processing inputs (and, on the
+// TCP transport, closes its listener and connections) and its
+// subscriptions are closed. The group tolerates up to (Replicas-1)/2
+// closed or crashed members.
+func (r *Replica) Close() {
+	// Subscriptions first: a full Backpressure subscription blocks the
+	// delivering goroutine inside push, and the TCP/simulated transports'
+	// crash paths join (or lock against) exactly that goroutine. Closing
+	// the subscriptions releases it; Cluster.Close orders the same way.
+	r.closeSubs()
+	r.tr.crash(r.pid)
+}
+
+func (r *Replica) closeSubs() {
+	r.mu.Lock()
+	subs := r.subs
+	r.subs = nil
+	r.closed = true
+	r.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}

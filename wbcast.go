@@ -9,22 +9,36 @@
 // delays at group leaders in the collision-free case and at most 5 under
 // contention, tolerating f crash failures per group of 2f+1 replicas.
 //
-// Quickstart:
+// # Transports
 //
-//	cluster, err := wbcast.New(wbcast.Config{
-//		Groups:   2,
-//		Replicas: 3,
-//		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
-//			fmt.Printf("replica %d delivered %q at %v\n", p, d.Msg.Payload, d.GTS)
-//		},
-//	})
+// The same protocol state machines run on any of three transports, selected
+// by Config.Transport: InProcess (goroutines and in-memory links — the
+// default), Simulated (a deterministic discrete-event simulator for test
+// authors) and TCP (real sockets, for distributed deployments). A Cluster
+// hosts the whole topology on one transport; a distributed deployment
+// instead starts its local processes individually with NewReplica and
+// NewClient on a TCP transport — one process per host:
+//
+//	// Host 3 of a 2-group × 3-replica cluster (replica 3, group 1):
+//	tr := wbcast.TCP("0.0.0.0:7003", peers) // peers: ProcessID → address, same on every host
+//	rep, err := wbcast.NewReplica(wbcast.Config{Groups: 2, Replicas: 3, Transport: tr}, 3)
+//	defer rep.Close()
+//
+// # Quickstart
+//
+//	cluster, err := wbcast.New(wbcast.Config{Groups: 2})
 //	defer cluster.Close()
+//	sub := cluster.Replica(0).Deliveries()
 //	client, err := cluster.NewClient()
 //	id, err := client.Multicast(ctx, []byte("hello"), 0, 1)
+//	d := <-sub.C() // replica 0's deliveries, in increasing (GTS, Sub) order
 //
 // Deliveries at each replica happen in increasing global-timestamp (GTS)
 // order; the GTS exposes the system-wide total order to applications such
-// as replicated state machines and shared logs.
+// as replicated state machines and shared logs. Deliveries are consumed
+// through pull-based subscriptions (Replica.Deliveries, with configurable
+// buffering and drop policy — see DeliveryPolicy); Config.OnDeliver remains
+// as a push-style adapter over a lossless subscription.
 //
 // # Batching
 //
@@ -40,10 +54,6 @@
 //			MaxBatchBytes: 64 << 10,               // ... or at 64 KiB
 //			MaxBatchDelay: 500 * time.Microsecond, // ... or after 500µs
 //			Window:        4,                      // batches in flight per dest set
-//		},
-//		OnDeliver: func(p wbcast.ProcessID, d wbcast.Delivery) {
-//			// One callback per payload: payloads of a batch share d.GTS
-//			// and are sub-ordered by d.Sub.
 //		},
 //	})
 //
@@ -87,6 +97,10 @@ type (
 	Delivery = mcast.Delivery
 )
 
+// NoProcess marks the absence of a process where it must be
+// distinguishable from process 0.
+const NoProcess = mcast.NoProcess
+
 // NewGroupSet builds a normalised destination set.
 func NewGroupSet(groups ...GroupID) GroupSet { return mcast.NewGroupSet(groups...) }
 
@@ -113,6 +127,22 @@ func (p Protocol) String() string {
 		return "ftskeen"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol resolves a protocol name — "wbcast", "fastcast" or
+// "ftskeen" — to its Protocol value. Command-line tools use it so the
+// accepted names match Protocol.String.
+func ParseProtocol(name string) (Protocol, error) {
+	switch name {
+	case "wbcast":
+		return WhiteBox, nil
+	case "fastcast":
+		return FastCast, nil
+	case "ftskeen":
+		return FTSkeen, nil
+	default:
+		return 0, fmt.Errorf("wbcast: unknown protocol %q (want wbcast, fastcast or ftskeen)", name)
 	}
 }
 
@@ -143,7 +173,10 @@ func (b *Batching) options() batch.Options {
 	}
 }
 
-// Config parametrises a Cluster.
+// Config parametrises a deployment: the topology and protocol options
+// shared by every transport, plus the transport itself. The zero value of
+// every field except Groups is usable; construction validates the rest
+// (see Validate).
 type Config struct {
 	// Protocol defaults to WhiteBox.
 	Protocol Protocol
@@ -152,14 +185,30 @@ type Config struct {
 	// Replicas is the group size 2f+1 (default 3).
 	Replicas int
 	// Delta is the expected one-way network delay, from which protocol
-	// timeouts (retries, heartbeats, suspicion) are derived. Default 2 ms —
-	// appropriate for in-process deployments.
+	// timeouts (retries, heartbeats, suspicion) and the simulated
+	// transport's default link latency are derived. Default 2 ms —
+	// appropriate for in-process deployments; distributed deployments
+	// should set it to their network's delay.
 	Delta time.Duration
+	// Transport hosts the deployment's processes; nil means InProcess().
+	// A Transport value is single-use: one deployment per value.
+	Transport Transport
 	// Latency optionally injects artificial one-way delays between
-	// processes (see internal/live profiles); nil means none.
+	// processes on the InProcess and Simulated transports (see LAN and
+	// WAN for the paper's testbed profiles). Setting it on a TCP
+	// transport is a validation error — real networks have real latency.
 	Latency func(from, to ProcessID) time.Duration
-	// OnDeliver receives every delivery at every replica. It is invoked
-	// from replica goroutines and must not block for long.
+	// DeliveryBuffer is the capacity of delivery subscriptions created by
+	// Replica.Deliveries (default 1024).
+	DeliveryBuffer int
+	// DeliveryPolicy decides what a full subscription does with further
+	// deliveries (default Backpressure — lossless).
+	DeliveryPolicy DeliveryPolicy
+	// OnDeliver, when non-nil, receives every delivery at every replica of
+	// the deployment. It is an adapter over a lossless subscription: a
+	// per-replica goroutine invokes the callback in delivery order, off
+	// the replica's critical path. Pull-based consumers use
+	// Replica.Deliveries instead.
 	OnDeliver func(p ProcessID, d Delivery)
 	// DisableGC turns off garbage collection of delivered messages
 	// (WhiteBox only; the baselines retain delivered state regardless).
@@ -169,103 +218,125 @@ type Config struct {
 	// documentation). Nil disables batching: every payload is ordered
 	// individually.
 	Batching *Batching
+	// Logf, when non-nil, receives transport diagnostics (connection
+	// errors, dropped frames) on transports that produce them (TCP).
+	Logf func(format string, args ...any)
 }
 
-// Cluster is an in-process atomic multicast deployment: Groups × Replicas
-// replica processes plus any number of clients.
-type Cluster struct {
-	cfg Config
-	top *mcast.Topology
-	net *live.Network
-
-	nextClient ProcessID
+// Validate reports whether the configuration is well-formed: it is the
+// check every constructor (New, NewReplica, NewClient) applies before
+// building anything.
+func (cfg Config) Validate() error {
+	_, err := cfg.normalized()
+	return err
 }
 
-// New builds and starts a cluster.
-func New(cfg Config) (*Cluster, error) {
+// normalized validates cfg and fills in defaults, returning the effective
+// configuration.
+func (cfg Config) normalized() (Config, error) {
 	if cfg.Groups < 1 {
-		return nil, fmt.Errorf("wbcast: Config.Groups must be ≥ 1")
+		return cfg, fmt.Errorf("wbcast: Config.Groups must be ≥ 1")
 	}
 	if cfg.Replicas == 0 {
 		cfg.Replicas = 3
 	}
-	if cfg.Replicas%2 == 0 {
-		return nil, fmt.Errorf("wbcast: Config.Replicas must be odd (2f+1)")
+	if cfg.Replicas < 0 || cfg.Replicas%2 == 0 {
+		return cfg, fmt.Errorf("wbcast: Config.Replicas must be positive and odd (2f+1), got %d", cfg.Replicas)
 	}
 	if cfg.Protocol == 0 {
 		cfg.Protocol = WhiteBox
 	}
+	switch cfg.Protocol {
+	case WhiteBox, FastCast, FTSkeen:
+	default:
+		return cfg, fmt.Errorf("wbcast: unknown protocol %v", cfg.Protocol)
+	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 2 * time.Millisecond
 	}
-	top := mcast.UniformTopology(cfg.Groups, cfg.Replicas)
-	net := live.New(live.Config{
-		Latency:   cfg.Latency,
-		OnDeliver: cfg.OnDeliver,
-	})
-	c := &Cluster{cfg: cfg, top: top, net: net, nextClient: ProcessID(top.NumReplicas())}
-	for pid := ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
-		h, err := c.newReplica(pid)
-		if err != nil {
-			return nil, err
-		}
-		if err := net.Add(h); err != nil {
-			return nil, err
+	if cfg.Delta < 0 {
+		return cfg, fmt.Errorf("wbcast: Config.Delta must be positive, got %v", cfg.Delta)
+	}
+	if cfg.DeliveryBuffer == 0 {
+		cfg.DeliveryBuffer = 1024
+	}
+	if cfg.DeliveryBuffer < 0 {
+		return cfg, fmt.Errorf("wbcast: Config.DeliveryBuffer must be positive, got %d", cfg.DeliveryBuffer)
+	}
+	switch cfg.DeliveryPolicy {
+	case Backpressure, DropOldest, DropNewest:
+	default:
+		return cfg, fmt.Errorf("wbcast: unknown DeliveryPolicy %d", cfg.DeliveryPolicy)
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = InProcess()
+	}
+	if cfg.Latency != nil {
+		if _, isTCP := cfg.Transport.(*tcpTransport); isTCP {
+			return cfg, fmt.Errorf("wbcast: Config.Latency applies to the InProcess and Simulated transports only; a TCP deployment has real network latency")
 		}
 	}
-	if err := net.Start(); err != nil {
-		return nil, err
-	}
-	return c, nil
+	return cfg, nil
 }
 
-func (c *Cluster) newReplica(pid ProcessID) (node.Handler, error) {
-	d := c.cfg.Delta
-	switch c.cfg.Protocol {
+// newProtocolHandler is the one construction point for protocol replicas,
+// shared by Cluster, NewReplica and (through them) every command-line
+// binary. Timing is derived from cfg.Delta; on deterministic transports
+// the background timers (retries, heartbeats, failure detection, GC) are
+// disabled so runs quiesce and replay identically.
+func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID) (node.Handler, error) {
+	d := cfg.Delta
+	det := cfg.Transport.deterministic()
+	switch cfg.Protocol {
 	case WhiteBox:
-		rc := core.DefaultConfig(pid, c.top, d)
-		if c.cfg.DisableGC {
+		rc := core.DefaultConfig(pid, top, d)
+		if cfg.DisableGC {
 			rc.GCInterval = 0
+		}
+		if det {
+			rc.RetryInterval, rc.HeartbeatInterval, rc.SuspectTimeout, rc.GCInterval = 0, 0, 0, 0
 		}
 		return core.NewReplica(rc)
 	case FastCast:
-		return fastcast.New(fastcast.Config{
-			PID: pid, Top: c.top,
+		fc := fastcast.Config{
+			PID: pid, Top: top,
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
-		})
+		}
+		if det {
+			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
+		}
+		return fastcast.New(fc)
 	case FTSkeen:
-		return ftskeen.New(ftskeen.Config{
-			PID: pid, Top: c.top,
+		fc := ftskeen.Config{
+			PID: pid, Top: top,
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
-		})
+		}
+		if det {
+			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
+		}
+		return ftskeen.New(fc)
 	default:
-		return nil, fmt.Errorf("wbcast: unknown protocol %v", c.cfg.Protocol)
+		return nil, fmt.Errorf("wbcast: unknown protocol %v", cfg.Protocol)
 	}
 }
 
-// Close shuts the cluster down and joins all its goroutines.
-func (c *Cluster) Close() { c.net.Close() }
-
-// NumGroups returns the number of groups.
-func (c *Cluster) NumGroups() int { return c.top.NumGroups() }
-
-// GroupMembers returns the replica IDs of group g.
-func (c *Cluster) GroupMembers(g GroupID) []ProcessID {
-	out := make([]ProcessID, len(c.top.Members(g)))
-	copy(out, c.top.Members(g))
-	return out
+// LAN returns the paper's LAN latency profile for Config.Latency: a
+// uniform 50µs one-way delay on every link (the CloudLab testbed of §VI
+// has ~0.1ms round trips).
+func LAN() func(from, to ProcessID) time.Duration {
+	return live.LAN()
 }
 
-// AllGroups returns the set of all groups.
-func (c *Cluster) AllGroups() GroupSet { return c.top.AllGroups() }
-
-// CrashReplica injects a crash-stop failure: the replica stops processing.
-// The cluster tolerates up to (Replicas-1)/2 crashes per group.
-func (c *Cluster) CrashReplica(pid ProcessID) { c.net.Crash(pid) }
-
-// InitialLeader returns the process that leads group g at startup.
-func (c *Cluster) InitialLeader(g GroupID) ProcessID { return c.top.InitialLeader(g) }
+// WAN returns the paper's WAN latency profile for Config.Latency on a
+// uniform topology of groups×replicas: every group has one replica in each
+// of the three data centres (Oregon, N. Virginia, England), with the §VI
+// inter-datacentre round-trip matrix. Clients are spread round-robin over
+// the data centres.
+func WAN(groups, replicas int) func(from, to ProcessID) time.Duration {
+	top := mcast.UniformTopology(groups, replicas)
+	return live.WAN(live.PaperWANAssign(top))
+}

@@ -17,6 +17,22 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := wbcast.New(wbcast.Config{Groups: 1, Replicas: 2}); err == nil {
 		t.Error("even Replicas accepted")
 	}
+	// Validate is the same check construction applies — including the
+	// per-transport ones.
+	bad := wbcast.Config{
+		Groups:    1,
+		Latency:   wbcast.LAN(),
+		Transport: wbcast.TCP("", map[wbcast.ProcessID]string{}),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted Latency on a TCP transport")
+	}
+	if _, err := wbcast.New(bad); err == nil {
+		t.Error("New accepted Latency on a TCP transport")
+	}
+	if err := (wbcast.Config{Groups: 2}).Validate(); err != nil {
+		t.Errorf("Validate rejected a valid config: %v", err)
+	}
 }
 
 func TestQuickstartFlow(t *testing.T) {
