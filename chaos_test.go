@@ -1,0 +1,127 @@
+package wbcast_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"wbcast"
+)
+
+// TestFaultPlanSimulated drives the public chaos surface for every
+// protocol: a 2×3 cluster on the Simulated transport with a FaultPlan that
+// partitions the leader of group 0 while a follower of group 1 crashes and
+// restarts. Every multicast must still complete, and the deliveries
+// observed through subscriptions must satisfy the public ordering
+// contract: exactly-once per subscription, strictly increasing (GTS, Sub)
+// per replica, identical sequences within a group, and globally agreed
+// timestamps.
+func TestFaultPlanSimulated(t *testing.T) {
+	for _, proto := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			plan := wbcast.NewFaultPlan()
+			plan.At(80 * time.Millisecond).Isolate(0) // leader of group 0
+			plan.At(100 * time.Millisecond).Crash(4)  // follower in group 1
+			plan.At(400 * time.Millisecond).Restart(4)
+			plan.At(900 * time.Millisecond).Heal()
+
+			var mu sync.Mutex
+			var fired []string
+			tr := wbcast.SimulatedWith(wbcast.SimulatedOptions{
+				Seed:   42,
+				Faults: plan,
+				OnFault: func(at time.Duration, desc string) {
+					mu.Lock()
+					fired = append(fired, desc)
+					mu.Unlock()
+				},
+			})
+			cluster, err := wbcast.New(wbcast.Config{Groups: 2, Protocol: proto, Transport: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+
+			const n = 20
+			subs := make([]*wbcast.Subscription, 6)
+			for pid := wbcast.ProcessID(0); pid < 6; pid++ {
+				subs[pid] = cluster.Replica(pid).Subscribe(4*n, wbcast.Backpressure)
+			}
+			client, err := cluster.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			sent := make(map[wbcast.MsgID]bool, n)
+			for i := 0; i < n; i++ {
+				id, err := client.Multicast(ctx, []byte{byte(i)}, 0, 1)
+				if err != nil {
+					t.Fatalf("multicast %d: %v", i, err)
+				}
+				sent[id] = true
+			}
+
+			// Termination: with every fault lifted, all six replicas
+			// eventually observe all n deliveries.
+			got := make([][]wbcast.Delivery, 6)
+			deadline := time.After(60 * time.Second)
+			for pid := 0; pid < 6; pid++ {
+				for len(got[pid]) < n {
+					select {
+					case d, ok := <-subs[pid].C():
+						if !ok {
+							t.Fatalf("replica %d: subscription closed after %d deliveries", pid, len(got[pid]))
+						}
+						got[pid] = append(got[pid], d)
+					case <-deadline:
+						t.Fatalf("replica %d: only %d/%d deliveries (faults fired: %v)", pid, len(got[pid]), n, fired)
+					}
+				}
+			}
+
+			// Exactly-once, validity and per-replica (GTS, Sub) monotonicity.
+			stamp := make(map[wbcast.MsgID]wbcast.Delivery)
+			for pid := 0; pid < 6; pid++ {
+				seen := make(map[wbcast.MsgID]bool)
+				for i, d := range got[pid] {
+					if !sent[d.Msg.ID] {
+						t.Fatalf("replica %d delivered unknown message %v", pid, d.Msg.ID)
+					}
+					if seen[d.Msg.ID] {
+						t.Fatalf("replica %d delivered %v twice", pid, d.Msg.ID)
+					}
+					seen[d.Msg.ID] = true
+					if i > 0 && !got[pid][i-1].Before(d) {
+						t.Fatalf("replica %d: delivery %d not in increasing (GTS,Sub) order", pid, i)
+					}
+					if prev, ok := stamp[d.Msg.ID]; ok {
+						if prev.GTS != d.GTS || prev.Sub != d.Sub {
+							t.Fatalf("replicas disagree on the timestamp of %v", d.Msg.ID)
+						}
+					} else {
+						stamp[d.Msg.ID] = d
+					}
+				}
+			}
+			// Gap-freedom: members of a group deliver the same sequence.
+			for _, group := range [][]int{{0, 1, 2}, {3, 4, 5}} {
+				for _, pid := range group[1:] {
+					for i := range got[group[0]] {
+						if got[group[0]][i].Msg.ID != got[pid][i].Msg.ID {
+							t.Fatalf("replicas %d and %d diverge at delivery %d", group[0], pid, i)
+						}
+					}
+				}
+			}
+			mu.Lock()
+			nf := len(fired)
+			mu.Unlock()
+			if nf == 0 {
+				t.Fatal("no fault action fired — the schedule did not run")
+			}
+		})
+	}
+}

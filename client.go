@@ -59,9 +59,11 @@ func newClientOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Client, error
 		opts = &o
 	}
 	retry := 50 * cfg.Delta
-	if cfg.Transport.deterministic() {
-		// The simulated transport pumps submissions to quiescence; a
-		// retry timer would re-arm forever and keep it from quiescing.
+	if !cfg.Transport.backgroundTimers() {
+		// The plain simulated transport pumps submissions to quiescence;
+		// a retry timer would re-arm forever and keep it from quiescing.
+		// (In chaos mode timers stay on — retries are the client-side
+		// recovery path for faulted messages.)
 		retry = 0
 	}
 	cl.h = batch.NewHandler(client.Config{

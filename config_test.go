@@ -1,0 +1,111 @@
+package wbcast_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wbcast"
+)
+
+func TestParseProtocol(t *testing.T) {
+	// Every valid name round-trips through String.
+	for _, want := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen} {
+		got, err := wbcast.ParseProtocol(want.String())
+		if err != nil {
+			t.Fatalf("ParseProtocol(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Fatalf("ParseProtocol(%q) = %v, want %v", want.String(), got, want)
+		}
+	}
+	for _, bad := range []string{"", "WBCAST", "wbcast ", "skeen", "paxos", "white-box"} {
+		if _, err := wbcast.ParseProtocol(bad); err == nil {
+			t.Errorf("ParseProtocol(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "unknown protocol") {
+			t.Errorf("ParseProtocol(%q) error %q lacks context", bad, err)
+		}
+	}
+}
+
+func TestProtocolStringUnknown(t *testing.T) {
+	if s := wbcast.Protocol(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("Protocol(99).String() = %q", s)
+	}
+}
+
+// TestValidateEdgeCases covers the rejections Validate must make beyond
+// the basics already in TestConfigValidation: unknown protocol values,
+// negative knobs, unknown policies, and the per-transport rules.
+func TestValidateEdgeCases(t *testing.T) {
+	valid := wbcast.Config{Groups: 2}
+	cases := []struct {
+		name   string
+		mutate func(*wbcast.Config)
+		errHas string
+	}{
+		{"unknown protocol value", func(c *wbcast.Config) { c.Protocol = wbcast.Protocol(42) }, "unknown protocol"},
+		{"negative groups", func(c *wbcast.Config) { c.Groups = -1 }, "Groups"},
+		{"negative replicas", func(c *wbcast.Config) { c.Replicas = -3 }, "Replicas"},
+		{"even replicas", func(c *wbcast.Config) { c.Replicas = 4 }, "Replicas"},
+		{"negative delta", func(c *wbcast.Config) { c.Delta = -time.Millisecond }, "Delta"},
+		{"negative delivery buffer", func(c *wbcast.Config) { c.DeliveryBuffer = -1 }, "DeliveryBuffer"},
+		{"unknown delivery policy", func(c *wbcast.Config) { c.DeliveryPolicy = wbcast.DeliveryPolicy(7) }, "DeliveryPolicy"},
+		{"latency on tcp", func(c *wbcast.Config) {
+			c.Latency = wbcast.LAN()
+			c.Transport = wbcast.TCP("", map[wbcast.ProcessID]string{})
+		}, "Latency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.errHas) {
+				t.Fatalf("error %q does not mention %q", err, tc.errHas)
+			}
+		})
+	}
+
+	// The same latency profile is fine on the non-TCP transports.
+	for _, tr := range []wbcast.Transport{wbcast.InProcess(), wbcast.Simulated()} {
+		cfg := valid
+		cfg.Latency = wbcast.LAN()
+		cfg.Transport = tr
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected Latency on %T: %v", tr, err)
+		}
+		tr.Close()
+	}
+
+	// Validate fills defaults without mutating the caller's copy.
+	cfg := valid
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Replicas != 0 || cfg.Protocol != 0 || cfg.Delta != 0 {
+		t.Errorf("Validate mutated its receiver: %+v", cfg)
+	}
+}
+
+// TestFaultPlanValidation: a plan with a negative trigger time is rejected
+// when the transport opens.
+func TestFaultPlanValidation(t *testing.T) {
+	bad := []*wbcast.FaultPlan{
+		wbcast.NewFaultPlan(), // negative trigger time
+		wbcast.NewFaultPlan(), // out-of-range probability
+		wbcast.NewFaultPlan(), // negative skew factor
+	}
+	bad[0].At(-time.Second).Crash(0)
+	bad[1].At(time.Second).Link(0, 1, wbcast.LinkFaults{DropProb: 1.5})
+	bad[2].At(time.Second).ClockSkew(0, -1)
+	for i, plan := range bad {
+		tr := wbcast.SimulatedWith(wbcast.SimulatedOptions{Faults: plan})
+		if _, err := wbcast.New(wbcast.Config{Groups: 1, Transport: tr}); err == nil {
+			t.Errorf("invalid plan %d accepted", i)
+		}
+	}
+}

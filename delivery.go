@@ -25,6 +25,7 @@ const (
 	DropNewest
 )
 
+// String names the policy for logs and test output.
 func (p DeliveryPolicy) String() string {
 	switch p {
 	case Backpressure:

@@ -131,3 +131,66 @@ func TestDeliveriesCloseUnblocksProducer(t *testing.T) {
 		t.Fatal("producer still blocked after Close")
 	}
 }
+
+// TestDroppedAccountingConservation verifies the Dropped() ledger under
+// both lossy policies with a consumer interleaved mid-stream: every pushed
+// delivery is either received or counted dropped, never both, never
+// neither.
+func TestDroppedAccountingConservation(t *testing.T) {
+	for _, policy := range []DeliveryPolicy{DropOldest, DropNewest} {
+		s := newSubscription(3, policy)
+		const phase1, phase2 = 10, 7
+		for i := 1; i <= phase1; i++ {
+			s.push(testDelivery(i))
+		}
+		got := drain(s, 20*time.Millisecond)
+		// Interleave: more pushes after the consumer drained everything.
+		for i := phase1 + 1; i <= phase1+phase2; i++ {
+			s.push(testDelivery(i))
+		}
+		got = append(got, drain(s, 20*time.Millisecond)...)
+		s.Close()
+
+		if want := uint64(phase1 + phase2 - len(got)); s.Dropped() != want {
+			t.Errorf("%v: Dropped() = %d, want %d (received %d of %d)",
+				policy, s.Dropped(), want, len(got), phase1+phase2)
+		}
+		if s.Dropped() == 0 {
+			t.Errorf("%v: expected drops with buffer 3 and %d pushes", policy, phase1)
+		}
+		seen := make(map[MsgID]bool, len(got))
+		for _, d := range got {
+			if seen[d.Msg.ID] {
+				t.Errorf("%v: %v received twice", policy, d.Msg.ID)
+			}
+			seen[d.Msg.ID] = true
+		}
+	}
+}
+
+// TestDroppedZeroUnderBackpressure: the lossless policy never counts drops,
+// however slow the consumer.
+func TestDroppedZeroUnderBackpressure(t *testing.T) {
+	s := newSubscription(2, Backpressure)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 20; i++ {
+			s.push(testDelivery(i)) // blocks when full
+		}
+	}()
+	var got int
+	for got < 20 {
+		select {
+		case <-s.C():
+			got++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %d deliveries", got)
+		}
+	}
+	<-done
+	if s.Dropped() != 0 {
+		t.Errorf("Backpressure counted %d drops", s.Dropped())
+	}
+	s.Close()
+}

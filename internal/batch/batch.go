@@ -1,27 +1,3 @@
-// Package batch implements message batching and pipelining for atomic
-// multicast: many application payloads destined for the same group set are
-// aggregated into a single protocol-level multicast (amortising the
-// fixed per-message ordering cost — timestamp proposals, ACK quorums, a
-// delivery-queue pass), and unpacked back into individual ordered
-// deliveries on the far side.
-//
-// The subsystem has three parts:
-//
-//   - Options and Client: a client-side accumulator with size-, count- and
-//     latency-bound flush triggers plus a pipelining window bounding how
-//     many batches per destination set may be in flight concurrently.
-//   - MakeBatchID/IsBatchID: a reserved slice of the per-sender MsgID
-//     sequence space that marks batch envelopes, so the delivery path can
-//     recognise them without sniffing payloads.
-//   - ExpandInto: the delivery-side unpacker used by every protocol
-//     (white-box core, FT-Skeen, FastCast, Skeen), which turns one batch
-//     delivery into per-payload deliveries sharing the batch's GTS and
-//     sub-sequenced by their position in the batch.
-//
-// Ordering: all payloads of a batch inherit the batch's global timestamp
-// and are delivered in batch order, so the per-payload total order is the
-// lexicographic (GTS, Sub) order. Because every replica decodes the same
-// batch bytes, all replicas agree on the sub-order by construction.
 package batch
 
 import (

@@ -1,0 +1,153 @@
+package check
+
+import (
+	"fmt"
+
+	"wbcast/internal/mcast"
+)
+
+// Monitor is the incremental safety checker used during chaos runs: it
+// verifies every delivery as it happens, in O(1) amortised per delivery,
+// so an invariant violation is caught at the moment (and virtual time) it
+// occurs rather than at the end of the run. It checks, continuously:
+//
+//   - validity: only submitted messages are delivered, and only at members
+//     of an addressed group;
+//   - exactly-once: no process delivers the same message twice;
+//   - total order: each process's deliveries carry strictly increasing
+//     (GTS, Sub) stamps, all processes agree on every message's stamp, and
+//     no two messages share a stamp — together these imply the existence
+//     of a global total order consistent with every delivery sequence;
+//   - gap-freedom: all members of a group deliver exactly the same
+//     sequence of messages — each member's delivery log is a prefix of the
+//     group's canonical log, so nobody skips over (or reorders within) the
+//     group's projection of the total order.
+//
+// Liveness (Termination) is inherently a quiescence property and stays in
+// History.Check; run both, pouring the same records into each.
+type Monitor struct {
+	top       *mcast.Topology
+	submitted map[mcast.MsgID]submitInfo
+	stampOf   map[mcast.MsgID]stampKey
+	stampUsed map[stampKey]mcast.MsgID
+	last      map[mcast.ProcessID]stampKey
+	hasLast   map[mcast.ProcessID]bool
+	seen      map[mcast.ProcessID]map[mcast.MsgID]bool
+	// groupLog is the canonical per-group delivery sequence, grown by
+	// whichever member is furthest ahead; pos is each process's index into
+	// its group's log.
+	groupLog map[mcast.GroupID][]groupEntry
+	pos      map[mcast.ProcessID]int
+
+	errs []error
+}
+
+type stampKey struct {
+	gts mcast.Timestamp
+	sub int
+}
+
+type groupEntry struct {
+	id    mcast.MsgID
+	stamp stampKey
+}
+
+// NewMonitor builds an empty monitor over the topology.
+func NewMonitor(top *mcast.Topology) *Monitor {
+	return &Monitor{
+		top:       top,
+		submitted: make(map[mcast.MsgID]submitInfo),
+		stampOf:   make(map[mcast.MsgID]stampKey),
+		stampUsed: make(map[stampKey]mcast.MsgID),
+		last:      make(map[mcast.ProcessID]stampKey),
+		hasLast:   make(map[mcast.ProcessID]bool),
+		seen:      make(map[mcast.ProcessID]map[mcast.MsgID]bool),
+		groupLog:  make(map[mcast.GroupID][]groupEntry),
+		pos:       make(map[mcast.ProcessID]int),
+	}
+}
+
+// NoteSubmit records that sender multicast m.
+func (mo *Monitor) NoteSubmit(sender mcast.ProcessID, m mcast.AppMsg) {
+	if _, dup := mo.submitted[m.ID]; dup {
+		return
+	}
+	mo.submitted[m.ID] = submitInfo{sender: sender, dest: m.Dest.Clone()}
+}
+
+// NoteDelivery checks one delivery at process p against every continuous
+// invariant, accumulating violations (retrieve them with Errs).
+func (mo *Monitor) NoteDelivery(p mcast.ProcessID, d mcast.Delivery) {
+	id := d.Msg.ID
+	st := stampKey{gts: d.GTS, sub: d.Sub}
+
+	info, ok := mo.submitted[id]
+	if !ok {
+		mo.fail("validity: %v delivered at p%d but never multicast", id, p)
+	} else {
+		g := mo.top.GroupOf(p)
+		if g == mcast.NoGroup || !info.dest.Contains(g) {
+			mo.fail("validity: p%d (group %d) delivered %v addressed to %v", p, g, id, info.dest)
+		}
+	}
+
+	if mo.seen[p] == nil {
+		mo.seen[p] = make(map[mcast.MsgID]bool)
+	}
+	if mo.seen[p][id] {
+		mo.fail("integrity: p%d delivered %v twice", p, id)
+		return // the sequence checks below would only cascade
+	}
+	mo.seen[p][id] = true
+
+	if mo.hasLast[p] && !less(mo.last[p], st) {
+		mo.fail("gts: p%d delivered %v with (GTS,sub) (%v,%d) not above previous (%v,%d)",
+			p, id, st.gts, st.sub, mo.last[p].gts, mo.last[p].sub)
+	}
+	mo.last[p], mo.hasLast[p] = st, true
+
+	if want, ok := mo.stampOf[id]; ok {
+		if want != st {
+			mo.fail("gts: %v has (GTS,sub) (%v,%d) at p%d but (%v,%d) elsewhere (Invariant 3b)",
+				id, st.gts, st.sub, p, want.gts, want.sub)
+		}
+	} else {
+		mo.stampOf[id] = st
+		if other, clash := mo.stampUsed[st]; clash && other != id {
+			mo.fail("gts: %v and %v share (GTS,sub) (%v,%d) (Invariant 4)", id, other, st.gts, st.sub)
+		}
+		mo.stampUsed[st] = id
+	}
+
+	// Gap-freedom: p's next delivery must be the next entry of its group's
+	// canonical log (extending the log if p is the frontier member).
+	g := mo.top.GroupOf(p)
+	if g == mcast.NoGroup {
+		return // validity violation reported above
+	}
+	i := mo.pos[p]
+	log := mo.groupLog[g]
+	if i < len(log) {
+		if log[i].id != id {
+			mo.fail("gap: p%d delivered %v at group position %d where %v (GTS %v) was delivered by its peers",
+				p, id, i, log[i].id, log[i].stamp.gts)
+		}
+	} else {
+		mo.groupLog[g] = append(log, groupEntry{id: id, stamp: st})
+	}
+	mo.pos[p] = i + 1
+}
+
+// Errs returns every violation observed so far, in detection order.
+func (mo *Monitor) Errs() []error { return mo.errs }
+
+func (mo *Monitor) fail(format string, args ...any) {
+	mo.errs = append(mo.errs, fmt.Errorf(format, args...))
+}
+
+func less(a, b stampKey) bool {
+	if a.gts != b.gts {
+		return a.gts.Less(b.gts)
+	}
+	return a.sub < b.sub
+}

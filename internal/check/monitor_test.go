@@ -1,0 +1,98 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"wbcast/internal/mcast"
+)
+
+func monitorFixture() (*Monitor, []mcast.AppMsg) {
+	top := mcast.UniformTopology(2, 3)
+	mo := NewMonitor(top)
+	msgs := make([]mcast.AppMsg, 3)
+	for i := range msgs {
+		msgs[i] = mcast.AppMsg{ID: mcast.MakeMsgID(9, uint32(i+1)), Dest: mcast.NewGroupSet(0, 1)}
+		mo.NoteSubmit(9, msgs[i])
+	}
+	return mo, msgs
+}
+
+func del(m mcast.AppMsg, t uint64) mcast.Delivery {
+	return mcast.Delivery{Msg: m, GTS: mcast.Timestamp{Time: t, Group: 0}}
+}
+
+func firstErr(mo *Monitor) string {
+	if errs := mo.Errs(); len(errs) > 0 {
+		return errs[0].Error()
+	}
+	return ""
+}
+
+func TestMonitorCleanRun(t *testing.T) {
+	mo, ms := monitorFixture()
+	for _, p := range []mcast.ProcessID{0, 1, 3} {
+		for i, m := range ms {
+			mo.NoteDelivery(p, del(m, uint64(i+1)))
+		}
+	}
+	if e := firstErr(mo); e != "" {
+		t.Fatalf("clean run flagged: %v", e)
+	}
+}
+
+func TestMonitorCatchesDuplicate(t *testing.T) {
+	mo, ms := monitorFixture()
+	mo.NoteDelivery(0, del(ms[0], 1))
+	mo.NoteDelivery(0, del(ms[0], 1))
+	if e := firstErr(mo); !strings.Contains(e, "integrity") {
+		t.Fatalf("duplicate not flagged: %q", e)
+	}
+}
+
+func TestMonitorCatchesGap(t *testing.T) {
+	mo, ms := monitorFixture()
+	// p0 establishes the group-0 log [m0, m1]; p1 skips m0.
+	mo.NoteDelivery(0, del(ms[0], 1))
+	mo.NoteDelivery(0, del(ms[1], 2))
+	mo.NoteDelivery(1, del(ms[1], 2))
+	if e := firstErr(mo); !strings.Contains(e, "gap") {
+		t.Fatalf("gap not flagged: %q", e)
+	}
+}
+
+func TestMonitorCatchesStampDisagreement(t *testing.T) {
+	mo, ms := monitorFixture()
+	mo.NoteDelivery(0, del(ms[0], 1))
+	mo.NoteDelivery(3, del(ms[0], 2)) // different group, different GTS claim
+	if e := firstErr(mo); !strings.Contains(e, "Invariant 3b") {
+		t.Fatalf("stamp disagreement not flagged: %q", e)
+	}
+}
+
+func TestMonitorCatchesStampReuse(t *testing.T) {
+	mo, ms := monitorFixture()
+	mo.NoteDelivery(0, del(ms[0], 1))
+	mo.NoteDelivery(3, del(ms[1], 1)) // same (GTS, Sub) for another message
+	if e := firstErr(mo); !strings.Contains(e, "Invariant 4") {
+		t.Fatalf("stamp reuse not flagged: %q", e)
+	}
+}
+
+func TestMonitorCatchesUnsubmittedAndMisaddressed(t *testing.T) {
+	top := mcast.UniformTopology(2, 3)
+	mo := NewMonitor(top)
+	ghost := mcast.AppMsg{ID: mcast.MakeMsgID(9, 99), Dest: mcast.NewGroupSet(0)}
+	mo.NoteDelivery(0, del(ghost, 1))
+	if e := firstErr(mo); !strings.Contains(e, "validity") {
+		t.Fatalf("unsubmitted delivery not flagged: %q", e)
+	}
+
+	mo2 := NewMonitor(top)
+	only0 := mcast.AppMsg{ID: mcast.MakeMsgID(9, 1), Dest: mcast.NewGroupSet(0)}
+	mo2.NoteSubmit(9, only0)
+	mo2.NoteDelivery(3, del(only0, 1)) // p3 is in group 1, not addressed
+	if e := firstErr(mo2); !strings.Contains(e, "validity") {
+		t.Fatalf("misaddressed delivery not flagged: %q", e)
+	}
+}

@@ -1,22 +1,3 @@
-// Package core implements the white-box atomic multicast protocol of
-// Gotsman, Lefort and Chockler (DSN 2019), Fig. 4 — the paper's primary
-// contribution.
-//
-// The protocol weaves Skeen's timestamp-based multicast across groups
-// together with a Paxos-like replication protocol within each group. Each
-// group has a leader that assigns local timestamps and decides deliveries
-// (passive replication); a single ACCEPT/ACCEPT_ACK exchange between the
-// leaders of a message's destination groups and quorums of followers in all
-// those groups replicates both the local-timestamp assignment and the
-// speculative clock advance, giving a collision-free delivery latency of 3δ
-// at leaders (4δ at followers) and a failure-free latency of 5δ.
-//
-// File layout:
-//
-//	core.go     — replica state (Fig. 3) and normal operation (Fig. 4 lines 1–34)
-//	recovery.go — leader recovery (Fig. 4 lines 35–68)
-//	liveness.go — heartbeat failure detector, retries and garbage collection
-//	adapter.go  — test-harness adapter
 package core
 
 import (
@@ -147,6 +128,10 @@ type Replica struct {
 	ballot          mcast.Ballot
 	curLeader       map[mcast.GroupID]mcast.ProcessID
 	maxDeliveredGTS mcast.Timestamp
+	// lastDeliverGTS is the leader-side DELIVER chain cursor: the GTS of
+	// the last delivery it replicated, threaded through Deliver.Prev so
+	// followers can detect missed DELIVERs (crash-recovery message loss).
+	lastDeliverGTS mcast.Timestamp
 
 	state map[mcast.MsgID]*mstate
 	// queue implements the delivery rule over the leader's local state
@@ -163,6 +148,11 @@ type Replica struct {
 	suspectArmed bool
 	// deliveredWM tracks each group member's delivery watermark (leader).
 	deliveredWM map[mcast.ProcessID]mcast.Timestamp
+	// lastAckWM remembers each member's previous heartbeat-ack watermark:
+	// a watermark that fails to advance between acks marks a stalled
+	// follower needing the catch-up replay. Merely trailing is normal —
+	// followers deliver one hop after the leader.
+	lastAckWM map[mcast.ProcessID]mcast.Timestamp
 	// groupWM tracks every group's delivery watermark, fed by GCMark.
 	groupWM map[mcast.GroupID]mcast.Timestamp
 	// pruned counts messages garbage-collected at this replica.
@@ -192,6 +182,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		nlAcks:      make(map[mcast.ProcessID]msgs.NewLeaderAck),
 		nsAcks:      make(map[mcast.ProcessID]bool),
 		deliveredWM: make(map[mcast.ProcessID]mcast.Timestamp),
+		lastAckWM:   make(map[mcast.ProcessID]mcast.Timestamp),
 		groupWM:     make(map[mcast.GroupID]mcast.Timestamp),
 	}
 	r.groupPeers = cfg.Top.Peers(r.pid)
@@ -269,7 +260,7 @@ func (r *Replica) onRecv(in node.Recv, fx *node.Effects) {
 	case msgs.Heartbeat:
 		r.onHeartbeat(in.From, m, fx)
 	case msgs.HeartbeatAck:
-		r.onHeartbeatAck(in.From, m)
+		r.onHeartbeatAck(in.From, m, fx)
 	case msgs.GCMark:
 		r.onGCMark(m)
 	case msgs.Prune:
@@ -479,7 +470,8 @@ func (r *Replica) drain(fx *node.Effects) {
 		}
 		st := r.state[id]
 		st.delivered = true // line 22
-		del := msgs.Deliver{ID: id, Bal: r.cballot, LTS: st.lts, GTS: gts}
+		del := msgs.Deliver{ID: id, Bal: r.cballot, LTS: st.lts, GTS: gts, Prev: r.lastDeliverGTS}
+		r.lastDeliverGTS = gts
 		fx.SendAll(r.cfg.Top.Members(r.group), del) // line 23
 	}
 }
@@ -495,6 +487,14 @@ func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
 		return
 	}
 	if !r.maxDeliveredGTS.Less(d.GTS) { // line 25: max_delivered_gts < gts
+		return
+	}
+	if r.maxDeliveredGTS.Less(d.Prev) {
+		// The chain predecessor was never delivered here: this replica
+		// missed a DELIVER (lost while it was down — impossible under the
+		// paper's reliable channels). Delivering now would open a gap in the
+		// group's delivery sequence; drop instead and wait for the leader's
+		// heartbeat-ack-driven catch-up, which replays the missing prefix.
 		return
 	}
 	st := r.get(d.ID)

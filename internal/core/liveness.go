@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"wbcast/internal/mcast"
@@ -67,6 +68,23 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 	if m.Group != r.group {
 		return
 	}
+	if r.cballot.Less(m.Bal) {
+		// A heartbeat is only ever sent by an established leader, so this
+		// process slept through a leader change (crash-recovery restart):
+		// its cballot — and possibly its message state — is stale. It must
+		// not keep acting on the old ballot (in particular a deposed leader
+		// must stop leading), and the only safe way back in is a full state
+		// transfer: join the evidence ballot and let the suspicion timer
+		// drive a candidacy, whose NEW_STATE round re-synchronises a quorum
+		// (§IV — a shortcut that adopted the ballot without the state could
+		// later vote in J with an incomplete state and resurrect a
+		// forgotten timestamp, violating Invariant 5).
+		if r.ballot.Less(m.Bal) {
+			r.ballot = m.Bal
+		}
+		r.status = StatusRecovering
+		return
+	}
 	// Only a heartbeat of the ballot we participate in refreshes the
 	// failure detector: a process stranded in a higher joined ballot must
 	// eventually start its own candidacy to rejoin the group.
@@ -76,12 +94,65 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 	}
 }
 
-func (r *Replica) onHeartbeatAck(from mcast.ProcessID, m msgs.HeartbeatAck) {
+// catchupBatch caps how many missed deliveries one heartbeat ack replays,
+// bounding the burst a far-behind follower triggers; the next ack continues
+// from its advanced watermark.
+const catchupBatch = 64
+
+func (r *Replica) onHeartbeatAck(from mcast.ProcessID, m msgs.HeartbeatAck, fx *node.Effects) {
 	if r.status != StatusLeader || m.Bal != r.cballot {
 		return
 	}
 	if r.deliveredWM[from].Less(m.Delivered) {
 		r.deliveredWM[from] = m.Delivered
+	}
+	// Replay only for a STALLED follower: one whose watermark did not
+	// advance since its previous ack. Merely trailing the leader is the
+	// steady-state norm (followers deliver one hop later) and must not
+	// trigger a state scan and a redundant replay burst every heartbeat.
+	prev, seen := r.lastAckWM[from]
+	r.lastAckWM[from] = m.Delivered
+	if seen && prev == m.Delivered {
+		r.catchup(from, m.Delivered, fx)
+	}
+}
+
+// catchup replays the delivery sequence above a lagging follower's
+// watermark: for each missed message, an ACCEPT (so the follower learns the
+// application message it may have never received) followed by the DELIVER,
+// chained from the follower's own watermark so its gap check accepts the
+// replay. Under reliable channels followers never lag and this sends
+// nothing; it is the recovery path for crash-recovery message loss. GC
+// cannot have pruned anything a follower still needs: the group watermark
+// that licenses pruning is the minimum over all members' reported
+// watermarks, including this follower's.
+func (r *Replica) catchup(from mcast.ProcessID, wm mcast.Timestamp, fx *node.Effects) {
+	if from == r.pid || !wm.Less(r.maxDeliveredGTS) {
+		return
+	}
+	type miss struct {
+		id  mcast.MsgID
+		gts mcast.Timestamp
+	}
+	var missed []miss
+	for id, st := range r.state {
+		if st.delivered && st.hasApp && wm.Less(st.gts) {
+			missed = append(missed, miss{id, st.gts})
+		}
+	}
+	if len(missed) == 0 {
+		return
+	}
+	sort.Slice(missed, func(i, j int) bool { return missed[i].gts.Less(missed[j].gts) })
+	if len(missed) > catchupBatch {
+		missed = missed[:catchupBatch]
+	}
+	prev := wm
+	for _, ms := range missed {
+		st := r.state[ms.id]
+		fx.Send(from, msgs.Accept{M: st.app, Group: r.group, Bal: r.cballot, LTS: st.lts})
+		fx.Send(from, msgs.Deliver{ID: ms.id, Bal: r.cballot, LTS: st.lts, GTS: ms.gts, Prev: prev})
+		prev = ms.gts
 	}
 }
 

@@ -201,7 +201,11 @@ func (r *Replica) maybeFinishRecovery(fx *node.Effects) {
 	// Rebuild the delivery queue from the recovered state and re-deliver
 	// every deliverable committed message from the beginning (lines 66–68).
 	// Followers that already delivered some of them discard the duplicates
-	// via the max_delivered_gts check.
+	// via the max_delivered_gts check. The DELIVER chain restarts below the
+	// re-drained prefix: at the group GC watermark, which every member's
+	// delivery watermark is guaranteed to have reached (pruning requires
+	// it), so no follower's gap check can mistake the restart for a gap.
+	r.lastDeliverGTS = r.groupWM[r.group]
 	r.queue.Clear()
 	for id, st := range r.state {
 		switch st.phase {

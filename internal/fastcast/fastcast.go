@@ -1,27 +1,3 @@
-// Package fastcast implements the FastCast protocol of Coelho, Schiper and
-// Pedone (DSN 2017) — the state-of-the-art black-box baseline the paper
-// compares against (§VI "Competitor protocols").
-//
-// FastCast optimises FT-Skeen with speculative execution. On receiving an
-// application message, the group's Paxos leader issues a tentative local
-// timestamp, starts consensus to persist it, and — without waiting —
-// announces the timestamp to the other destination leaders (PROPOSE). On a
-// full set of (tentative) timestamps, leaders speculatively compute the
-// global timestamp, advance their clocks in line with it, and start a
-// second consensus to persist the commit. When the first consensus decides,
-// leaders exchange CONFIRM messages; a message is committed once the second
-// consensus has completed and every destination group has confirmed the
-// timestamp used. In failure-free runs the speculation always succeeds:
-//
-//	MULTICAST (δ) + max(consensus₁ (2δ) + CONFIRM (δ), PROPOSE (δ) +
-//	consensus₂ (2δ)) = 4δ
-//
-// at destination leaders — the 4δ collision-free latency the paper quotes,
-// with failure-free latency 8δ (the durable clock advance completes with
-// consensus₂, so the convoy window is C = 4δ).
-//
-// Delivery is leader-gated: followers deliver on DELIVER messages from
-// their leader (off the critical path), one hop after the leader (5δ).
 package fastcast
 
 import (
@@ -79,9 +55,24 @@ type Replica struct {
 	// remoteLeaders is the Cur_leader guess for remote groups, learned
 	// from observed traffic.
 	remoteLeaders map[mcast.GroupID]mcast.ProcessID
+	// redrives counts per-message retry rounds; after a couple of targeted
+	// rounds the retry blankets whole destination groups, because the
+	// leader guess may be stale after remote elections and followers drop
+	// PROPOSE/CONFIRM/MULTICAST silently (§IV).
+	redrives map[mcast.MsgID]int
+	// lastAckWM remembers each follower's previous heartbeat-ack delivery
+	// watermark; the DELIVER replay fires only when a watermark stalls
+	// (fails to advance between acks), not merely trails — trailing by one
+	// hop is the steady-state norm and must not cost a delivered-set scan
+	// per heartbeat.
+	lastAckWM map[mcast.ProcessID]mcast.Timestamp
 
 	// maxDelivered is the duplicate-suppression watermark (all replicas).
 	maxDelivered mcast.Timestamp
+	// lastDeliverGTS is the leader-side DELIVER chain cursor (Deliver.Prev):
+	// followers use the chain to detect missed DELIVERs after a
+	// crash-recovery pause instead of delivering with a gap.
+	lastDeliverGTS mcast.Timestamp
 }
 
 // New constructs a FastCast replica.
@@ -101,6 +92,8 @@ func New(cfg Config) (*Replica, error) {
 		confirms:      make(map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp),
 		commitVec:     make(map[mcast.MsgID][]msgs.GroupTS),
 		remoteLeaders: make(map[mcast.GroupID]mcast.ProcessID),
+		redrives:      make(map[mcast.MsgID]int),
+		lastAckWM:     make(map[mcast.ProcessID]mcast.Timestamp),
 	}
 	r.peers = cfg.Top.Peers(r.pid)
 	px, err := paxos.New(paxos.Config{
@@ -109,6 +102,12 @@ func New(cfg Config) (*Replica, error) {
 		SuspectTimeout:    cfg.SuspectTimeout,
 		ColdStart:         cfg.ColdStart,
 		OnLead:            r.onLead,
+		// Delivery is leader-gated (not log-driven), so a follower that
+		// lost DELIVERs while down needs them replayed: piggyback our
+		// delivery watermark on heartbeat acks and replay above a lagging
+		// follower's watermark.
+		AckDelivered:  func() mcast.Timestamp { return r.maxDelivered },
+		OnFollowerLag: r.onFollowerLag,
 	}, fcApp{r})
 	if err != nil {
 		return nil, err
@@ -122,6 +121,15 @@ func (r *Replica) ID() mcast.ProcessID { return r.pid }
 
 // Leading reports whether this replica currently leads its group.
 func (r *Replica) Leading() bool { return r.px.Leading() }
+
+// Machine exposes the replicated state machine (tests and tools).
+func (r *Replica) Machine() *rsm.Machine { return r.sm }
+
+// Ballot returns the established Paxos ballot (tests and tools).
+func (r *Replica) Ballot() mcast.Ballot { return r.px.Ballot() }
+
+// Executed returns the number of applied Paxos log slots (tests and tools).
+func (r *Replica) Executed() uint64 { return r.px.Executed() }
 
 // Handle implements node.Handler.
 func (r *Replica) Handle(in node.Input, fx *node.Effects) {
@@ -199,11 +207,20 @@ func (a fcApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effects)
 			// The timestamp is durable: confirm it to all destination
 			// leaders (including ourselves, for uniformity).
 			r.sendToLeaders(cmd.M.Dest, msgs.Confirm{ID: cmd.M.ID, Group: r.group, LTS: lts}, fx)
+			// A command proposed by a deposed leader can apply here (via
+			// log catch-up) after onLead ran: make sure someone re-drives
+			// the message to completion — the client may already be gone
+			// (it completes once every group replied, and replies come
+			// from deliveries the old leader performed alone).
+			r.armRetry(cmd.M.ID, fx)
 			r.drain(fx)
 		}
 	case msgs.CmdCommit:
 		r.sm.ApplyCommit(cmd.ID, cmd.LTSs)
 		if leading {
+			// As above: this commit may postdate onLead; retry re-solicits
+			// the PROPOSE/CONFIRM exchange until the message delivers.
+			r.armRetry(cmd.ID, fx)
 			r.drain(fx)
 		}
 	}
@@ -295,20 +312,23 @@ func (r *Replica) correctSpeculation(id mcast.MsgID, fx *node.Effects) {
 	if !ok {
 		return
 	}
-	same := len(final) == len(vec)
-	if same {
-		for i := range vec {
-			if vec[i] != final[i] {
-				same = false
-				break
-			}
-		}
-	}
-	if same {
+	if groupTSEqual(vec, final) {
 		return
 	}
 	r.commitVec[id] = final
 	r.px.Propose(msgs.Command{Op: msgs.CmdCommit, ID: id, LTSs: final}, fx)
+}
+
+func groupTSEqual(a, b []msgs.GroupTS) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // confirmedVector returns the full consensus-decided timestamp vector of id.
@@ -349,10 +369,20 @@ func (r *Replica) drain(fx *node.Effects) {
 			}
 		}
 		final, ok := r.confirmedVector(id)
-		if !ok || msgs.MaxGroupTS(final) != gts {
-			// Unconfirmed, or the confirmed timestamps contradict the
-			// committed vector: wait for confirms / the correction
-			// consensus (correctSpeculation).
+		if !ok {
+			return // unconfirmed: wait for (or re-solicit) confirms
+		}
+		if msgs.MaxGroupTS(final) != gts {
+			// The confirmed timestamps contradict the committed vector: the
+			// commit was decided from a wrong speculation. Re-propose it
+			// with the confirmed vector. correctSpeculation does this too,
+			// but only for commits this leader proposed itself (commitVec
+			// is soft state) — a leader elected after the bad commit must
+			// correct it from here or the gate stays closed forever.
+			if vec, proposed := r.commitVec[id]; !proposed || !groupTSEqual(vec, final) {
+				r.commitVec[id] = final
+				r.px.Propose(msgs.Command{Op: msgs.CmdCommit, ID: id, LTSs: final}, fx)
+			}
 			return
 		}
 		d, ok := r.sm.Deliver()
@@ -361,7 +391,8 @@ func (r *Replica) drain(fx *node.Effects) {
 		}
 		r.deliver(d, fx)
 		lts, _ := r.sm.LTS(id)
-		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: d.GTS})
+		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: d.GTS, Prev: r.lastDeliverGTS})
+		r.lastDeliverGTS = d.GTS
 	}
 }
 
@@ -379,9 +410,16 @@ func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
 	if !r.maxDelivered.Less(d.GTS) {
 		return // duplicate (re-delivery after a leader change)
 	}
+	if r.maxDelivered.Less(d.Prev) {
+		// The chain predecessor was never delivered here: we missed a
+		// DELIVER while down. Delivering now would open a gap in the
+		// group's sequence; wait for the leader's heartbeat-ack replay
+		// (onFollowerLag), which restarts the chain at our watermark.
+		return
+	}
 	app, ok := r.sm.App(d.ID)
 	if !ok {
-		return // cannot happen over FIFO channels; retries re-deliver
+		return // not yet caught up on the log; the replay will return
 	}
 	r.sm.MarkDelivered(d.ID)
 	r.deliver(mcast.Delivery{Msg: app, GTS: d.GTS}, fx)
@@ -402,6 +440,26 @@ func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
 		done = !r.maxDelivered.Less(gts) // delivered here
 	}
 	if done {
+		delete(r.redrives, id)
+		return
+	}
+	// The first rounds target the leader guesses; further rounds blanket
+	// the whole destination groups — only the blanket is guaranteed to
+	// reach whoever leads a remote group after an election.
+	r.redrives[id]++
+	if blanket := r.redrives[id] > 2; blanket {
+		if lts, ok := r.sm.LTS(id); ok {
+			fx.SendGroups(r.cfg.Top, app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts})
+			fx.SendGroups(r.cfg.Top, app.Dest, msgs.Confirm{ID: id, Group: r.group, LTS: lts})
+		} else if lts, ok := r.specPending[id]; ok {
+			fx.SendGroups(r.cfg.Top, app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts})
+		}
+		for _, g := range app.Dest {
+			if g != r.group {
+				fx.SendAll(r.cfg.Top.Members(g), msgs.Multicast{M: app})
+			}
+		}
+		r.armRetry(id, fx)
 		return
 	}
 	if lts, ok := r.sm.LTS(id); ok {
@@ -462,11 +520,50 @@ func (r *Replica) onLead(fx *node.Effects) {
 		r.armRetry(id, fx)
 	}
 	// Re-replicate deliveries this replica performed before taking over so
-	// lagging followers catch up (they suppress duplicates).
+	// lagging followers catch up (they suppress duplicates). The DELIVER
+	// chain restarts at ⊥ and re-threads the whole delivered prefix —
+	// FastCast keeps delivered state forever, so the chain covers every
+	// message any follower could be missing.
+	r.lastDeliverGTS = mcast.ZeroTS
 	for _, id := range r.sm.Delivered() {
 		gts, _ := r.sm.GTS(id)
 		lts, _ := r.sm.LTS(id)
-		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts})
+		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts, Prev: r.lastDeliverGTS})
+		r.lastDeliverGTS = gts
+	}
+}
+
+// catchupDeliveries caps how many missed deliveries one heartbeat ack
+// replays to a lagging follower.
+const catchupDeliveries = 64
+
+// onFollowerLag replays the DELIVER sequence above a stalled follower's
+// watermark, chained from that watermark so the follower's gap check
+// accepts the replay. A follower is stalled when its reported watermark
+// both trails the leader's and failed to advance since its previous ack;
+// this keeps the replay (and its delivered-set scan) off the fault-free
+// path. The application messages themselves reach the follower through
+// the Paxos log catch-up (Learn re-sends); a DELIVER that outruns it is
+// dropped there and replayed on a later ack.
+func (r *Replica) onFollowerLag(from mcast.ProcessID, wm mcast.Timestamp, fx *node.Effects) {
+	last, seen := r.lastAckWM[from]
+	r.lastAckWM[from] = wm
+	if !wm.Less(r.maxDelivered) || !seen || last != wm {
+		return
+	}
+	prev := wm
+	n := 0
+	for _, id := range r.sm.Delivered() { // ascending GTS
+		gts, _ := r.sm.GTS(id)
+		if !wm.Less(gts) {
+			continue
+		}
+		if n++; n > catchupDeliveries {
+			break
+		}
+		lts, _ := r.sm.LTS(id)
+		fx.Send(from, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts, Prev: prev})
+		prev = gts
 	}
 }
 

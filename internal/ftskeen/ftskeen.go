@@ -1,20 +1,3 @@
-// Package ftskeen implements the fault-tolerant version of Skeen's protocol
-// that uses consensus as a black box — the classical design of Fritzke et
-// al. [17] that the paper's §IV strawman describes: each group simulates a
-// reliable Skeen process (Fig. 1) via state-machine replication over a
-// Paxos log.
-//
-// Both key actions of Skeen's protocol are replicated commands: assigning a
-// local timestamp (CmdAssign) and committing the global timestamp while
-// advancing the clock (CmdCommit). Each costs a Paxos round trip from the
-// group leader to a quorum, so a multicast takes
-//
-//	MULTICAST (δ) + consensus (2δ) + PROPOSE (δ) + consensus (2δ) = 6δ
-//
-// to deliver at a destination leader — the collision-free latency of 6δ the
-// paper quotes, with a failure-free latency of 12δ due to the convoy effect
-// (the clock only advances past a message's global timestamp when the
-// second consensus completes).
 package ftskeen
 
 import (
@@ -62,6 +45,12 @@ type Replica struct {
 	proposals map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp
 	// curLeader is the Cur_leader guess for remote groups.
 	curLeader map[mcast.GroupID]mcast.ProcessID
+	// redrives counts per-message retry rounds; after a couple of targeted
+	// rounds the retry blankets whole destination groups, because the
+	// Cur_leader guess may be arbitrarily stale after remote leader changes
+	// (§IV: "the multicasting process can always send the message to all
+	// the processes in a given group").
+	redrives map[mcast.MsgID]int
 }
 
 // New constructs an FT-Skeen replica.
@@ -79,6 +68,7 @@ func New(cfg Config) (*Replica, error) {
 		commitProposed: make(map[mcast.MsgID]bool),
 		proposals:      make(map[mcast.MsgID]map[mcast.GroupID]mcast.Timestamp),
 		curLeader:      make(map[mcast.GroupID]mcast.ProcessID),
+		redrives:       make(map[mcast.MsgID]int),
 	}
 	for gid := mcast.GroupID(0); int(gid) < cfg.Top.NumGroups(); gid++ {
 		r.curLeader[gid] = cfg.Top.InitialLeader(gid)
@@ -177,6 +167,7 @@ func (a paxosApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effec
 		if _, changed := r.sm.ApplyCommit(cmd.ID, cmd.LTSs); changed {
 			delete(r.commitProposed, cmd.ID)
 			delete(r.proposals, cmd.ID)
+			delete(r.redrives, cmd.ID)
 		}
 		// Every replica delivers deterministically from the log.
 		r.drain(fx)
@@ -246,20 +237,36 @@ func (r *Replica) maybeProposeCommit(id mcast.MsgID, fx *node.Effects) {
 }
 
 // retry re-drives a stuck message: re-announce our timestamp and re-multicast
-// to the other destination leaders so they (re-)announce theirs.
+// to the other destination leaders so they (re-)announce theirs. The first
+// rounds target the Cur_leader guesses; further rounds blanket the whole
+// destination groups — the guess can be stale after a remote leader change
+// (followers drop PROPOSE/MULTICAST silently), and only the blanket is
+// guaranteed to reach whoever leads now.
 func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
 	if !r.px.Leading() || r.sm.Phase(id) != msgs.PhaseProposed {
+		delete(r.redrives, id)
 		return
 	}
 	app, ok := r.sm.App(id)
 	if !ok {
 		return
 	}
+	r.redrives[id]++
+	blanket := r.redrives[id] > 2
 	if lts, ok := r.sm.LTS(id); ok {
-		r.sendPropose(id, app.Dest, lts, fx)
+		if blanket {
+			fx.SendGroups(r.cfg.Top, app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts})
+		} else {
+			r.sendPropose(id, app.Dest, lts, fx)
+		}
 	}
 	for _, g := range app.Dest {
-		if g != r.group {
+		if g == r.group {
+			continue
+		}
+		if blanket {
+			fx.SendAll(r.cfg.Top.Members(g), msgs.Multicast{M: app})
+		} else {
 			fx.Send(r.curLeader[g], msgs.Multicast{M: app})
 		}
 	}

@@ -8,11 +8,13 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"wbcast/internal/batch"
 	"wbcast/internal/check"
 	"wbcast/internal/client"
+	"wbcast/internal/faults"
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
@@ -49,6 +51,14 @@ type Options struct {
 	Batching *batch.Options
 	// Trace is forwarded to the simulator.
 	Trace func(sim.TraceEvent)
+	// Faults, when non-nil, installs a deterministic fault schedule
+	// (internal/faults): crash/restart, partitions, per-link
+	// drop/duplicate/delay/reorder and clock skew, fired at virtual-time or
+	// message-count triggers. Pair it with timers on the Protocol adapter
+	// (retries, heartbeats) — fault recovery is timer-driven.
+	Faults *faults.Plan
+	// OnFault, when non-nil, receives a narration line per fired action.
+	OnFault func(at time.Duration, desc string)
 }
 
 // Cluster is a simulated deployment of one protocol.
@@ -61,8 +71,15 @@ type Cluster struct {
 	Clients  []node.Handler
 	Replicas map[mcast.ProcessID]node.Handler
 
+	// Engine is the fault engine, non-nil when Options.Faults was set.
+	Engine *faults.Engine
+	// Monitor checks every delivery continuously (poured by RunChecked and
+	// CollectHistory).
+	Monitor *check.Monitor
+
 	hist      *check.History
 	collected int // prefix of Sim.Deliveries() already poured into hist
+	monitored int // prefix already poured into Monitor
 	nextSeq   uint32
 	crashed   map[mcast.ProcessID]bool
 	// Delta is the base latency used by DefaultLatency-derived helpers.
@@ -83,14 +100,29 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 		opts.NumClients = 1
 	}
 	top := mcast.UniformTopology(opts.Groups, opts.GroupSize)
-	s := sim.New(sim.Config{Latency: opts.Latency, Seed: opts.Seed, Trace: opts.Trace})
 	c := &Cluster{
 		Proto:    p,
-		Sim:      s,
 		Top:      top,
 		Replicas: make(map[mcast.ProcessID]node.Handler),
 		hist:     check.NewHistory(),
 		crashed:  make(map[mcast.ProcessID]bool),
+	}
+	c.Monitor = check.NewMonitor(top)
+	simCfg := sim.Config{Latency: opts.Latency, Seed: opts.Seed, Trace: opts.Trace}
+	if opts.Faults != nil {
+		c.Engine = faults.New(faults.Config{
+			Plan:      *opts.Faults,
+			OnEvent:   opts.OnFault,
+			OnCrash:   func(p mcast.ProcessID) { c.crashed[p] = true },
+			OnRestart: func(p mcast.ProcessID) { delete(c.crashed, p) },
+		})
+		simCfg.Filter = c.Engine.Filter
+		simCfg.TimerScale = c.Engine.ScaleTimer
+	}
+	s := sim.New(simCfg)
+	c.Sim = s
+	if c.Engine != nil {
+		c.Engine.Bind(s)
 	}
 	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
 		h, err := p.NewReplica(pid, top)
@@ -132,6 +164,7 @@ func (c *Cluster) Submit(at time.Duration, idx int, dest mcast.GroupSet, payload
 	c.nextSeq++
 	m := mcast.AppMsg{ID: mcast.MakeMsgID(cl.ID(), c.nextSeq), Dest: dest, Payload: payload}
 	c.hist.AddSubmit(cl.ID(), m)
+	c.Monitor.NoteSubmit(cl.ID(), m)
 	c.Sim.SubmitAt(at, cl.ID(), m)
 	return m.ID
 }
@@ -145,6 +178,7 @@ func (c *Cluster) SubmitDirect(at time.Duration, idx int, dest mcast.GroupSet, p
 	c.nextSeq++
 	m := mcast.AppMsg{ID: mcast.MakeMsgID(cl.ID(), c.nextSeq), Dest: dest, Payload: payload}
 	c.hist.AddSubmit(cl.ID(), m)
+	c.Monitor.NoteSubmit(cl.ID(), m)
 	c.Sim.NoteSubmit(at, cl.ID(), m)
 	c.Sim.Inject(at, target, node.Recv{From: cl.ID(), Msg: msgs.Multicast{M: m}})
 	return m.ID
@@ -155,6 +189,14 @@ func (c *Cluster) SubmitDirect(at time.Duration, idx int, dest mcast.GroupSet, p
 func (c *Cluster) Crash(pid mcast.ProcessID) {
 	c.crashed[pid] = true
 	c.Sim.Crash(pid)
+}
+
+// Restart brings a crashed process back (crash-recovery with durable
+// state, sim.Restart) and marks it correct again: the Termination check
+// requires it to deliver everything from then on.
+func (c *Cluster) Restart(pid mcast.ProcessID) {
+	delete(c.crashed, pid)
+	c.Sim.Restart(pid)
 }
 
 // RandomWorkload submits n messages at random times within window, each to a
@@ -180,14 +222,60 @@ func (c *Cluster) RandomWorkload(rng *rand.Rand, n int, maxDest int, window time
 }
 
 // CollectHistory pours the simulator's delivery records into the checker
-// history. It is idempotent: repeated calls only append new records.
+// history and the continuous monitor. It is idempotent: repeated calls
+// only append new records.
 func (c *Cluster) CollectHistory() *check.History {
 	ds := c.Sim.Deliveries()
 	for _, d := range ds[c.collected:] {
 		c.hist.AddDelivery(d.Proc, d.D)
 	}
 	c.collected = len(ds)
+	c.pourMonitor()
 	return c.hist
+}
+
+func (c *Cluster) pourMonitor() {
+	ds := c.Sim.Deliveries()
+	for _, d := range ds[c.monitored:] {
+		c.Monitor.NoteDelivery(d.Proc, d.D)
+	}
+	c.monitored = len(ds)
+}
+
+// RunChecked advances virtual time to until in slices of step, feeding
+// every new delivery through the continuous invariant monitor after each
+// slice. It stops early and returns the violations as soon as any
+// invariant breaks, so a chaos failure is pinned near the virtual time it
+// occurred; nil means the run reached until with every check green.
+func (c *Cluster) RunChecked(until, step time.Duration) []error {
+	if step <= 0 {
+		step = 10 * time.Millisecond
+	}
+	for c.Sim.Now() < until {
+		next := c.Sim.Now() + step
+		if next > until {
+			next = until
+		}
+		c.Sim.Run(next)
+		c.pourMonitor()
+		if errs := c.Monitor.Errs(); len(errs) > 0 {
+			return errs
+		}
+	}
+	return nil
+}
+
+// DeliveryLog renders every delivery observed so far as one canonical text
+// line per delivery, in processing order. Two runs of the same seeded
+// schedule must produce byte-identical logs — the reproducibility contract
+// of the chaos harness (TestChaosDeterministic).
+func (c *Cluster) DeliveryLog() []byte {
+	var b strings.Builder
+	for _, d := range c.Sim.Deliveries() {
+		fmt.Fprintf(&b, "t=%d p%d %v gts=(%d,g%d) sub=%d payload=%q\n",
+			int64(d.At), d.Proc, d.D.Msg.ID, d.D.GTS.Time, d.D.GTS.Group, d.D.Sub, d.D.Msg.Payload)
+	}
+	return []byte(b.String())
 }
 
 // Check runs the full correctness check (with GTS checks on) and the

@@ -1,0 +1,18 @@
+// Package live runs protocol handlers in real time: one goroutine per
+// process, in-memory links with configurable injected latency, and real
+// timers. It drives the same deterministic node.Handler state machines as
+// the discrete-event simulator, so protocol code is identical between
+// simulated experiments and live benchmarks.
+//
+// Latency injection models the paper's testbeds on a single machine: the
+// LAN profile injects a uniform sub-millisecond delay, the WAN profile the
+// inter-datacenter round-trip matrix of §VI. Per-link latencies are
+// constant, so FIFO ordering is preserved by construction (delivery
+// deadlines on a link are monotone).
+//
+// # Layering
+//
+// live is the goroutine runtime driving node.Handler in real time — the
+// public InProcess transport and the throughput benchmarks
+// (internal/bench) run on it.
+package live

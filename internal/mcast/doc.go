@@ -1,0 +1,16 @@
+// Package mcast defines the core vocabulary shared by every protocol in this
+// repository: process and group identifiers, Lamport-style multicast
+// timestamps, Paxos-style ballots, application messages and deliveries.
+//
+// The types follow §II–§III of Gotsman, Lefort, Chockler, "White-box Atomic
+// Multicast" (DSN 2019): timestamps are pairs (t, g) of a non-negative
+// integer and a group identifier, ordered lexicographically with ⊥ (the zero
+// value) as the minimum; ballots are pairs (n, p) of an integer and a
+// process identifier, ordered the same way.
+//
+// # Layering
+//
+// mcast is the bottom of the stack: it depends on nothing in this module
+// and everything else — messages, protocols, runtimes, checkers and the
+// public wbcast package — builds on its vocabulary.
+package mcast

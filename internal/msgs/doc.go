@@ -1,0 +1,18 @@
+// Package msgs defines every protocol message exchanged in this repository:
+// the client interface (MULTICAST, reply), Skeen's protocol (PROPOSE), the
+// white-box protocol of Gotsman et al. (ACCEPT, ACCEPT_ACK, DELIVER and the
+// recovery messages of Fig. 4), the leader-election heartbeats, the
+// multi-Paxos messages used by the black-box baselines, and the FastCast
+// confirmation message.
+//
+// Messages are plain data: they carry no behaviour beyond identification
+// (Kind) and the genuineness-audit hook (Concerns). Encoding to bytes lives
+// in internal/wire.
+//
+// # Layering
+//
+// msgs sits directly above internal/mcast and below everything that
+// speaks the protocols: the protocol packages construct and consume these
+// types as Go values, internal/wire gives them a byte encoding for the
+// TCP runtime, and internal/sim passes them around unencoded.
+package msgs

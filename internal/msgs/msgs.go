@@ -1,13 +1,3 @@
-// Package msgs defines every protocol message exchanged in this repository:
-// the client interface (MULTICAST, reply), Skeen's protocol (PROPOSE), the
-// white-box protocol of Gotsman et al. (ACCEPT, ACCEPT_ACK, DELIVER and the
-// recovery messages of Fig. 4), the leader-election heartbeats, the
-// multi-Paxos messages used by the black-box baselines, and the FastCast
-// confirmation message.
-//
-// Messages are plain data: they carry no behaviour beyond identification
-// (Kind) and the genuineness-audit hook (Concerns). Encoding to bytes lives
-// in internal/wire.
 package msgs
 
 import (
@@ -230,11 +220,20 @@ type AcceptAck struct {
 // Deliver replicates a delivery decision from the leader to its group
 // (Fig. 4 line 23): message ID is committed with local timestamp LTS and
 // global timestamp GTS under ballot Bal.
+//
+// Prev chains the group's delivery sequence: it is the GTS of the delivery
+// the leader replicated immediately before this one (⊥ at the head of the
+// chain). Under the paper's reliable-channel model the chain is redundant;
+// under crash-recovery faults (a replica pausing and losing in-flight
+// messages, internal/faults) it lets a follower detect that it missed a
+// DELIVER — it must then wait for the leader's heartbeat-driven catch-up
+// instead of delivering with a gap.
 type Deliver struct {
-	ID  mcast.MsgID
-	Bal mcast.Ballot
-	LTS mcast.Timestamp
-	GTS mcast.Timestamp
+	ID   mcast.MsgID
+	Bal  mcast.Ballot
+	LTS  mcast.Timestamp
+	GTS  mcast.Timestamp
+	Prev mcast.Timestamp
 }
 
 // ---------------------------------------------------------------------------
@@ -311,12 +310,18 @@ type Heartbeat struct {
 	Bal   mcast.Ballot
 }
 
-// HeartbeatAck answers a Heartbeat and piggybacks the sender's delivery
-// watermark (the highest GTS it has delivered): the GC low-water mark.
+// HeartbeatAck answers a Heartbeat and piggybacks the sender's progress
+// frontiers: its delivery watermark Delivered (the highest GTS it has
+// delivered — the GC low-water mark, and the anchor for the white-box
+// leader's DELIVER catch-up) and, for the Paxos-based baselines, its log
+// execution frontier Executed (the next slot it will apply — the anchor for
+// Learn retransmission). Both let a leader bring a follower that lost
+// messages while paused (crash-recovery faults) back up to date.
 type HeartbeatAck struct {
 	Group     mcast.GroupID
 	Bal       mcast.Ballot
 	Delivered mcast.Timestamp
+	Executed  uint64
 }
 
 // GCMark is exchanged between group leaders: every member of Group has

@@ -1,0 +1,20 @@
+// Package node defines the deterministic protocol-node abstraction used by
+// every protocol in this repository.
+//
+// A Handler is a pure state machine: it consumes one Input at a time and
+// appends the I/O it wants performed (message sends, application deliveries,
+// timer arming) to an Effects sink. All sources of nondeterminism — the
+// network, the clock, timers — live in the runtime driving the handler:
+// either the discrete-event simulator (internal/sim) or the goroutine
+// runtime (internal/live). This keeps protocol logic testable under exact,
+// reproducible schedules, which is what lets us measure the paper's latency
+// theorems in units of δ.
+//
+// # Layering
+//
+// node is the seam of the architecture: protocol packages (core, paxos,
+// skeen, ftskeen, fastcast, client, batch) implement Handler, and the
+// runtimes (internal/sim, internal/live, internal/tcpnet — selected via
+// the public wbcast.Transport) drive it. Nothing above this package does
+// I/O; nothing below it contains protocol logic.
+package node

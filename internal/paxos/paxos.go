@@ -1,18 +1,3 @@
-// Package paxos implements the per-group multi-Paxos replicated log used as
-// the black-box consensus substrate of the baseline protocols (fault-
-// tolerant Skeen [Fritzke et al.] and FastCast [Coelho et al.]), exactly the
-// strawman design the paper's white-box protocol improves on (§IV).
-//
-// Each group runs an independent instance: a leader assigns log slots and
-// drives acceptance (phase 2); a quorum of acknowledgements chooses a slot,
-// which the leader announces with Learn messages. Leader changes run phase 1
-// (P1a/P1b), adopt the highest-ballot accepted value per slot, and fill
-// holes with no-ops. Commands are applied in slot order on every replica
-// through the App callback, giving the embedding protocol a deterministic
-// replicated state machine.
-//
-// The component is not a node.Handler itself: the embedding protocol routes
-// inputs to HandleMessage/HandleTimer and uses Propose when leading.
 package paxos
 
 import (
@@ -50,6 +35,16 @@ type Config struct {
 	// change and is ready to propose (the embedding protocol re-drives its
 	// pending work).
 	OnLead func(fx *node.Effects)
+	// AckDelivered, if non-nil, supplies the embedding protocol's delivery
+	// watermark, piggybacked on heartbeat acks (HeartbeatAck.Delivered) so
+	// the leader can detect lagging followers.
+	AckDelivered func() mcast.Timestamp
+	// OnFollowerLag, if non-nil, is invoked on the leader for every
+	// heartbeat ack, with the follower's reported delivery watermark. The
+	// embedding protocol uses it to replay protocol-level deliveries the
+	// follower missed (crash-recovery message loss); the Paxos log itself
+	// is caught up independently via HeartbeatAck.Executed.
+	OnFollowerLag func(from mcast.ProcessID, delivered mcast.Timestamp, fx *node.Effects)
 }
 
 type entry struct {
@@ -173,7 +168,7 @@ func (r *Replica) HandleMessage(from mcast.ProcessID, m msgs.Message, fx *node.E
 	case msgs.Heartbeat:
 		r.onHeartbeat(from, m, fx)
 	case msgs.HeartbeatAck:
-		// Watermark piggybacking is unused by the baselines.
+		r.onHeartbeatAck(from, m, fx)
 	default:
 		return false
 	}
@@ -403,9 +398,76 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 	if m.Group != r.group {
 		return
 	}
+	if r.cbal.Less(m.Bal) {
+		// Heartbeats come only from established leaders, so this replica
+		// slept through an election (crash-recovery restart; a deposed
+		// leader pausing past its own deposition ends up here too). Unlike
+		// the white-box protocol, following the new ballot without a state
+		// transfer is safe: every decision is in the replicated log, and
+		// the slots missed while down arrive through the Executed-based
+		// catch-up below. Adopt the ballot and step down if leading.
+		if r.bal.Less(m.Bal) {
+			r.bal = m.Bal
+		}
+		r.cbal = m.Bal
+		r.leading = false
+		r.recovering = false
+	}
 	if m.Bal == r.cbal && !r.leading {
 		r.hbSeen = true
-		fx.Send(from, msgs.HeartbeatAck{Group: r.group, Bal: m.Bal})
+		ack := msgs.HeartbeatAck{Group: r.group, Bal: m.Bal, Executed: r.executed}
+		if r.cfg.AckDelivered != nil {
+			ack.Delivered = r.cfg.AckDelivered()
+		}
+		fx.Send(from, ack)
+	}
+}
+
+// catchupSlots caps how many missed log slots one heartbeat ack replays.
+const catchupSlots = 128
+
+// onHeartbeatAck runs on the leader: a follower whose execution frontier
+// trails the leader's proposal frontier lost messages while it (or the
+// leader, mid-consensus) was down. Re-send committed slots as Learn so the
+// follower's log catches up, and uncommitted slots as P2a — the follower's
+// duplicate P2b re-feeds the commit quorum, which is the only steady-state
+// retransmission path for a phase-2 exchange whose messages were lost
+// (paxos has no per-slot retry timer; recovery rides the heartbeat).
+func (r *Replica) onHeartbeatAck(from mcast.ProcessID, m msgs.HeartbeatAck, fx *node.Effects) {
+	if m.Group != r.group || !r.leading || m.Bal != r.cbal {
+		return
+	}
+	if r.cfg.OnFollowerLag != nil {
+		r.cfg.OnFollowerLag(from, m.Delivered, fx)
+	}
+	// Scan from the lower of the two execution frontiers: the follower's,
+	// because it may be missing chosen commands, and the leader's own,
+	// because the leader itself may be stuck on uncommitted slots whose
+	// P2a/P2b exchange was lost while its followers are already past them
+	// (a leader elected from a stale phase-1 quorum over lossy links).
+	start := m.Executed
+	if r.executed < start {
+		start = r.executed
+	}
+	if start >= r.nextSlot {
+		return
+	}
+	end := start + catchupSlots
+	if end > r.nextSlot {
+		end = r.nextSlot
+	}
+	for slot := start; slot < end; slot++ {
+		e := r.log[slot]
+		if e == nil {
+			continue
+		}
+		if e.committed {
+			if slot >= m.Executed {
+				fx.Send(from, msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd})
+			}
+		} else if e.vbal == r.cbal {
+			fx.Send(from, msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: e.cmd})
+		}
 	}
 }
 

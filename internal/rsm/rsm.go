@@ -1,9 +1,3 @@
-// Package rsm implements the deterministic "reliable Skeen process" of
-// paper Fig. 1 as a replicated state machine: the group state that the
-// black-box baselines (FT-Skeen, FastCast) replicate through their Paxos
-// log. Each consensus-chosen command — CmdAssign (lines 9–11) and CmdCommit
-// (lines 14–16) — is applied through this machine at every replica,
-// guaranteeing identical group state everywhere.
 package rsm
 
 import (

@@ -1,0 +1,27 @@
+// Package sim is a deterministic discrete-event network simulator for the
+// protocol nodes of this repository.
+//
+// The simulator models the system of paper §II: processes connected by
+// reliable FIFO channels, with per-message network delays chosen by a
+// pluggable Latency function (at most δ after GST). Virtual time is a
+// time.Duration; local steps are instantaneous. Determinism (a seeded RNG
+// and a stable event order) makes every test reproducible, and exact latency
+// control lets tests assert the paper's latency theorems in units of δ and
+// replay the adversarial schedule of Fig. 2.
+//
+// Fault injection goes beyond the paper's model: crash-stop process
+// failures (Crash) and pre-GST message-delay inflation (Latency functions)
+// as in §II, plus the hooks the chaos harness (internal/faults) builds on —
+// crash-recovery restarts (Restart), per-transmission drop/duplicate/
+// delay/reorder verdicts (Config.Filter), per-process timer skew
+// (Config.TimerScale) and virtual-time control callbacks (ControlAt).
+// Without a Filter, channels never drop or reorder messages.
+//
+// # Layering
+//
+// sim is one of the three runtimes driving node.Handler (with
+// internal/live and internal/tcpnet). internal/faults plugs into its
+// Filter/TimerScale/ControlAt hooks for chaos runs; internal/harness
+// wires simulator, protocols and checkers into ready-made clusters; the
+// public Simulated transport wraps it for API users.
+package sim

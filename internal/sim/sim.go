@@ -1,17 +1,3 @@
-// Package sim is a deterministic discrete-event network simulator for the
-// protocol nodes of this repository.
-//
-// The simulator models the system of paper §II: processes connected by
-// reliable FIFO channels, with per-message network delays chosen by a
-// pluggable Latency function (at most δ after GST). Virtual time is a
-// time.Duration; local steps are instantaneous. Determinism (a seeded RNG
-// and a stable event order) makes every test reproducible, and exact latency
-// control lets tests assert the paper's latency theorems in units of δ and
-// replay the adversarial schedule of Fig. 2.
-//
-// Fault injection covers the paper's model: crash-stop process failures
-// (Crash) plus pre-GST message-delay inflation (Delay functions). Channels
-// never drop or reorder messages.
 package sim
 
 import (
@@ -47,12 +33,41 @@ func UniformJitter(d, jitter time.Duration) Latency {
 	}
 }
 
+// Verdict is a Filter's decision about one message transmission on one
+// link. The zero value transmits the message normally.
+type Verdict struct {
+	// Drop loses the transmission entirely (the protocols' retry machinery
+	// is responsible for recovering).
+	Drop bool
+	// Duplicates schedules this many extra copies of the message, each with
+	// an independently sampled link latency.
+	Duplicates int
+	// Delay adds to the sampled link latency of every copy.
+	Delay time.Duration
+	// Reorder exempts this transmission from the per-link FIFO floor, so it
+	// may arrive before messages sent earlier on the same link.
+	Reorder bool
+}
+
+// Filter decides the fate of one message transmission (one recipient of one
+// Send). Self-sends bypass it — a process can always reach itself. It may
+// consult the seeded RNG for reproducible randomness and mutable fault
+// state (the simulator is single-threaded).
+type Filter func(from, to mcast.ProcessID, m msgs.Message, now time.Duration, rng *rand.Rand) Verdict
+
 // Config parametrises a simulation.
 type Config struct {
 	// Latency decides per-message delays; nil defaults to Uniform(10ms).
 	Latency Latency
 	// Seed initialises the simulator's RNG.
 	Seed int64
+	// Filter, if non-nil, is consulted once per transmission and may drop,
+	// duplicate, delay or reorder it (fault injection; see internal/faults).
+	Filter Filter
+	// TimerScale, if non-nil, rescales every timer duration armed by
+	// process p — a clock-skewed process sees its timeouts stretched or
+	// compressed relative to the network.
+	TimerScale func(p mcast.ProcessID, after time.Duration) time.Duration
 	// Trace, if non-nil, receives every event as it is processed.
 	Trace func(TraceEvent)
 	// OnDeliver, if non-nil, receives every application delivery as it is
@@ -93,6 +108,7 @@ type Sim struct {
 	deliveries []DeliveryRecord
 	msgCounts  map[msgs.Kind]int
 	sent       int
+	dropped    int
 
 	// Genuineness audit (paper §II): for every application message, the set
 	// of processes that received a protocol message concerning it.
@@ -136,12 +152,60 @@ func (s *Sim) Add(h node.Handler) {
 	s.schedule(s.now, pid, node.Start{})
 }
 
-// Crash marks a process as crashed: it processes no further events. Crashes
-// are permanent (crash-stop model, paper §II).
+// Crash marks a process as crashed: it processes no further events —
+// inputs that arrive (or timers that fire) while it is down are lost.
+// Crashes are permanent (crash-stop model, paper §II) unless undone by
+// Restart.
 func (s *Sim) Crash(pid mcast.ProcessID) { s.crashed[pid] = true }
 
 // Crashed reports whether pid has crashed.
 func (s *Sim) Crashed(pid mcast.ProcessID) bool { return s.crashed[pid] }
+
+// Restart brings a crashed process back at the current virtual time with
+// its handler state intact, and re-delivers Start so it re-arms its
+// background timers. This models crash-recovery of a process whose protocol
+// state is durable (synchronously persisted), or equivalently a long pause:
+// everything sent to the process while it was down is lost, which is what
+// exercises the protocols' catch-up machinery. It is a no-op if pid is not
+// crashed.
+//
+// Timers the process armed before crashing are purged: they are
+// process-local state a real crash loses, and leaving them queued would
+// run the pre-crash timer chains concurrently with the ones the fresh
+// Start arms (e.g. two interleaved suspicion chains, each consuming the
+// other's heartbeat evidence). In-flight messages are NOT purged — a
+// message already in the network legitimately arrives after the restart.
+func (s *Sim) Restart(pid mcast.ProcessID) {
+	if !s.crashed[pid] {
+		return
+	}
+	delete(s.crashed, pid)
+	kept := s.pq[:0]
+	for _, ev := range s.pq {
+		if ev.proc == pid {
+			if _, isTimer := ev.in.(node.Timer); isTimer {
+				continue
+			}
+		}
+		kept = append(kept, ev)
+	}
+	s.pq = kept
+	heap.Init(&s.pq)
+	if _, ok := s.nodes[pid]; ok {
+		s.schedule(s.now, pid, node.Start{})
+	}
+}
+
+// ControlAt schedules fn to run at virtual time at, between handler events.
+// The fault engine uses it to fire time-triggered fault actions at exact
+// virtual instants, keeping them inside the deterministic event order.
+func (s *Sim) ControlAt(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: at, seq: s.seq, proc: mcast.NoProcess, ctl: fn})
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
@@ -203,6 +267,10 @@ func (s *Sim) RunQuiescent(maxTime time.Duration) int {
 }
 
 func (s *Sim) dispatch(ev event) {
+	if ev.ctl != nil {
+		ev.ctl()
+		return
+	}
 	if s.crashed[ev.proc] {
 		return
 	}
@@ -239,7 +307,14 @@ func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
 		}
 	}
 	for _, tm := range fx.Timers {
-		s.schedule(s.now+tm.After, from, node.Timer{Kind: tm.Kind, Data: tm.Data})
+		after := tm.After
+		if s.cfg.TimerScale != nil {
+			after = s.cfg.TimerScale(from, after)
+			if after < 0 {
+				after = 0
+			}
+		}
+		s.schedule(s.now+after, from, node.Timer{Kind: tm.Kind, Data: tm.Data})
 	}
 	for _, snd := range fx.Sends {
 		// A MULTICAST for an ID the audits have never seen originates here:
@@ -255,21 +330,36 @@ func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
 		for i := 0; i < snd.NumRecipients(); i++ {
 			to := snd.Recipient(i)
 			s.sent++
-			var lat time.Duration
-			if to != from {
-				lat = s.cfg.Latency(from, to, snd.Msg, s.now, s.rng)
-				if lat < 0 {
-					lat = 0
+			var v Verdict
+			if to != from && s.cfg.Filter != nil {
+				v = s.cfg.Filter(from, to, snd.Msg, s.now, s.rng)
+			}
+			if v.Drop {
+				s.dropped++
+				continue
+			}
+			for copies := 1 + v.Duplicates; copies > 0; copies-- {
+				var lat time.Duration
+				if to != from {
+					lat = s.cfg.Latency(from, to, snd.Msg, s.now, s.rng)
+					if lat < 0 {
+						lat = 0
+					}
+					lat += v.Delay
 				}
+				at := s.now + lat
+				if !v.Reorder {
+					// FIFO: never deliver before an earlier message on the
+					// same link. Reordered transmissions skip the floor (and
+					// do not raise it for later messages).
+					lk := linkKey{from, to}
+					if prev, ok := s.lastArrival[lk]; ok && at < prev {
+						at = prev
+					}
+					s.lastArrival[lk] = at
+				}
+				s.schedule(at, to, node.Recv{From: from, Msg: snd.Msg})
 			}
-			at := s.now + lat
-			// FIFO: never deliver before an earlier message on the same link.
-			lk := linkKey{from, to}
-			if prev, ok := s.lastArrival[lk]; ok && at < prev {
-				at = prev
-			}
-			s.lastArrival[lk] = at
-			s.schedule(at, to, node.Recv{From: from, Msg: snd.Msg})
 		}
 	}
 }
@@ -324,6 +414,9 @@ func (s *Sim) MessageCount(k msgs.Kind) int { return s.msgCounts[k] }
 // TotalSent returns the total number of protocol messages sent.
 func (s *Sim) TotalSent() int { return s.sent }
 
+// TotalDropped returns the number of transmissions dropped by the Filter.
+func (s *Sim) TotalDropped() int { return s.dropped }
+
 // AuditGenuineness verifies the minimality property of paper §II: every
 // process that received a message concerning application message m is either
 // m's sender or a member of a destination group of m. It returns one error
@@ -354,6 +447,9 @@ type event struct {
 	seq  uint64
 	proc mcast.ProcessID
 	in   node.Input
+	// ctl, when non-nil, makes this a control event (ControlAt): dispatch
+	// runs the callback instead of routing an input to a handler.
+	ctl func()
 }
 
 type eventHeap []event

@@ -1,29 +1,3 @@
-// Package tcpnet runs a protocol handler over TCP: length-prefixed frames
-// of wire-encoded messages, persistent outbound connections with lazy
-// dialling and reconnection, and the same serialised handler loop as the
-// in-process runtimes. It turns any node.Handler — a white-box replica, a
-// baseline replica or a client — into a network server.
-//
-// Frame format: 4-byte big-endian length, then a varint sender ProcessID,
-// then one wire-encoded message.
-//
-// # Memory discipline
-//
-// The hot path is allocation-lean end to end:
-//
-//   - Outbound, each distinct message of a Handle call is serialised exactly
-//     once, regardless of how many recipients its Send fans out to; the
-//     encoded frame is shared (reference-counted) across all peer writer
-//     queues and returned to a sync.Pool once every writer is done with it.
-//   - Inbound, read frames come from a sync.Pool and are decoded in borrow
-//     mode (wire.DecodeBorrowed): the message's byte fields alias the frame,
-//     which is recycled as soon as the handler returns. Handlers must
-//     deep-copy anything they retain (see the frame-ownership notes on
-//     node.Handler).
-//
-// The input queue is an elastic FIFO (like internal/live): senders never
-// block, which rules out buffer-deadlock cycles between nodes under
-// pipelined load.
 package tcpnet
 
 import (

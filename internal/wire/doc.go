@@ -1,0 +1,13 @@
+// Package wire is the binary encoding of protocol messages for network
+// transports. The format is deliberately simple and self-contained: one
+// kind byte followed by the message fields encoded with unsigned/zigzag
+// varints and length-prefixed byte strings. It has no external dependencies
+// and no reflection, and round-trips every message type exactly.
+//
+// # Layering
+//
+// wire sits between internal/msgs (the typed messages) and
+// internal/tcpnet (the only runtime that needs bytes). Protocol logic
+// never sees an encoded frame; the simulator and in-process runtimes
+// skip this layer entirely.
+package wire

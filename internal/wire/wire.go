@@ -1,8 +1,3 @@
-// Package wire is the binary encoding of protocol messages for network
-// transports. The format is deliberately simple and self-contained: one
-// kind byte followed by the message fields encoded with unsigned/zigzag
-// varints and length-prefixed byte strings. It has no external dependencies
-// and no reflection, and round-trips every message type exactly.
 package wire
 
 import (
@@ -48,6 +43,7 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 		e.ballot(m.Bal)
 		e.ts(m.LTS)
 		e.ts(m.GTS)
+		e.ts(m.Prev)
 	case msgs.NewLeader:
 		e.ballot(m.Bal)
 	case msgs.NewLeaderAck:
@@ -68,6 +64,7 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 		e.i32(int32(m.Group))
 		e.ballot(m.Bal)
 		e.ts(m.Delivered)
+		e.u64(m.Executed)
 	case msgs.GCMark:
 		e.i32(int32(m.Group))
 		e.ts(m.Watermark)
@@ -165,7 +162,7 @@ func decode(data []byte, borrow bool) (msgs.Message, error) {
 		}
 		m = a
 	case msgs.KindDeliver:
-		m = msgs.Deliver{ID: mcast.MsgID(d.u64()), Bal: d.ballot(), LTS: d.ts(), GTS: d.ts()}
+		m = msgs.Deliver{ID: mcast.MsgID(d.u64()), Bal: d.ballot(), LTS: d.ts(), GTS: d.ts(), Prev: d.ts()}
 	case msgs.KindNewLeader:
 		m = msgs.NewLeader{Bal: d.ballot()}
 	case msgs.KindNewLeaderAck:
@@ -177,7 +174,7 @@ func decode(data []byte, borrow bool) (msgs.Message, error) {
 	case msgs.KindHeartbeat:
 		m = msgs.Heartbeat{Group: mcast.GroupID(d.i32()), Bal: d.ballot()}
 	case msgs.KindHeartbeatAck:
-		m = msgs.HeartbeatAck{Group: mcast.GroupID(d.i32()), Bal: d.ballot(), Delivered: d.ts()}
+		m = msgs.HeartbeatAck{Group: mcast.GroupID(d.i32()), Bal: d.ballot(), Delivered: d.ts(), Executed: d.u64()}
 	case msgs.KindGCMark:
 		m = msgs.GCMark{Group: mcast.GroupID(d.i32()), Watermark: d.ts()}
 	case msgs.KindPrune:

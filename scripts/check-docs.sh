@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# check-docs.sh — the documentation gate run by CI's docs job.
+#
+#  1. Every exported identifier in the public wbcast package must carry a
+#     doc comment (grep gate; go vet handles comment placement rules).
+#  2. Every internal package must have a doc.go with a package comment.
+#  3. Every relative markdown link in README.md and docs/ must resolve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. exported identifiers in the public package are documented --------
+for f in *.go; do
+  case "$f" in *_test.go) continue ;; esac
+  # An exported declaration line whose preceding line is not a comment or
+  # a group opener ("const (", "var (") is undocumented.
+  undoc=$(awk '
+    /^(func|type|const|var) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+      if (prev !~ /^\/\// && prev !~ /^(const|var|type) \($/) {
+        printf "%s:%d: undocumented exported declaration: %s\n", FILENAME, FNR, $0
+      }
+    }
+    { prev = $0 }
+  ' "$f")
+  if [ -n "$undoc" ]; then
+    echo "$undoc"
+    fail=1
+  fi
+done
+
+# --- 2. every internal package has a doc.go with a package comment -------
+for d in internal/*/; do
+  pkg=$(basename "$d")
+  if [ ! -f "$d/doc.go" ] && ! grep -lq "^// Package $pkg" "$d"/*.go; then
+    echo "$d: no doc.go or package comment"
+    fail=1
+  fi
+done
+
+# --- 3. relative markdown links resolve ----------------------------------
+for md in README.md docs/*.md; do
+  dir=$(dirname "$md")
+  # Extract relative link targets: [text](target), skipping URLs/anchors.
+  while IFS= read -r target; do
+    target=${target%%#*}
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "$md: broken link: $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' | grep -vE '^(https?:|#|mailto:)')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check-docs: FAILED"
+  exit 1
+fi
+echo "check-docs: OK"

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"wbcast/internal/faults"
 	"wbcast/internal/live"
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
@@ -49,6 +50,13 @@ type Transport interface {
 	stats(pid ProcessID) TransportStats
 	addr(pid ProcessID) string
 	deterministic() bool
+	// backgroundTimers reports whether processes hosted here should keep
+	// their timer-driven machinery (retries, heartbeats, failure
+	// detection, GC). False only on the plain simulated transport, whose
+	// quiescence pump requires runs that terminate; chaos mode
+	// (SimulatedOptions.Faults) turns timers back on because fault
+	// recovery is timer-driven.
+	backgroundTimers() bool
 	name() string
 }
 
@@ -164,10 +172,12 @@ func (t *inProcTransport) stats(pid ProcessID) TransportStats {
 	return TransportStats{MailboxHighWater: n.MailboxHighWater(pid)}
 }
 
-func (t *inProcTransport) addr(ProcessID) string { return "" }
-func (t *inProcTransport) deterministic() bool   { return false }
-func (t *inProcTransport) name() string          { return "in-process" }
+func (t *inProcTransport) addr(ProcessID) string  { return "" }
+func (t *inProcTransport) deterministic() bool    { return false }
+func (t *inProcTransport) backgroundTimers() bool { return true }
+func (t *inProcTransport) name() string           { return "in-process" }
 
+// Close implements Transport.
 func (t *inProcTransport) Close() {
 	t.mu.Lock()
 	n := t.net
@@ -183,12 +193,24 @@ func (t *inProcTransport) Close() {
 // SimulatedOptions parametrises the deterministic transport beyond the
 // options shared in Config (Delta, Latency, Batching, ...).
 type SimulatedOptions struct {
-	// Seed initialises the simulator's RNG (latency jitter).
+	// Seed initialises the simulator's RNG (latency jitter, fault
+	// sampling).
 	Seed int64
 	// Jitter widens the default per-message latency from exactly
 	// Config.Delta to uniform in [Delta, Delta+Jitter). Ignored when
 	// Config.Latency is set.
 	Jitter time.Duration
+	// Faults, when non-nil, switches the transport into chaos mode and
+	// injects the plan's fault schedule: crash/restart, partitions,
+	// per-link drop/duplicate/delay/reorder and clock skew, fired at
+	// virtual-time or message-count triggers. In chaos mode the protocols'
+	// background timers stay enabled and virtual time advances
+	// continuously (runs no longer pump to quiescence). See FaultPlan and
+	// docs/FAULTS.md.
+	Faults *FaultPlan
+	// OnFault, if non-nil, receives a narration line (with its virtual
+	// time) each time a fault action fires.
+	OnFault func(at time.Duration, desc string)
 }
 
 // Simulated returns a deterministic discrete-event transport: virtual time,
@@ -200,8 +222,9 @@ type SimulatedOptions struct {
 // Background timers are disabled on this transport: there are no retries,
 // heartbeats, failure detection or GC, which is what makes runs quiesce and
 // replay identically. Crashing a process therefore stalls (rather than
-// fails over) the messages that need it; use the InProcess transport for
-// fault-injection scenarios.
+// fails over) the messages that need it. For fault-injection scenarios,
+// pass a FaultPlan via SimulatedOptions.Faults — chaos mode re-enables the
+// timer-driven recovery machinery — or use the InProcess transport.
 func Simulated() Transport { return SimulatedWith(SimulatedOptions{}) }
 
 // SimulatedWith is Simulated with explicit options.
@@ -225,6 +248,8 @@ type simTransport struct {
 	pending bool
 	closed  bool
 	done    chan struct{}
+	// slice is the virtual-time advance per chaos-pump iteration.
+	slice time.Duration
 }
 
 func (t *simTransport) open(cfg *Config) error {
@@ -242,12 +267,34 @@ func (t *simTransport) open(cfg *Config) error {
 	} else {
 		lat = sim.UniformJitter(cfg.Delta, t.opts.Jitter)
 	}
-	t.s = sim.New(sim.Config{
+	simCfg := sim.Config{
 		Latency:   lat,
 		Seed:      t.opts.Seed,
 		OnDeliver: t.dispatchLocked,
-	})
-	go t.pump()
+	}
+	var eng *faults.Engine
+	if t.opts.Faults != nil {
+		if err := t.opts.Faults.validate(); err != nil {
+			return err
+		}
+		eng = faults.New(faults.Config{
+			Plan:    t.opts.Faults.compile(),
+			OnEvent: t.opts.OnFault,
+		})
+		simCfg.Filter = eng.Filter
+		simCfg.TimerScale = eng.ScaleTimer
+	}
+	t.s = sim.New(simCfg)
+	if eng != nil {
+		eng.Bind(t.s)
+		t.slice = 10 * cfg.Delta
+		if t.slice < time.Millisecond {
+			t.slice = time.Millisecond
+		}
+		go t.pumpChaos()
+	} else {
+		go t.pump()
+	}
 	return nil
 }
 
@@ -256,6 +303,27 @@ func (t *simTransport) open(cfg *Config) error {
 func (t *simTransport) dispatchLocked(p mcast.ProcessID, d mcast.Delivery) {
 	if fn := t.deliver[p]; fn != nil {
 		fn(d)
+	}
+}
+
+// pumpChaos drives the simulator in chaos mode. With background timers
+// enabled the event queue never drains (heartbeats re-arm forever), so
+// instead of pumping to quiescence, virtual time advances continuously in
+// bounded slices; the lock is released between slices so application
+// goroutines (Multicast, Subscribe consumers) interleave, and a short real
+// sleep keeps an idle simulation from spinning a core. Virtual time runs as
+// fast as the CPU allows — a multi-second recovery story plays out in
+// milliseconds of wall-clock time.
+func (t *simTransport) pumpChaos() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer close(t.done)
+	for !t.closed {
+		t.s.Run(t.s.Now() + t.slice)
+		t.pending = false
+		t.mu.Unlock()
+		time.Sleep(50 * time.Microsecond)
+		t.mu.Lock()
 	}
 }
 
@@ -330,8 +398,10 @@ func (t *simTransport) crash(pid ProcessID) {
 func (t *simTransport) stats(ProcessID) TransportStats { return TransportStats{} }
 func (t *simTransport) addr(ProcessID) string          { return "" }
 func (t *simTransport) deterministic() bool            { return true }
+func (t *simTransport) backgroundTimers() bool         { return t.opts.Faults != nil }
 func (t *simTransport) name() string                   { return "simulated" }
 
+// Close implements Transport: it stops the pump and joins it.
 func (t *simTransport) Close() {
 	t.mu.Lock()
 	started := t.s != nil // the pump (and so t.done) exists only once opened
@@ -511,9 +581,11 @@ func (t *tcpTransport) addr(pid ProcessID) string {
 	return t.peers[pid]
 }
 
-func (t *tcpTransport) deterministic() bool { return false }
-func (t *tcpTransport) name() string        { return "tcp" }
+func (t *tcpTransport) deterministic() bool    { return false }
+func (t *tcpTransport) backgroundTimers() bool { return true }
+func (t *tcpTransport) name() string           { return "tcp" }
 
+// Close implements Transport: it closes every hosted node.
 func (t *tcpTransport) Close() {
 	t.mu.Lock()
 	nodes := make([]*tcpnet.Node, 0, len(t.nodes))

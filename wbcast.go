@@ -117,6 +117,8 @@ const (
 	FTSkeen
 )
 
+// String returns the protocol's canonical name, accepted by
+// ParseProtocol.
 func (p Protocol) String() string {
 	switch p {
 	case WhiteBox:
@@ -281,12 +283,14 @@ func (cfg Config) normalized() (Config, error) {
 
 // newProtocolHandler is the one construction point for protocol replicas,
 // shared by Cluster, NewReplica and (through them) every command-line
-// binary. Timing is derived from cfg.Delta; on deterministic transports
-// the background timers (retries, heartbeats, failure detection, GC) are
-// disabled so runs quiesce and replay identically.
+// binary. Timing is derived from cfg.Delta; on the plain simulated
+// transport the background timers (retries, heartbeats, failure detection,
+// GC) are disabled so runs quiesce and replay identically — unless the
+// transport runs in chaos mode (SimulatedOptions.Faults), where the
+// timer-driven recovery machinery is exactly what is under test.
 func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID) (node.Handler, error) {
 	d := cfg.Delta
-	det := cfg.Transport.deterministic()
+	det := !cfg.Transport.backgroundTimers()
 	switch cfg.Protocol {
 	case WhiteBox:
 		rc := core.DefaultConfig(pid, top, d)
