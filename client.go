@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/client"
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Client multicasts application messages to the groups of a deployment.
@@ -24,6 +25,7 @@ type Client struct {
 	tr  Transport
 	pid ProcessID
 	h   node.Handler
+	reg *obs.Registry // nil when Observability.Disabled
 
 	mu      sync.Mutex
 	seq     uint32
@@ -53,6 +55,11 @@ func newClientOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Client, error
 		return nil, fmt.Errorf("wbcast: client ID %d collides with a replica of the %d×%d topology", pid, cfg.Groups, cfg.Replicas)
 	}
 	cl := &Client{top: top, tr: cfg.Transport, pid: pid, waiters: make(map[MsgID]chan struct{})}
+	var co *obs.Client
+	if cfg.obsOn() {
+		cl.reg = obs.NewRegistry(fmt.Sprintf(`proc="%d"`, pid))
+		co = obs.NewClient(cl.reg, cfg.clock, cfg.tracer, pid)
+	}
 	var opts *batch.Options
 	if cfg.Batching != nil {
 		o := cfg.Batching.options()
@@ -74,8 +81,9 @@ func newClientOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Client, error
 		RetryContacts: func(g GroupID) []ProcessID { return top.Members(g) },
 		Retry:         retry,
 		OnComplete:    cl.complete,
+		Obs:           co,
 	}, opts)
-	if err := cfg.Transport.add(cl.h, nil); err != nil {
+	if err := cfg.Transport.add(cl.h, nil, cl.reg); err != nil {
 		return nil, err
 	}
 	return cl, nil
@@ -93,6 +101,12 @@ func (cl *Client) BatchesSent() int64 {
 	}
 	return 0
 }
+
+// Metrics returns a snapshot of the client's metrics: the end-to-end
+// submit-to-complete latency histogram, retry counts and (when batching is
+// enabled) the flush-trigger breakdown. Empty when Observability.Disabled
+// is set.
+func (cl *Client) Metrics() MetricsSnapshot { return cl.reg.Snapshot() }
 
 // Close crash-stops the client's process on its transport. In-flight
 // multicasts never complete (their contexts expire); messages already

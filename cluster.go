@@ -99,6 +99,21 @@ func (c *Cluster) Replicas() []*Replica {
 	return out
 }
 
+// Metrics returns the cluster-wide metrics: every replica's snapshot
+// merged with MergeMetrics (counters sum, histograms merge bucket-wise).
+// Clients are separate processes; merge their snapshots in as needed.
+func (c *Cluster) Metrics() MetricsSnapshot {
+	snaps := make([]MetricsSnapshot, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		snaps = append(snaps, r.Metrics())
+	}
+	return MergeMetrics(snaps...)
+}
+
+// Trace returns the deployment-wide trace recorded so far (see
+// Replica.Trace); empty unless Observability.TraceSample is set.
+func (c *Cluster) Trace() []TraceEvent { return c.cfg.tracer.Events() }
+
 // NumGroups returns the number of groups.
 func (c *Cluster) NumGroups() int { return c.top.NumGroups() }
 

@@ -25,6 +25,15 @@
 // observed (Replica.Stats): the saturation indicator of the elastic
 // mailboxes.
 //
+// Observability is on by default: after each point the tool prints the
+// per-stage latency percentiles (propose/accept/commit/deliver, from the
+// cluster's merged wbcast_stage_latency_seconds histograms) — the white-box
+// view of where time went inside the pipeline. -obs=false disables the
+// metrics layer entirely, which is how the instrumentation overhead itself
+// is measured (see BENCH_PR6.json). -metrics-addr additionally serves the
+// live /metrics, /debug/vars and /debug/pprof endpoints while the sweep
+// runs, pointed at whichever point's cluster is currently active.
+//
 // The paper's testbeds (CloudLab; Google Cloud across Oregon, N. Virginia
 // and England) are modelled by injected latency profiles on a single
 // machine, so absolute throughput differs from the paper while the relative
@@ -64,6 +73,9 @@ func main() {
 		batchMsgs   = flag.Int("batch-msgs", 0, "flush a batch at this many payloads (0 disables batching unless -batch-bytes/-batch-delay set)")
 		batchBytes  = flag.Int("batch-bytes", 0, "flush a batch at this many payload bytes")
 		batchDelay  = flag.Duration("batch-delay", 0, "flush deadline for a non-empty batch")
+
+		obsOn       = flag.Bool("obs", true, "collect metrics and print per-stage latency percentiles (-obs=false measures the uninstrumented baseline)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the sweep")
 	)
 	flag.Parse()
 
@@ -99,6 +111,25 @@ func main() {
 	clientCounts := parseInts(*clients)
 	destCounts := parseDests(*dests, *groups)
 
+	var observability *wbcast.Observability
+	if !*obsOn {
+		observability = &wbcast.Observability{Disabled: true}
+	}
+	var srv *wbcast.MetricsServer
+	if *metricsAddr != "" {
+		if !*obsOn {
+			fmt.Fprintln(os.Stderr, "wbcast-bench: -metrics-addr needs -obs")
+			os.Exit(2)
+		}
+		var err error
+		if srv, err = wbcast.ServeMetrics(*metricsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("# metrics on http://%s/metrics\n", srv.Addr())
+	}
+
 	fmt.Printf("# figure: %s — %d groups × %d replicas, %d-byte payloads, closed-loop clients ×%d outstanding\n",
 		map[string]string{"lan": "Fig. 7 (LAN profile)", "wan": "Fig. 8 (WAN profile)"}[*netProfile],
 		*groups, *size, *payload, *outstanding)
@@ -115,6 +146,7 @@ func main() {
 					clients: c, outstanding: *outstanding, destGroups: d,
 					payloadSize: *payload, batching: batching, latency: latency,
 					warmup: *warmup, measure: *measure, seed: *seed,
+					obs: observability, srv: srv,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
@@ -123,6 +155,11 @@ func main() {
 				fmt.Printf("%-10s %5d %8d %12.0f/s %12.0f/s %12s %12s %12s %9d\n",
 					p, d, c, res.throughput, res.batches,
 					round(res.mean), round(res.p50), round(res.p99), res.mailboxHW)
+				for _, st := range res.stages {
+					fmt.Printf("%-10s %28s  p50=%-9s p95=%-9s p99=%-9s max=%-9s n=%d\n",
+						"", "stage "+st.name, round(st.lat.P50), round(st.lat.P95),
+						round(st.lat.P99), round(st.lat.Max), st.lat.Count)
+				}
 			}
 		}
 		fmt.Println()
@@ -142,13 +179,22 @@ type pointConfig struct {
 	warmup      time.Duration
 	measure     time.Duration
 	seed        int64
+	obs         *wbcast.Observability
+	srv         *wbcast.MetricsServer
+}
+
+// stageStat is one populated stage of the merged per-stage histogram.
+type stageStat struct {
+	name string
+	lat  wbcast.LatencyStats
 }
 
 type pointResult struct {
 	throughput     float64 // completed payloads per second
 	batches        float64 // protocol-level multicasts per second
 	mean, p50, p99 time.Duration
-	mailboxHW      int64 // max replica input-queue depth (Replica.Stats)
+	mailboxHW      int64       // max replica input-queue depth (Replica.Stats)
+	stages         []stageStat // per-stage latency percentiles (merged across replicas)
 }
 
 // runPoint builds a fresh cluster on an in-process transport and drives
@@ -158,17 +204,21 @@ type pointResult struct {
 // with client pipelining and optional batching.
 func runPoint(cfg pointConfig) (pointResult, error) {
 	cluster, err := wbcast.New(wbcast.Config{
-		Protocol:  cfg.protocol,
-		Groups:    cfg.groups,
-		Replicas:  cfg.size,
-		Transport: wbcast.InProcess(),
-		Latency:   cfg.latency,
-		Batching:  cfg.batching,
+		Protocol:      cfg.protocol,
+		Groups:        cfg.groups,
+		Replicas:      cfg.size,
+		Transport:     wbcast.InProcess(),
+		Latency:       cfg.latency,
+		Batching:      cfg.batching,
+		Observability: cfg.obs,
 	})
 	if err != nil {
 		return pointResult{}, err
 	}
 	defer cluster.Close()
+	if cfg.srv != nil {
+		cfg.srv.SetSources(cluster) // expose the active point's cluster only
+	}
 
 	cls := make([]*wbcast.Client, cfg.clients)
 	for i := range cls {
@@ -243,6 +293,15 @@ func runPoint(cfg pointConfig) (pointResult, error) {
 	for _, r := range cluster.Replicas() {
 		if hw := r.Stats().MailboxHighWater; hw > res.mailboxHW {
 			res.mailboxHW = hw
+		}
+	}
+	if cfg.obs == nil || !cfg.obs.Disabled {
+		snap := cluster.Metrics()
+		for _, stage := range []string{"propose", "accept", "commit", "deliver"} {
+			key := wbcast.MetricStageLatency + `{stage="` + stage + `"}`
+			if ls, ok := snap.Latencies[key]; ok && ls.Count > 0 {
+				res.stages = append(res.stages, stageStat{name: stage, lat: ls})
+			}
 		}
 	}
 	return res, nil

@@ -17,6 +17,10 @@
 // On shutdown (SIGINT/SIGTERM) the node prints its transport statistics:
 // messages encoded, frames sent/coalesced/read, outbound drops, reconnects
 // and the mailbox high-water mark.
+//
+// With -metrics-addr the node also serves its observability endpoint:
+// /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof/
+// (profiling). See docs/OBSERVABILITY.md for the metric catalog.
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 		protocol = flag.String("protocol", "wbcast", "protocol: wbcast, fastcast or ftskeen")
 		delta    = flag.Duration("delta", 5*time.Millisecond, "expected one-way network delay (drives timeouts)")
 		verbose  = flag.Bool("v", false, "log deliveries and transport diagnostics")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -85,6 +90,14 @@ func main() {
 		}()
 	}
 	fmt.Printf("wbcast-node %d (%s, group %d) listening on %s\n", pid, proto, rep.Group(), rep.Addr())
+	if *metrics != "" {
+		ms, err := wbcast.ServeMetrics(*metrics, rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics (expvar: /debug/vars, profiling: /debug/pprof/)\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -9,8 +9,14 @@
 //
 // Usage:
 //
-//	wbcast-sim [-scenario failover|clock-decrease|convoy]
-//	wbcast-sim -chaos [-protocol wbcast|fastcast|ftskeen] [-seed N] [-msgs N]
+//	wbcast-sim [-scenario failover|clock-decrease|convoy] [-trace]
+//	wbcast-sim -chaos [-protocol wbcast|fastcast|ftskeen] [-seed N] [-msgs N] [-trace]
+//
+// With -trace, every message's lifecycle is recorded (internal/obs,
+// sampling 1, virtual-time clock) and the run ends with per-message stage
+// timelines — submit, START, timestamp proposal, ACCEPT quorum, GTS
+// commit, delivery, completion — interleaved with any recovery and fault
+// events. Traces of a seeded run are byte-for-byte reproducible.
 package main
 
 import (
@@ -28,10 +34,33 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/sim"
 )
 
 const delta = 10 * time.Millisecond
+
+// traceOn is the -trace flag: trace every message and print stage
+// timelines at the end of the scenario.
+var traceOn bool
+
+// traced enables full-sample tracing on o when -trace is set.
+func traced(o harness.Options) harness.Options {
+	if traceOn {
+		o.TraceSample = 1
+	}
+	return o
+}
+
+// printTrace renders the per-message stage timelines of a traced run.
+func printTrace(c *harness.Cluster) {
+	if !traceOn || c.Tracer == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Println("per-message stage timelines:")
+	fmt.Print(obs.FormatMessageTimelines(c.Tracer.Events()))
+}
 
 func main() {
 	scenario := flag.String("scenario", "failover", "failover, clock-decrease or convoy")
@@ -39,6 +68,7 @@ func main() {
 	protocol := flag.String("protocol", "wbcast", "chaos protocol: wbcast, fastcast or ftskeen")
 	seed := flag.Int64("seed", 1, "chaos schedule seed")
 	workload := flag.Int("msgs", 30, "chaos workload size")
+	flag.BoolVar(&traceOn, "trace", false, "record every message's lifecycle and print per-message stage timelines")
 	flag.Parse()
 	var err error
 	if *chaosMode {
@@ -68,10 +98,10 @@ func failover() error {
 		HeartbeatInterval: 5 * delta,
 		SuspectTimeout:    20 * delta,
 	}
-	c, err := harness.NewCluster(proto, harness.Options{
+	c, err := harness.NewCluster(proto, traced(harness.Options{
 		Groups: 2, GroupSize: 3, NumClients: 1,
 		Latency: sim.Uniform(delta), Retry: 30 * delta,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -100,6 +130,7 @@ func failover() error {
 		return fmt.Errorf("correctness check failed: %v", errs[0])
 	}
 	fmt.Println("         correctness check: PASS (ordering, integrity, termination, genuineness)")
+	printTrace(c)
 	return nil
 }
 
@@ -111,9 +142,9 @@ func clockDecrease() error {
 		}
 		return delta
 	}
-	c, err := harness.NewCluster(core.Protocol{RetryInterval: 20 * delta}, harness.Options{
+	c, err := harness.NewCluster(core.Protocol{RetryInterval: 20 * delta}, traced(harness.Options{
 		Groups: 1, GroupSize: 3, NumClients: 1, Latency: lat, Retry: 20 * delta,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -136,6 +167,7 @@ func clockDecrease() error {
 		return fmt.Errorf("correctness check failed: %v", errs[0])
 	}
 	fmt.Println("         correctness check: PASS")
+	printTrace(c)
 	return nil
 }
 
@@ -148,9 +180,9 @@ func convoy() error {
 		}
 		return delta
 	}
-	c, err := harness.NewCluster(core.Protocol{}, harness.Options{
+	c, err := harness.NewCluster(core.Protocol{}, traced(harness.Options{
 		Groups: 2, GroupSize: 3, NumClients: 2, Latency: lat,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -168,6 +200,7 @@ func convoy() error {
 		return fmt.Errorf("correctness check failed: %v", errs[0])
 	}
 	fmt.Println("         correctness check: PASS")
+	printTrace(c)
 	return nil
 }
 
@@ -207,7 +240,7 @@ func chaos(protocol string, seed int64, n int) error {
 	plan.At(2500*time.Millisecond, faults.Heal{})
 	plan.At(5*time.Second, faults.ClearLinks{})
 
-	c, err := harness.NewCluster(proto, harness.Options{
+	c, err := harness.NewCluster(proto, traced(harness.Options{
 		Groups: 2, GroupSize: 3, NumClients: 2,
 		Latency: sim.Uniform(delta),
 		Seed:    seed,
@@ -216,7 +249,7 @@ func chaos(protocol string, seed int64, n int) error {
 		OnFault: func(at time.Duration, desc string) {
 			fmt.Printf("t=%-8v FAULT  %s\n", at.Round(time.Millisecond), desc)
 		},
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -233,5 +266,6 @@ func chaos(protocol string, seed int64, n int) error {
 		return fmt.Errorf("%d invariant violation(s); replay with -chaos -protocol %s -seed %d", len(errs), protocol, seed)
 	}
 	fmt.Println("         invariants: PASS (total order, gap-freedom, exactly-once, genuineness, termination)")
+	printTrace(c)
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Client is a batching, pipelining multicast client: a node.Handler that
@@ -24,6 +25,13 @@ type Client struct {
 	onComplete func(id mcast.MsgID)
 
 	inner *client.Client
+
+	// obs: the batching layer measures payload-level end-to-end latency
+	// and the flush-trigger breakdown itself; the embedded client gets no
+	// handle, so envelope-level submits/completions do not pollute the
+	// end-to-end histogram.
+	obs   *obs.Client
+	obsAt map[mcast.MsgID]time.Duration
 
 	buckets  map[string]*bucket
 	byToken  []*bucket
@@ -82,6 +90,9 @@ type Config struct {
 	// order — when every destination group has delivered the batch
 	// carrying it.
 	OnComplete func(id mcast.MsgID)
+	// Obs is the client's instrumentation handle; nil disables metrics
+	// and tracing.
+	Obs *obs.Client
 	// Options are the flush triggers and pipelining window.
 	Options Options
 }
@@ -101,6 +112,7 @@ func NewHandler(cfg client.Config, opts *Options) node.Handler {
 		RetryContacts: cfg.RetryContacts,
 		Retry:         cfg.Retry,
 		OnComplete:    cfg.OnComplete,
+		Obs:           cfg.Obs,
 		Options:       *opts,
 	})
 }
@@ -111,8 +123,12 @@ func New(cfg Config) *Client {
 		pid:        cfg.PID,
 		opts:       cfg.Options.normalize(),
 		onComplete: cfg.OnComplete,
+		obs:        cfg.Obs,
 		buckets:    make(map[string]*bucket),
 		flights:    make(map[mcast.MsgID]*flight),
+	}
+	if cfg.Obs != nil {
+		c.obsAt = make(map[mcast.MsgID]time.Duration)
 	}
 	c.inner = client.New(client.Config{
 		PID:           cfg.PID,
@@ -155,6 +171,14 @@ func (c *Client) Handle(in node.Input, fx *node.Effects) {
 			c.onFlushTimer(in.Data, fx)
 			return
 		}
+		if in.Kind == node.TimerClient {
+			// The inner client is about to re-send this envelope iff it is
+			// still in flight (its retry logic); count it here because the
+			// inner client carries no obs handle.
+			if _, inflight := c.flights[mcast.MsgID(in.Data)]; inflight {
+				c.obs.OnRetry(mcast.MsgID(in.Data))
+			}
+		}
 		c.inner.Handle(in, fx)
 	default:
 		c.inner.Handle(in, fx)
@@ -164,6 +188,11 @@ func (c *Client) Handle(in node.Input, fx *node.Effects) {
 // submit accumulates one payload and fires any size/count flush trigger.
 func (c *Client) submit(m mcast.AppMsg, fx *node.Effects) {
 	b := c.bucket(m.Dest)
+	if c.obs != nil {
+		var at time.Duration
+		c.obs.OnSubmit(m.ID, &at)
+		c.obsAt[m.ID] = at
+	}
 	payload := make([]byte, len(m.Payload))
 	copy(payload, m.Payload)
 	b.entries = append(b.entries, msgs.BatchEntry{ID: m.ID, Payload: payload})
@@ -217,6 +246,16 @@ func (c *Client) drain(b *bucket, fx *node.Effects) {
 // (the bytes bound may overshoot by the final payload, mirroring the
 // trigger in drain — a lone payload above MaxBytes still ships).
 func (c *Client) flushOne(b *bucket, fx *node.Effects) {
+	if c.obs != nil {
+		switch {
+		case len(b.entries) >= c.opts.MaxMsgs:
+			c.obs.OnFlush(obs.FlushMsgs)
+		case b.bytes >= c.opts.MaxBytes:
+			c.obs.OnFlush(obs.FlushBytes)
+		default:
+			c.obs.OnFlush(obs.FlushDeadline)
+		}
+	}
 	n, size := 0, 0
 	for n < len(b.entries) && n < c.opts.MaxMsgs && size < c.opts.MaxBytes {
 		size += len(b.entries[n].Payload)
@@ -256,6 +295,12 @@ func (c *Client) onBatchDone(id mcast.MsgID) {
 	delete(c.flights, id)
 	fl.b.inflight--
 	c.completed += len(fl.ids)
+	if c.obs != nil {
+		for _, pid := range fl.ids {
+			c.obs.OnComplete(pid, c.obsAt[pid])
+			delete(c.obsAt, pid)
+		}
+	}
 	if c.onComplete != nil {
 		for _, pid := range fl.ids {
 			c.onComplete(pid)

@@ -11,6 +11,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Contacts returns the processes to which MULTICAST(m) should be sent for
@@ -38,6 +39,9 @@ type Config struct {
 	// every destination group of a message have arrived. Runtimes use it to
 	// drive closed-loop workloads.
 	OnComplete func(id mcast.MsgID)
+	// Obs is the client's instrumentation handle; nil disables metrics and
+	// tracing.
+	Obs *obs.Client
 }
 
 // Client is the client-side protocol handler. It implements node.Handler.
@@ -51,6 +55,8 @@ type Client struct {
 type request struct {
 	m   mcast.AppMsg
 	got map[mcast.GroupID]bool
+	// at is the submission timestamp on the observability clock.
+	at time.Duration
 }
 
 // New constructs a Client.
@@ -88,7 +94,9 @@ func (c *Client) submit(m mcast.AppMsg, fx *node.Effects) {
 	if _, dup := c.inflight[m.ID]; dup {
 		return
 	}
-	c.inflight[m.ID] = &request{m: m, got: make(map[mcast.GroupID]bool, len(m.Dest))}
+	req := &request{m: m, got: make(map[mcast.GroupID]bool, len(m.Dest))}
+	c.inflight[m.ID] = req
+	c.cfg.Obs.OnSubmit(m.ID, &req.at)
 	c.send(m, fx)
 	if c.cfg.Retry > 0 {
 		fx.SetTimer(c.cfg.Retry, node.TimerClient, uint64(m.ID))
@@ -116,6 +124,7 @@ func (c *Client) onReply(r msgs.ClientReply) {
 	}
 	delete(c.inflight, r.ID)
 	c.completed++
+	c.cfg.Obs.OnComplete(r.ID, req.at)
 	if c.cfg.OnComplete != nil {
 		c.cfg.OnComplete(r.ID)
 	}
@@ -129,6 +138,7 @@ func (c *Client) onRetry(id mcast.MsgID, fx *node.Effects) {
 	// Message recovery (paper §IV): re-send MULTICAST to the (possibly
 	// updated) contacts of every destination group. Groups that already
 	// processed m re-send their protocol messages; others start processing.
+	c.cfg.Obs.OnRetry(id)
 	contacts := c.cfg.RetryContacts
 	if contacts == nil {
 		contacts = c.cfg.Contacts

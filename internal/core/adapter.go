@@ -5,6 +5,7 @@ import (
 
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Protocol is the harness adapter for the white-box protocol (it satisfies
@@ -25,6 +26,12 @@ func (Protocol) Name() string { return "wbcast" }
 
 // NewReplica implements harness.Protocol.
 func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error) {
+	return p.NewReplicaObs(pid, top, nil)
+}
+
+// NewReplicaObs implements the harness's optional observability extension:
+// like NewReplica, with an instrumentation handle for the replica.
+func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error) {
 	return NewReplica(Config{
 		PID:               pid,
 		Top:               top,
@@ -33,6 +40,7 @@ func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Han
 		SuspectTimeout:    p.SuspectTimeout,
 		GCInterval:        p.GCInterval,
 		ColdStart:         p.ColdStart,
+		Obs:               po,
 	})
 }
 

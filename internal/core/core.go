@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/ordering"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// pre-synchronised into the group's initial ballot (1, first member) —
 	// equivalent to a completed recovery over the empty state.
 	ColdStart bool
+	// Obs is the replica's instrumentation handle; nil disables metrics
+	// and tracing. The handle's clock is the runtime's injected
+	// observability clock, so the handler itself still never reads real
+	// time (node.Handler contract).
+	Obs *obs.Proto
 }
 
 // DefaultConfig returns a production-style configuration for the given
@@ -103,6 +109,9 @@ type mstate struct {
 	// retries counts leader-side MULTICAST re-sends, used to fall back
 	// from the Cur_leader guess to whole-group blanket sends.
 	retries int
+	// at is the observability timestamp of the message's latest stage
+	// transition at this replica (zero when observability is off).
+	at time.Duration
 }
 
 type acceptInfo struct {
@@ -279,11 +288,13 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 	if !st.hasApp {
 		st.app = app.Clone()
 		st.hasApp = true
+		r.cfg.Obs.Begin(app.ID, &st.at)
 	}
 	if st.phase == msgs.PhaseStart { // line 5
 		r.clock++                                               // line 6
 		st.lts = mcast.Timestamp{Time: r.clock, Group: r.group} // line 7
 		st.phase = msgs.PhaseProposed                           // line 8
+		r.cfg.Obs.Stage(obs.StagePropose, app.ID, &st.at)
 		r.queue.SetPending(app.ID, st.lts)
 		r.armRetry(app.ID, fx)
 	}
@@ -305,6 +316,7 @@ func (r *Replica) onAccept(a msgs.Accept, fx *node.Effects) {
 	if !st.hasApp {
 		st.app = a.M.Clone()
 		st.hasApp = true
+		r.cfg.Obs.Begin(a.M.ID, &st.at)
 	}
 	if st.accepts == nil {
 		st.accepts = make(map[mcast.GroupID]acceptInfo, len(a.M.Dest))
@@ -340,6 +352,7 @@ func (r *Replica) evalAccepts(st *mstate, fx *node.Effects) {
 	if st.phase == msgs.PhaseStart || st.phase == msgs.PhaseProposed { // line 11
 		st.phase = msgs.PhaseAccepted // line 12
 		st.lts = own.lts              // line 13
+		r.cfg.Obs.Stage(obs.StageAccept, st.app.ID, &st.at)
 		if r.status == StatusLeader {
 			r.queue.SetPending(st.app.ID, st.lts)
 		}
@@ -454,6 +467,7 @@ func (r *Replica) evalCommit(st *mstate, fx *node.Effects) {
 	}
 	st.gts = gts
 	st.phase = msgs.PhaseCommitted
+	r.cfg.Obs.Stage(obs.StageCommit, st.app.ID, &st.at)
 	r.queue.Commit(st.app.ID, gts)
 	r.drain(fx) // lines 21–23
 }
@@ -512,6 +526,7 @@ func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
 	}
 	r.maxDeliveredGTS = d.GTS // line 30
 	st.delivered = true
+	r.cfg.Obs.Stage(obs.StageDeliver, d.ID, &st.at)
 	r.queue.Remove(d.ID)
 	// line 31, unpacking batch envelopes into per-payload deliveries.
 	batch.ExpandInto(fx, mcast.Delivery{Msg: st.app, GTS: d.GTS})
@@ -530,6 +545,7 @@ func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
 		return
 	}
 	st.retries++
+	r.cfg.Obs.MarkMsg(obs.EventRetransmit, id)
 	if st.retries <= 2 { // line 34
 		for _, g := range st.app.Dest {
 			fx.Send(r.curLeader[g], msgs.Multicast{M: st.app})

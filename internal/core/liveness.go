@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Liveness machinery: the heartbeat failure detector that drives leader
@@ -82,6 +84,9 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 		if r.ballot.Less(m.Bal) {
 			r.ballot = m.Bal
 		}
+		if r.status == StatusLeader {
+			r.cfg.Obs.Mark(obs.EventStepDown, "bal="+m.Bal.String())
+		}
 		r.status = StatusRecovering
 		return
 	}
@@ -147,6 +152,7 @@ func (r *Replica) catchup(from mcast.ProcessID, wm mcast.Timestamp, fx *node.Eff
 	if len(missed) > catchupBatch {
 		missed = missed[:catchupBatch]
 	}
+	r.cfg.Obs.Mark(obs.EventCatchup, fmt.Sprintf("to=p%d n=%d", from, len(missed)))
 	prev := wm
 	for _, ms := range missed {
 		st := r.state[ms.id]

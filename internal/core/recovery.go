@@ -4,6 +4,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Leader recovery (Fig. 4 lines 35–68).
@@ -23,6 +24,7 @@ import (
 // group to adopt it.
 func (r *Replica) startCandidacy(fx *node.Effects) {
 	b := mcast.Ballot{N: r.ballot.N + 1, Proc: r.pid}
+	r.cfg.Obs.Mark(obs.EventElection, "bal="+b.String())
 	fx.SendAll(r.cfg.Top.Members(r.group), msgs.NewLeader{Bal: b})
 	// If the candidacy stalls (lost votes, a duel with another candidate),
 	// retry with a fresh ballot after a backoff.
@@ -37,6 +39,9 @@ func (r *Replica) startCandidacy(fx *node.Effects) {
 func (r *Replica) onNewLeader(from mcast.ProcessID, m msgs.NewLeader, fx *node.Effects) {
 	if !r.ballot.Less(m.Bal) { // line 38
 		return
+	}
+	if r.status == StatusLeader {
+		r.cfg.Obs.Mark(obs.EventStepDown, "bal="+m.Bal.String())
 	}
 	r.status = StatusRecovering // line 39
 	r.ballot = m.Bal            // line 40

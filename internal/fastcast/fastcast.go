@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/paxos"
 	"wbcast/internal/rsm"
 )
@@ -26,6 +27,9 @@ type Config struct {
 	SuspectTimeout    time.Duration
 	// ColdStart starts without an established leader.
 	ColdStart bool
+	// Obs is the replica's instrumentation handle; nil disables metrics
+	// and tracing.
+	Obs *obs.Proto
 }
 
 // Replica is one FastCast group member. It implements node.Handler.
@@ -73,6 +77,22 @@ type Replica struct {
 	// followers use the chain to detect missed DELIVERs after a
 	// crash-recovery pause instead of delivering with a gap.
 	lastDeliverGTS mcast.Timestamp
+	// obsAt holds each in-flight message's latest stage timestamp; touched
+	// only when cfg.Obs is set.
+	obsAt map[mcast.MsgID]*time.Duration
+}
+
+// stageAt returns the stage-timestamp cell for id, creating it on demand.
+func (r *Replica) stageAt(id mcast.MsgID) *time.Duration {
+	at, ok := r.obsAt[id]
+	if !ok {
+		if r.obsAt == nil {
+			r.obsAt = make(map[mcast.MsgID]*time.Duration)
+		}
+		at = new(time.Duration)
+		r.obsAt[id] = at
+	}
+	return at
 }
 
 // New constructs a FastCast replica.
@@ -108,6 +128,7 @@ func New(cfg Config) (*Replica, error) {
 		// follower's watermark.
 		AckDelivered:  func() mcast.Timestamp { return r.maxDelivered },
 		OnFollowerLag: r.onFollowerLag,
+		Obs:           cfg.Obs,
 	}, fcApp{r})
 	if err != nil {
 		return nil, err
@@ -187,6 +208,11 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 	r.specTime++
 	lts := mcast.Timestamp{Time: r.specTime, Group: r.group}
 	r.specPending[app.ID] = lts
+	if o := r.cfg.Obs; o != nil {
+		at := r.stageAt(app.ID)
+		o.Begin(app.ID, at)
+		o.Stage(obs.StagePropose, app.ID, at) // tentative timestamp issued
+	}
 	r.px.Propose(msgs.Command{Op: msgs.CmdAssign, M: app, LTS: lts}, fx)
 	r.sendToLeaders(app.Dest, msgs.Propose{ID: app.ID, Group: r.group, LTS: lts}, fx)
 	r.armRetry(app.ID, fx)
@@ -202,6 +228,12 @@ func (a fcApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effects)
 	case msgs.CmdAssign:
 		lts, _ := r.sm.ApplyAssign(cmd.M, cmd.LTS)
 		r.apps[cmd.M.ID] = cmd.M // owned by the Paxos log; immutable
+		if o := r.cfg.Obs; o != nil {
+			if at := r.stageAt(cmd.M.ID); *at == 0 {
+				o.Begin(cmd.M.ID, at) // follower: first sight via the log
+				o.Stage(obs.StagePropose, cmd.M.ID, at)
+			}
+		}
 		if leading {
 			delete(r.specPending, cmd.M.ID)
 			// The timestamp is durable: confirm it to all destination
@@ -216,7 +248,11 @@ func (a fcApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effects)
 			r.drain(fx)
 		}
 	case msgs.CmdCommit:
-		r.sm.ApplyCommit(cmd.ID, cmd.LTSs)
+		if _, changed := r.sm.ApplyCommit(cmd.ID, cmd.LTSs); changed {
+			if o := r.cfg.Obs; o != nil {
+				o.Stage(obs.StageCommit, cmd.ID, r.stageAt(cmd.ID))
+			}
+		}
 		if leading {
 			// As above: this commit may postdate onLead; retry re-solicits
 			// the PROPOSE/CONFIRM exchange until the message delivers.
@@ -262,6 +298,9 @@ func (r *Replica) maybeProposeCommit(id mcast.MsgID, fx *node.Effects) {
 		vec = append(vec, msgs.GroupTS{Group: g, TS: lts})
 	}
 	sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
+	if o := r.cfg.Obs; o != nil {
+		o.Stage(obs.StageAccept, id, r.stageAt(id))
+	}
 	// Note: the clock advance past the expected global timestamp is part of
 	// the CmdCommit command and becomes effective only when the second
 	// consensus applies — per the paper (§VI), FastCast's durable clock
@@ -398,6 +437,10 @@ func (r *Replica) drain(fx *node.Effects) {
 
 func (r *Replica) deliver(d mcast.Delivery, fx *node.Effects) {
 	r.maxDelivered = d.GTS
+	if o := r.cfg.Obs; o != nil {
+		o.Stage(obs.StageDeliver, d.Msg.ID, r.stageAt(d.Msg.ID))
+		delete(r.obsAt, d.Msg.ID)
+	}
 	batch.ExpandInto(fx, d)
 	fx.Send(d.Msg.ID.Sender(), msgs.ClientReply{ID: d.Msg.ID, Group: r.group})
 }
@@ -447,6 +490,7 @@ func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
 	// the whole destination groups — only the blanket is guaranteed to
 	// reach whoever leads a remote group after an election.
 	r.redrives[id]++
+	r.cfg.Obs.MarkMsg(obs.EventRetransmit, id)
 	if blanket := r.redrives[id] > 2; blanket {
 		if lts, ok := r.sm.LTS(id); ok {
 			fx.SendGroups(r.cfg.Top, app.Dest, msgs.Propose{ID: id, Group: r.group, LTS: lts})
@@ -564,6 +608,9 @@ func (r *Replica) onFollowerLag(from mcast.ProcessID, wm mcast.Timestamp, fx *no
 		lts, _ := r.sm.LTS(id)
 		fx.Send(from, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: gts, Prev: prev})
 		prev = gts
+	}
+	if n > 0 {
+		r.cfg.Obs.Mark(obs.EventCatchup, fmt.Sprintf("to=p%d n=%d", from, n))
 	}
 }
 

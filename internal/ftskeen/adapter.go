@@ -5,6 +5,7 @@ import (
 
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Protocol is the harness adapter for FT-Skeen (it satisfies
@@ -21,6 +22,12 @@ func (Protocol) Name() string { return "ftskeen" }
 
 // NewReplica implements harness.Protocol.
 func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error) {
+	return p.NewReplicaObs(pid, top, nil)
+}
+
+// NewReplicaObs implements the harness's optional observability extension:
+// like NewReplica, with an instrumentation handle for the replica.
+func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error) {
 	return New(Config{
 		PID:               pid,
 		Top:               top,
@@ -28,6 +35,7 @@ func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Han
 		HeartbeatInterval: p.HeartbeatInterval,
 		SuspectTimeout:    p.SuspectTimeout,
 		ColdStart:         p.ColdStart,
+		Obs:               po,
 	})
 }
 

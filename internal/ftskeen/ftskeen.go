@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/paxos"
 	"wbcast/internal/rsm"
 )
@@ -27,6 +28,9 @@ type Config struct {
 	SuspectTimeout    time.Duration
 	// ColdStart starts without an established leader.
 	ColdStart bool
+	// Obs is the replica's instrumentation handle; nil disables metrics
+	// and tracing.
+	Obs *obs.Proto
 }
 
 // Replica is one FT-Skeen group member. It implements node.Handler.
@@ -51,6 +55,22 @@ type Replica struct {
 	// (§IV: "the multicasting process can always send the message to all
 	// the processes in a given group").
 	redrives map[mcast.MsgID]int
+	// obsAt holds each in-flight message's latest stage timestamp; touched
+	// only when cfg.Obs is set.
+	obsAt map[mcast.MsgID]*time.Duration
+}
+
+// stageAt returns the stage-timestamp cell for id, creating it on demand.
+func (r *Replica) stageAt(id mcast.MsgID) *time.Duration {
+	at, ok := r.obsAt[id]
+	if !ok {
+		if r.obsAt == nil {
+			r.obsAt = make(map[mcast.MsgID]*time.Duration)
+		}
+		at = new(time.Duration)
+		r.obsAt[id] = at
+	}
+	return at
 }
 
 // New constructs an FT-Skeen replica.
@@ -79,6 +99,7 @@ func New(cfg Config) (*Replica, error) {
 		SuspectTimeout:    cfg.SuspectTimeout,
 		ColdStart:         cfg.ColdStart,
 		OnLead:            r.onLead,
+		Obs:               cfg.Obs,
 	}, paxosApp{r})
 	if err != nil {
 		return nil, err
@@ -142,6 +163,9 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 	// timestamp is always above every previously committed global
 	// timestamp — the property the delivery rule relies on.
 	r.assignInFlight[app.ID] = true
+	if o := r.cfg.Obs; o != nil {
+		o.Begin(app.ID, r.stageAt(app.ID))
+	}
 	r.px.Propose(msgs.Command{Op: msgs.CmdAssign, M: app.Clone()}, fx)
 	r.armRetry(app.ID, fx)
 }
@@ -155,6 +179,13 @@ func (a paxosApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effec
 	switch cmd.Op {
 	case msgs.CmdAssign:
 		lts, _ := r.sm.ApplyAssignClock(cmd.M)
+		if o := r.cfg.Obs; o != nil {
+			at := r.stageAt(cmd.M.ID)
+			if *at == 0 {
+				o.Begin(cmd.M.ID, at) // follower: first sight via the log
+			}
+			o.Stage(obs.StagePropose, cmd.M.ID, at)
+		}
 		if leading {
 			delete(r.assignInFlight, cmd.M.ID)
 			// The timestamp is now durable: announce it to the leaders of
@@ -168,6 +199,9 @@ func (a paxosApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effec
 			delete(r.commitProposed, cmd.ID)
 			delete(r.proposals, cmd.ID)
 			delete(r.redrives, cmd.ID)
+			if o := r.cfg.Obs; o != nil {
+				o.Stage(obs.StageCommit, cmd.ID, r.stageAt(cmd.ID))
+			}
 		}
 		// Every replica delivers deterministically from the log.
 		r.drain(fx)
@@ -179,6 +213,10 @@ func (r *Replica) drain(fx *node.Effects) {
 		d, ok := r.sm.Deliver()
 		if !ok {
 			return
+		}
+		if o := r.cfg.Obs; o != nil {
+			o.Stage(obs.StageDeliver, d.Msg.ID, r.stageAt(d.Msg.ID))
+			delete(r.obsAt, d.Msg.ID)
 		}
 		batch.ExpandInto(fx, d)
 		fx.Send(d.Msg.ID.Sender(), msgs.ClientReply{ID: d.Msg.ID, Group: r.group})
@@ -233,6 +271,9 @@ func (r *Replica) maybeProposeCommit(id mcast.MsgID, fx *node.Effects) {
 	}
 	sort.Slice(vec, func(i, j int) bool { return vec[i].Group < vec[j].Group })
 	r.commitProposed[id] = true
+	if o := r.cfg.Obs; o != nil {
+		o.Stage(obs.StageAccept, id, r.stageAt(id))
+	}
 	r.px.Propose(msgs.Command{Op: msgs.CmdCommit, ID: id, LTSs: vec}, fx)
 }
 
@@ -252,6 +293,7 @@ func (r *Replica) retry(id mcast.MsgID, fx *node.Effects) {
 		return
 	}
 	r.redrives[id]++
+	r.cfg.Obs.MarkMsg(obs.EventRetransmit, id)
 	blanket := r.redrives[id] > 2
 	if lts, ok := r.sm.LTS(id); ok {
 		if blanket {

@@ -136,8 +136,9 @@ func genPlan(rng *rand.Rand, top *mcast.Topology, clients int) *faults.Plan {
 }
 
 // runChaos executes one seeded schedule against one protocol and returns
-// the canonical delivery log. Any invariant violation fails t.
-func runChaos(t *testing.T, proto harness.Protocol, seed int64) []byte {
+// the canonical delivery log plus the message-lifecycle trace log. Any
+// invariant violation fails t.
+func runChaos(t *testing.T, proto harness.Protocol, seed int64) (delivery, trace []byte) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	top := mcast.UniformTopology(2, 3)
@@ -153,6 +154,7 @@ func runChaos(t *testing.T, proto harness.Protocol, seed int64) []byte {
 		OnFault: func(at time.Duration, desc string) {
 			events = append(events, fmt.Sprintf("t=%v %s", at, desc))
 		},
+		TraceSample: 1, // trace every message: chaos runs are small
 	})
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
@@ -171,7 +173,7 @@ func runChaos(t *testing.T, proto harness.Protocol, seed int64) []byte {
 		t.Fatalf("seed %d: %d violation(s) at the horizon (replay with -run TestChaos -seed=%d)",
 			seed, len(errs), seed)
 	}
-	return c.DeliveryLog()
+	return c.DeliveryLog(), c.TraceLog()
 }
 
 func joinLines(ls []string) string {
@@ -214,13 +216,28 @@ func TestChaosDeterministic(t *testing.T) {
 	for _, proto := range chaosProtocols() {
 		proto := proto
 		t.Run(proto.Name(), func(t *testing.T) {
-			a := runChaos(t, proto, seed)
-			b := runChaos(t, proto, seed)
+			a, ta := runChaos(t, proto, seed)
+			b, tb := runChaos(t, proto, seed)
 			if !bytes.Equal(a, b) {
 				t.Fatalf("seed %d: delivery logs differ between two runs (%d vs %d bytes)", seed, len(a), len(b))
 			}
 			if len(a) == 0 {
 				t.Fatalf("seed %d: empty delivery log", seed)
+			}
+			if !bytes.Equal(ta, tb) {
+				t.Fatalf("seed %d: trace logs differ between two runs (%d vs %d bytes)", seed, len(ta), len(tb))
+			}
+			if len(ta) == 0 {
+				t.Fatalf("seed %d: empty trace log", seed)
+			}
+			// Fault-injection steps must appear interleaved with the
+			// protocol stages (every plan has at least the quiet-period
+			// heal), and sampled messages must reach delivery.
+			if !bytes.Contains(ta, []byte("fault")) {
+				t.Errorf("seed %d: no fault events in the trace", seed)
+			}
+			if !bytes.Contains(ta, []byte("deliver")) {
+				t.Errorf("seed %d: no deliver stages in the trace", seed)
 			}
 		})
 	}

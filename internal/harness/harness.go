@@ -18,6 +18,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/sim"
 )
 
@@ -32,6 +33,15 @@ type Protocol interface {
 	// Contacts returns the per-group MULTICAST targets (e.g. the initial
 	// leader guess Cur_leader[g]).
 	Contacts(top *mcast.Topology) func(g mcast.GroupID) []mcast.ProcessID
+}
+
+// ProtocolObs is the optional observability extension of Protocol: adapters
+// that implement it receive an instrumentation handle per replica, so
+// harness runs can record stage timelines and recovery events. The
+// fault-tolerant adapters (core, fastcast, ftskeen) implement it; adapters
+// without it fall back to the plain NewReplica path, untraced.
+type ProtocolObs interface {
+	NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error)
 }
 
 // Options configures a simulated cluster.
@@ -59,6 +69,14 @@ type Options struct {
 	Faults *faults.Plan
 	// OnFault, when non-nil, receives a narration line per fired action.
 	OnFault func(at time.Duration, desc string)
+	// TraceSample enables message-lifecycle tracing (internal/obs): every
+	// TraceSample-th message per sender is traced through its stages, with
+	// recovery events and fault-injection steps interleaved. The clock is
+	// the simulator's virtual time, so a seeded run's trace is
+	// byte-for-byte reproducible (TestTraceDeterministic). 0 disables.
+	TraceSample int
+	// TraceBuffer bounds retained trace events (0 = default).
+	TraceBuffer int
 }
 
 // Cluster is a simulated deployment of one protocol.
@@ -73,6 +91,9 @@ type Cluster struct {
 
 	// Engine is the fault engine, non-nil when Options.Faults was set.
 	Engine *faults.Engine
+	// Tracer records message-lifecycle and fault events, non-nil when
+	// Options.TraceSample was set. Render with obs.FormatTimeline.
+	Tracer *obs.Tracer
 	// Monitor checks every delivery continuously (poured by RunChecked and
 	// CollectHistory).
 	Monitor *check.Monitor
@@ -108,11 +129,30 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 		crashed:  make(map[mcast.ProcessID]bool),
 	}
 	c.Monitor = check.NewMonitor(top)
+	// The trace clock is virtual time; the closure reads c.Sim, assigned
+	// below, before any handler runs.
+	var clock obs.Clock
+	if opts.TraceSample > 0 {
+		clock = func() time.Duration { return c.Sim.Now() }
+		c.Tracer = obs.NewTracer(opts.TraceSample, opts.TraceBuffer, clock)
+	}
 	simCfg := sim.Config{Latency: opts.Latency, Seed: opts.Seed, Trace: opts.Trace}
 	if opts.Faults != nil {
+		// Fault actions land in the trace too, so a chaos timeline shows
+		// crashes, partitions and heals interleaved with protocol stages.
+		onFault := opts.OnFault
+		if tr := c.Tracer; tr != nil {
+			user := onFault
+			onFault = func(at time.Duration, desc string) {
+				tr.Fault(at, desc)
+				if user != nil {
+					user(at, desc)
+				}
+			}
+		}
 		c.Engine = faults.New(faults.Config{
 			Plan:      *opts.Faults,
-			OnEvent:   opts.OnFault,
+			OnEvent:   onFault,
 			OnCrash:   func(p mcast.ProcessID) { c.crashed[p] = true },
 			OnRestart: func(p mcast.ProcessID) { delete(c.crashed, p) },
 		})
@@ -124,8 +164,17 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 	if c.Engine != nil {
 		c.Engine.Bind(s)
 	}
+	po, _ := p.(ProtocolObs)
 	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
-		h, err := p.NewReplica(pid, top)
+		var h node.Handler
+		var err error
+		if c.Tracer != nil && po != nil {
+			// Trace-only handles: a nil registry keeps the metrics
+			// unscrapeable but the stage events flowing into the tracer.
+			h, err = po.NewReplicaObs(pid, top, obs.NewProto(nil, clock, c.Tracer, pid))
+		} else {
+			h, err = p.NewReplica(pid, top)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("harness: replica %d: %w", pid, err)
 		}
@@ -140,12 +189,18 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 		}
 	}
 	for i := 0; i < opts.NumClients; i++ {
+		pid := ClientPID(top, i)
+		var co *obs.Client
+		if c.Tracer != nil {
+			co = obs.NewClient(nil, clock, c.Tracer, pid)
+		}
 		cl := batch.NewHandler(client.Config{
-			PID:           ClientPID(top, i),
+			PID:           pid,
 			Contacts:      contacts,
 			Retry:         opts.Retry,
 			RetryContacts: blanket,
 			OnComplete:    complete,
+			Obs:           co,
 		}, opts.Batching)
 		c.Clients = append(c.Clients, cl)
 		s.Add(cl)
@@ -276,6 +331,15 @@ func (c *Cluster) DeliveryLog() []byte {
 			int64(d.At), d.Proc, d.D.Msg.ID, d.D.GTS.Time, d.D.GTS.Group, d.D.Sub, d.D.Msg.Payload)
 	}
 	return []byte(b.String())
+}
+
+// TraceLog renders the recorded message-lifecycle trace as the canonical
+// timeline, one line per event in recording order. Like DeliveryLog, two
+// runs of the same seeded schedule must produce byte-identical trace logs
+// (TestTraceDeterministic) — the tracer samples by sequence number and
+// timestamps by virtual time, never by RNG or wall clock.
+func (c *Cluster) TraceLog() []byte {
+	return []byte(obs.FormatTimeline(c.Tracer.Events()))
 }
 
 // Check runs the full correctness check (with GTS checks on) and the

@@ -186,6 +186,21 @@ func (n *Network) MailboxHighWater(pid mcast.ProcessID) int64 {
 	return hw
 }
 
+// MailboxDepth returns the current input-queue length at pid, or 0 if pid
+// is unknown (an instantaneous gauge; MailboxHighWater is its maximum).
+func (n *Network) MailboxDepth(pid mcast.ProcessID) int64 {
+	n.mu.Lock()
+	p, ok := n.procs[pid]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	p.qmu.Lock()
+	depth := int64(len(p.queue))
+	p.qmu.Unlock()
+	return depth
+}
+
 // Submit posts a Submit input to a client process. It never blocks;
 // submitters are expected to pace themselves on completions (closed loop
 // or a pipelining window), since queues grow elastically.

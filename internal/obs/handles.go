@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"time"
+
+	"wbcast/internal/mcast"
+)
+
+// Proto is a protocol replica's instrumentation handle: per-stage latency
+// histograms plus recovery-path counters, with trace emission folded into
+// the same calls. All methods are nil-safe — a nil *Proto is
+// "observability off" and costs a single branch per call site, so the
+// metrics-on/off overhead benchmark compares against a true zero.
+type Proto struct {
+	proc   mcast.ProcessID
+	clock  Clock
+	tracer *Tracer
+
+	propose, accept, commit, deliver *Histogram
+
+	retransmits, stepDowns, elections, catchups, commits, deliveries *Counter
+}
+
+// NewProto builds a replica handle, registering its metrics in reg (nil
+// reg = trace-only: metrics exist but are not scrapeable).
+func NewProto(reg *Registry, clock Clock, tracer *Tracer, proc mcast.ProcessID) *Proto {
+	p := &Proto{
+		proc: proc, clock: clock, tracer: tracer,
+		propose: &Histogram{}, accept: &Histogram{}, commit: &Histogram{}, deliver: &Histogram{},
+		retransmits: &Counter{}, stepDowns: &Counter{}, elections: &Counter{},
+		catchups: &Counter{}, commits: &Counter{}, deliveries: &Counter{},
+	}
+	reg.RegisterHistogram(MetricStageLatency+`{stage="propose"}`, "time from first sight to local timestamp proposal", p.propose)
+	reg.RegisterHistogram(MetricStageLatency+`{stage="accept"}`, "time from proposal to ACCEPTs from every destination group", p.accept)
+	reg.RegisterHistogram(MetricStageLatency+`{stage="commit"}`, "time from accept to the global timestamp commit", p.commit)
+	reg.RegisterHistogram(MetricStageLatency+`{stage="deliver"}`, "time from the previous stage to delivery at this replica", p.deliver)
+	reg.RegisterCounter(MetricRetransmits, "leader-side MULTICAST re-sends", p.retransmits)
+	reg.RegisterCounter(MetricStepDowns, "leadership losses (higher ballot observed)", p.stepDowns)
+	reg.RegisterCounter(MetricElections, "candidacies started", p.elections)
+	reg.RegisterCounter(MetricCatchups, "catch-up replays sent to stalled followers", p.catchups)
+	reg.RegisterCounter(MetricCommits, "messages committed (GTS fixed)", p.commits)
+	reg.RegisterCounter(MetricDeliveries, "protocol-level deliveries", p.deliveries)
+	if tracer != nil {
+		reg.RegisterCounter(MetricTraceDropped, "trace events discarded on buffer overflow", &tracer.Dropped)
+	}
+	return p
+}
+
+// Now returns the observability clock reading (0 when disabled).
+func (p *Proto) Now() time.Duration {
+	if p == nil || p.clock == nil {
+		return 0
+	}
+	return p.clock()
+}
+
+// Begin stamps a message's first sight at this replica into *at and traces
+// the start stage.
+func (p *Proto) Begin(id mcast.MsgID, at *time.Duration) {
+	if p == nil {
+		return
+	}
+	*at = p.Now()
+	if p.tracer.Sampled(id) {
+		p.tracer.EventAt(*at, p.proc, id, StageStart, "")
+	}
+}
+
+// Stage records a stage transition: the elapsed time since *at goes into
+// the stage's histogram, *at advances to now, and the stage is traced if
+// the message is sampled.
+func (p *Proto) Stage(stage string, id mcast.MsgID, at *time.Duration) {
+	if p == nil {
+		return
+	}
+	now := p.Now()
+	var h *Histogram
+	switch stage {
+	case StagePropose:
+		h = p.propose
+	case StageAccept:
+		h = p.accept
+	case StageCommit:
+		h = p.commit
+		p.commits.Inc()
+	case StageDeliver:
+		h = p.deliver
+		p.deliveries.Inc()
+	}
+	h.Observe(now - *at)
+	*at = now
+	if p.tracer.Sampled(id) {
+		p.tracer.EventAt(now, p.proc, id, stage, "")
+	}
+}
+
+// MarkMsg records a per-message recovery event (retransmit): counter plus
+// a sampled trace line.
+func (p *Proto) MarkMsg(event string, id mcast.MsgID) {
+	if p == nil {
+		return
+	}
+	p.counterFor(event).Inc()
+	p.tracer.Message(p.proc, id, event, "")
+}
+
+// Mark records a message-independent recovery event (step-down, election,
+// catch-up): counter plus an unconditional trace line.
+func (p *Proto) Mark(event, note string) {
+	if p == nil {
+		return
+	}
+	p.counterFor(event).Inc()
+	p.tracer.System(p.proc, event, note)
+}
+
+func (p *Proto) counterFor(event string) *Counter {
+	switch event {
+	case EventRetransmit:
+		return p.retransmits
+	case EventStepDown:
+		return p.stepDowns
+	case EventElection:
+		return p.elections
+	case EventCatchup:
+		return p.catchups
+	}
+	return nil
+}
+
+// Client is a client process's instrumentation handle: end-to-end latency,
+// retries and the batching flush-trigger breakdown. Nil-safe like Proto.
+type Client struct {
+	proc   mcast.ProcessID
+	clock  Clock
+	tracer *Tracer
+
+	e2e     *Histogram
+	retries *Counter
+
+	flushMsgs, flushBytes, flushDeadline *Counter
+}
+
+// NewClient builds a client handle, registering its metrics in reg.
+func NewClient(reg *Registry, clock Clock, tracer *Tracer, proc mcast.ProcessID) *Client {
+	c := &Client{
+		proc: proc, clock: clock, tracer: tracer,
+		e2e: &Histogram{}, retries: &Counter{},
+		flushMsgs: &Counter{}, flushBytes: &Counter{}, flushDeadline: &Counter{},
+	}
+	reg.RegisterHistogram(MetricClientE2E, "client submit-to-complete latency", c.e2e)
+	reg.RegisterCounter(MetricClientRetries, "client-side MULTICAST re-sends", c.retries)
+	reg.RegisterCounter(MetricBatchFlushes+`{trigger="msgs"}`, "batch flushes triggered by the payload-count bound", c.flushMsgs)
+	reg.RegisterCounter(MetricBatchFlushes+`{trigger="bytes"}`, "batch flushes triggered by the byte-size bound", c.flushBytes)
+	reg.RegisterCounter(MetricBatchFlushes+`{trigger="deadline"}`, "batch flushes triggered by the delay deadline", c.flushDeadline)
+	return c
+}
+
+// Now returns the observability clock reading (0 when disabled).
+func (c *Client) Now() time.Duration {
+	if c == nil || c.clock == nil {
+		return 0
+	}
+	return c.clock()
+}
+
+// OnSubmit stamps a submission time into *at and traces the submit stage.
+func (c *Client) OnSubmit(id mcast.MsgID, at *time.Duration) {
+	if c == nil {
+		return
+	}
+	*at = c.Now()
+	if c.tracer.Sampled(id) {
+		c.tracer.EventAt(*at, c.proc, id, StageSubmit, "")
+	}
+}
+
+// OnComplete observes the end-to-end latency since at and traces the
+// complete stage.
+func (c *Client) OnComplete(id mcast.MsgID, at time.Duration) {
+	if c == nil {
+		return
+	}
+	now := c.Now()
+	c.e2e.Observe(now - at)
+	if c.tracer.Sampled(id) {
+		c.tracer.EventAt(now, c.proc, id, StageComplete, "")
+	}
+}
+
+// OnRetry records a client-side re-send of an incomplete multicast.
+func (c *Client) OnRetry(id mcast.MsgID) {
+	if c == nil {
+		return
+	}
+	c.retries.Inc()
+	c.tracer.Message(c.proc, id, EventClientRetry, "")
+}
+
+// Flush triggers, passed to OnFlush by internal/batch.
+const (
+	FlushMsgs     = "msgs"
+	FlushBytes    = "bytes"
+	FlushDeadline = "deadline"
+)
+
+// OnFlush records one batch-envelope flush by its trigger.
+func (c *Client) OnFlush(trigger string) {
+	if c == nil {
+		return
+	}
+	switch trigger {
+	case FlushMsgs:
+		c.flushMsgs.Inc()
+	case FlushBytes:
+		c.flushBytes.Inc()
+	case FlushDeadline:
+		c.flushDeadline.Inc()
+	}
+}
+
+// Runtime is a transport/runtime instrumentation handle: the I/O and
+// mailbox counters of one hosted process. tcpnet maintains these counters
+// directly (its Stats() is a view over them), keeping one source of truth.
+type Runtime struct {
+	// Encoded counts distinct messages serialised to wire form.
+	Encoded Counter
+	// FramesSent counts per-recipient frames enqueued to peer writers.
+	FramesSent Counter
+	// FramesCoalesced counts frames riding along in vectored writes.
+	FramesCoalesced Counter
+	// OutboundDrops counts frames dropped on the way out.
+	OutboundDrops Counter
+	// Reconnects counts outbound redials after connection failures.
+	Reconnects Counter
+	// FramesRead counts inbound frames successfully decoded.
+	FramesRead Counter
+	// MailboxHW is the largest input-queue length observed.
+	MailboxHW Gauge
+}
+
+// NewRuntime builds a runtime handle, registering its metrics in reg (a
+// nil reg yields working, unscrapeable counters — the single-source
+// counters still back ad-hoc stats snapshots).
+func NewRuntime(reg *Registry) *Runtime {
+	rt := &Runtime{}
+	reg.RegisterCounter(MetricMessagesEncoded, "messages serialised to wire form (one per send)", &rt.Encoded)
+	reg.RegisterCounter(MetricFramesSent, "per-recipient frames enqueued to peer writers", &rt.FramesSent)
+	reg.RegisterCounter(MetricFramesCoalesced, "frames coalesced into vectored writes", &rt.FramesCoalesced)
+	reg.RegisterCounter(MetricOutboundDrops, "outbound frames dropped", &rt.OutboundDrops)
+	reg.RegisterCounter(MetricReconnects, "outbound redials after connection failure", &rt.Reconnects)
+	reg.RegisterCounter(MetricFramesRead, "inbound frames decoded", &rt.FramesRead)
+	reg.RegisterGauge(MetricMailboxHighWater, "largest input-queue length observed", &rt.MailboxHW)
+	return rt
+}

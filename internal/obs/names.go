@@ -1,0 +1,88 @@
+package obs
+
+// Canonical metric names. Every name used anywhere in the codebase is
+// declared here, so the documentation gate (scripts/check-docs.sh) can
+// cross-check the catalog in docs/OBSERVABILITY.md against one file.
+//
+// Histogram-valued metrics are exposed in Prometheus summary form
+// (quantile series plus _sum/_count/_max), with durations in seconds.
+const (
+	// MetricStageLatency is the per-stage protocol latency histogram,
+	// labelled {stage="propose|accept|commit|deliver"}: the time a message
+	// spent in the preceding stage at this replica (Fig. 4's START →
+	// ACCEPT → GTS-commit → DELIVER path).
+	MetricStageLatency = "wbcast_stage_latency_seconds"
+	// MetricRetransmits counts leader-side MULTICAST re-sends (Fig. 4
+	// lines 32-34).
+	MetricRetransmits = "wbcast_retransmits_total"
+	// MetricStepDowns counts leadership losses (a higher ballot observed).
+	MetricStepDowns = "wbcast_step_downs_total"
+	// MetricElections counts candidacies started by this replica.
+	MetricElections = "wbcast_elections_total"
+	// MetricCatchups counts heartbeat-ack-driven catch-up replays sent to
+	// stalled followers.
+	MetricCatchups = "wbcast_catchups_total"
+	// MetricCommits counts messages committed (GTS fixed) at this replica.
+	MetricCommits = "wbcast_commits_total"
+	// MetricDeliveries counts protocol-level deliveries at this replica.
+	MetricDeliveries = "wbcast_deliveries_total"
+
+	// MetricClientE2E is the client's submit-to-complete latency histogram.
+	MetricClientE2E = "wbcast_client_e2e_latency_seconds"
+	// MetricClientRetries counts client-side MULTICAST re-sends.
+	MetricClientRetries = "wbcast_client_retries_total"
+	// MetricBatchFlushes counts batch-envelope flushes by trigger,
+	// labelled {trigger="msgs|bytes|deadline"}: the flush-trigger
+	// breakdown of internal/batch.
+	MetricBatchFlushes = "wbcast_batch_flushes_total"
+
+	// MetricMailboxDepth is the process's current input-queue length.
+	MetricMailboxDepth = "wbcast_mailbox_depth"
+	// MetricMailboxHighWater is the largest input-queue length observed.
+	MetricMailboxHighWater = "wbcast_mailbox_high_water"
+	// MetricMessagesEncoded counts distinct messages serialised to wire
+	// form (once per send, however many recipients it fans out to).
+	MetricMessagesEncoded = "wbcast_messages_encoded_total"
+	// MetricFramesSent counts per-recipient frames enqueued to peer
+	// writers.
+	MetricFramesSent = "wbcast_frames_sent_total"
+	// MetricFramesCoalesced counts frames that rode along in a multi-frame
+	// vectored write instead of costing their own syscall.
+	MetricFramesCoalesced = "wbcast_frames_coalesced_total"
+	// MetricOutboundDrops counts frames dropped on the way out.
+	MetricOutboundDrops = "wbcast_outbound_drops_total"
+	// MetricReconnects counts outbound redials after connection failures.
+	MetricReconnects = "wbcast_reconnects_total"
+	// MetricFramesRead counts inbound frames successfully decoded.
+	MetricFramesRead = "wbcast_frames_read_total"
+	// MetricDeliveriesDropped counts deliveries discarded by a replica's
+	// subscriptions under the DropOldest/DropNewest policies.
+	MetricDeliveriesDropped = "wbcast_deliveries_dropped_total"
+
+	// MetricTraceDropped counts trace events discarded because the
+	// tracer's bounded buffer was full.
+	MetricTraceDropped = "wbcast_trace_dropped_total"
+)
+
+// Lifecycle stages recorded by the tracer and keyed into the stage
+// histogram. StageSubmit/StageComplete bracket the client side;
+// StageStart through StageDeliver are the replica-side pipeline.
+const (
+	StageSubmit   = "submit"   // client accepted the payload
+	StageStart    = "start"    // replica first saw the message (START/MULTICAST)
+	StagePropose  = "propose"  // leader assigned the local timestamp (PROPOSED)
+	StageAccept   = "accept"   // ACCEPTs from every destination group (ACCEPTED)
+	StageCommit   = "commit"   // global timestamp fixed (COMMITTED)
+	StageDeliver  = "deliver"  // delivered at this replica
+	StageComplete = "complete" // client received replies from all groups
+)
+
+// Recovery-path and infrastructure events recorded by the tracer.
+const (
+	EventRetransmit  = "retransmit"   // leader re-sent MULTICAST
+	EventClientRetry = "client-retry" // client re-sent MULTICAST
+	EventStepDown    = "step-down"    // replica lost leadership
+	EventElection    = "election"     // replica started a candidacy
+	EventCatchup     = "catchup"      // leader replayed deliveries to a stalled follower
+	EventFault       = "fault"        // an injected fault fired (crash/partition/heal/...)
+)

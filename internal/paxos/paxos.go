@@ -7,6 +7,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // App receives chosen commands in slot order, exactly once per slot, on
@@ -45,6 +46,9 @@ type Config struct {
 	// follower missed (crash-recovery message loss); the Paxos log itself
 	// is caught up independently via HeartbeatAck.Executed.
 	OnFollowerLag func(from mcast.ProcessID, delivered mcast.Timestamp, fx *node.Effects)
+	// Obs is the embedding protocol's instrumentation handle; Paxos records
+	// its elections and step-downs on it. Nil disables.
+	Obs *obs.Proto
 }
 
 type entry struct {
@@ -105,6 +109,14 @@ func New(cfg Config, app App) (*Replica, error) {
 		r.leading = r.bal.Leader() == r.pid
 	}
 	return r, nil
+}
+
+// stepDown clears the leading flag, recording the loss when it was set.
+func (r *Replica) stepDown(bal mcast.Ballot) {
+	if r.leading {
+		r.cfg.Obs.Mark(obs.EventStepDown, "bal="+bal.String())
+	}
+	r.leading = false
 }
 
 // Leading reports whether this replica is the established leader.
@@ -213,7 +225,7 @@ func (r *Replica) onP2a(from mcast.ProcessID, m msgs.P2a, fx *node.Effects) {
 	}
 	r.cbal = m.Bal
 	if m.Bal.Leader() != r.pid {
-		r.leading = false
+		r.stepDown(m.Bal)
 		r.recovering = false
 	}
 	e := r.log[m.Slot]
@@ -286,6 +298,7 @@ func (r *Replica) execute(fx *node.Effects) {
 
 func (r *Replica) startCandidacy(fx *node.Effects) {
 	b := mcast.Ballot{N: r.bal.N + 1, Proc: r.pid}
+	r.cfg.Obs.Mark(obs.EventElection, "bal="+b.String())
 	fx.SendAll(r.cfg.Top.Members(r.group), msgs.P1a{Group: r.group, Bal: b})
 	if r.cfg.HeartbeatInterval > 0 {
 		fx.SetTimer(2*r.suspectAfter(), node.TimerCandidacy, 0)
@@ -297,7 +310,7 @@ func (r *Replica) onP1a(from mcast.ProcessID, m msgs.P1a, fx *node.Effects) {
 		return
 	}
 	r.bal = m.Bal
-	r.leading = false
+	r.stepDown(m.Bal)
 	r.recovering = true
 	clear(r.p1bs)
 	// Report accepted, uncommitted entries plus the commit frontier;
@@ -410,7 +423,7 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 			r.bal = m.Bal
 		}
 		r.cbal = m.Bal
-		r.leading = false
+		r.stepDown(m.Bal)
 		r.recovering = false
 	}
 	if m.Bal == r.cbal && !r.leading {

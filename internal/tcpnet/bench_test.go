@@ -5,6 +5,7 @@ import (
 
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
+	"wbcast/internal/obs"
 )
 
 // benchAccept mirrors the hot-path message shape used by the wire
@@ -28,7 +29,7 @@ func benchAccept() msgs.Accept {
 
 // newBenchNode builds a Node with initialised pools but no listener.
 func newBenchNode(pid mcast.ProcessID) *Node {
-	n := &Node{cfg: Config{PID: pid}}
+	n := &Node{cfg: Config{PID: pid}, rt: obs.NewRuntime(nil)}
 	n.readPool.New = func() any { return &readFrame{} }
 	n.outPool.New = func() any { return &outFrame{} }
 	return n

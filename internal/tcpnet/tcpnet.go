@@ -12,6 +12,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/wire"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	// The queue grows elastically — senders never block the handler loop —
 	// so this is a pre-allocation hint, not a bound.
 	MailboxSize int
+	// Metrics, if non-nil, supplies the counters the node maintains on its
+	// I/O paths. Pass a registered obs.NewRuntime to scrape them; when nil
+	// the node creates an unregistered one, so Stats() always works. Either
+	// way the counters are the single source of truth — Stats() is a view.
+	Metrics *obs.Runtime
 }
 
 // Stats is a snapshot of a Node's I/O counters (see Node.Stats).
@@ -96,7 +102,7 @@ type Node struct {
 	qmu   sync.Mutex
 	queue []boxedInput
 	wake  chan struct{}
-	// mailboxHW mirrors stats.mailboxHW under qmu, so the hot path only
+	// mailboxHW mirrors rt.MailboxHW under qmu, so the hot path only
 	// touches the atomic on a new high-water mark.
 	mailboxHW int64
 
@@ -109,15 +115,9 @@ type Node struct {
 	readPool sync.Pool
 	outPool  sync.Pool
 
-	stats struct {
-		encoded    atomic.Int64
-		framesSent atomic.Int64
-		coalesced  atomic.Int64
-		drops      atomic.Int64
-		reconnects atomic.Int64
-		framesRead atomic.Int64
-		mailboxHW  atomic.Int64
-	}
+	// rt holds the node's I/O counters (cfg.Metrics, or an unregistered
+	// handle when the caller passed none).
+	rt *obs.Runtime
 }
 
 // boxedInput pairs an input with the pooled read frame its decoded message
@@ -157,6 +157,10 @@ func Serve(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.ListenAddr, err)
 	}
+	rt := cfg.Metrics
+	if rt == nil {
+		rt = obs.NewRuntime(nil)
+	}
 	n := &Node{
 		cfg:   cfg,
 		ln:    ln,
@@ -165,6 +169,7 @@ func Serve(cfg Config) (*Node, error) {
 		wake:  make(chan struct{}, 1),
 		addrs: make(map[mcast.ProcessID]string, len(cfg.Peers)),
 		peers: make(map[mcast.ProcessID]*peer),
+		rt:    rt,
 	}
 	n.readPool.New = func() any { return &readFrame{} }
 	n.outPool.New = func() any { return &outFrame{} }
@@ -181,17 +186,26 @@ func Serve(cfg Config) (*Node, error) {
 // Addr returns the bound listen address.
 func (n *Node) Addr() net.Addr { return n.ln.Addr() }
 
-// Stats returns a snapshot of the node's I/O counters.
+// Stats returns a snapshot of the node's I/O counters: a view over the
+// obs.Runtime handle that the I/O paths maintain (one source of truth).
 func (n *Node) Stats() Stats {
 	return Stats{
-		MessagesEncoded:  n.stats.encoded.Load(),
-		FramesSent:       n.stats.framesSent.Load(),
-		FramesCoalesced:  n.stats.coalesced.Load(),
-		OutboundDrops:    n.stats.drops.Load(),
-		Reconnects:       n.stats.reconnects.Load(),
-		FramesRead:       n.stats.framesRead.Load(),
-		MailboxHighWater: n.stats.mailboxHW.Load(),
+		MessagesEncoded:  int64(n.rt.Encoded.Load()),
+		FramesSent:       int64(n.rt.FramesSent.Load()),
+		FramesCoalesced:  int64(n.rt.FramesCoalesced.Load()),
+		OutboundDrops:    int64(n.rt.OutboundDrops.Load()),
+		Reconnects:       int64(n.rt.Reconnects.Load()),
+		FramesRead:       int64(n.rt.FramesRead.Load()),
+		MailboxHighWater: n.rt.MailboxHW.Load(),
 	}
+}
+
+// MailboxDepth returns the current input-queue length. Exposed as the
+// wbcast_mailbox_depth gauge view by the public TCP transport.
+func (n *Node) MailboxDepth() int64 {
+	n.qmu.Lock()
+	defer n.qmu.Unlock()
+	return int64(len(n.queue))
 }
 
 // SetPeer registers (or updates) the address of a peer process. Writers
@@ -218,7 +232,7 @@ func (n *Node) post(b boxedInput) {
 	n.queue = append(n.queue, b)
 	if depth := int64(len(n.queue)); depth > n.mailboxHW {
 		n.mailboxHW = depth
-		n.stats.mailboxHW.Store(depth)
+		n.rt.MailboxHW.Set(depth)
 	}
 	n.qmu.Unlock()
 	select {
@@ -301,7 +315,7 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.logf("tcpnet: %v (from %s)", err, conn.RemoteAddr())
 			return
 		}
-		n.stats.framesRead.Add(1)
+		n.rt.FramesRead.Inc()
 		n.post(boxedInput{in: rcv, frame: rf})
 	}
 }
@@ -442,7 +456,7 @@ func (n *Node) encodeFrame(m msgs.Message) (*outFrame, error) {
 	}
 	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
 	f.buf = buf
-	n.stats.encoded.Add(1)
+	n.rt.Encoded.Inc()
 	return f, nil
 }
 
@@ -468,7 +482,7 @@ func (n *Node) enqueue(to mcast.ProcessID, f *outFrame) {
 	if !ok {
 		if _, have := n.addrs[to]; !have {
 			n.mu.Unlock()
-			n.stats.drops.Add(1)
+			n.rt.OutboundDrops.Inc()
 			n.release(f)
 			n.logf("tcpnet: no address for process %d", to)
 			return
@@ -481,10 +495,10 @@ func (n *Node) enqueue(to mcast.ProcessID, f *outFrame) {
 	n.mu.Unlock()
 	select {
 	case p.out <- f:
-		n.stats.framesSent.Add(1)
+		n.rt.FramesSent.Inc()
 	default:
 		// Never block the handler loop on a slow peer.
-		n.stats.drops.Add(1)
+		n.rt.OutboundDrops.Inc()
 		n.release(f)
 		n.logf("tcpnet: outbound queue to %d full; dropping frame", to)
 	}
@@ -522,7 +536,7 @@ func (n *Node) writeLoop(p *peer) {
 				}
 			}
 			if len(held) > 1 {
-				n.stats.coalesced.Add(int64(len(held) - 1))
+				n.rt.FramesCoalesced.Add(uint64(len(held) - 1))
 			}
 			bufs = bufs[:0]
 			for _, f := range held {
@@ -548,7 +562,7 @@ func (n *Node) writeLoop(p *peer) {
 					n.logf("tcpnet: write to %d: %v", p.pid, err)
 					conn.Close()
 					conn = nil
-					n.stats.reconnects.Add(1)
+					n.rt.Reconnects.Inc()
 					continue
 				}
 				written = true
@@ -558,7 +572,7 @@ func (n *Node) writeLoop(p *peer) {
 				// Every un-written frame is a drop, whatever path led
 				// here (retracted address, dial failure, both write
 				// attempts failing).
-				n.stats.drops.Add(int64(len(held)))
+				n.rt.OutboundDrops.Add(uint64(len(held)))
 			}
 			for i, f := range held {
 				n.release(f)

@@ -1,0 +1,150 @@
+package wbcast
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"wbcast/internal/obs"
+)
+
+// MetricsSource is anything whose metrics a MetricsServer can expose:
+// *Replica, *Client and *Cluster implement it. Sources with observability
+// disabled contribute nothing.
+type MetricsSource interface {
+	obsRegistries() []*obs.Registry
+}
+
+func (r *Replica) obsRegistries() []*obs.Registry { return []*obs.Registry{r.reg} }
+func (cl *Client) obsRegistries() []*obs.Registry { return []*obs.Registry{cl.reg} }
+
+func (c *Cluster) obsRegistries() []*obs.Registry {
+	regs := make([]*obs.Registry, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		if r.reg != nil {
+			regs = append(regs, r.reg)
+		}
+	}
+	return regs
+}
+
+// MetricsServer is the HTTP observability endpoint started by ServeMetrics.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.Mutex
+	sources []MetricsSource
+}
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and several MetricsServers may coexist in one
+// process (tests, multi-replica hosts).
+var (
+	expvarOnce    sync.Once
+	expvarMu      sync.Mutex
+	expvarServers []*MetricsServer
+)
+
+// ServeMetrics starts an HTTP observability endpoint on addr serving
+//
+//   - /metrics — the sources' metrics in Prometheus text exposition format
+//     (histograms as summaries, one family header across processes, each
+//     sample labelled with its process ID);
+//   - /debug/vars — the standard expvar endpoint, with the same metrics
+//     published as one JSON document under "wbcast";
+//   - /debug/pprof/ — the standard profiling handlers (CPU, heap, mutex,
+//     goroutine, ...), so a running node can be profiled without rebuild.
+//
+// addr follows net.Listen conventions (e.g. "127.0.0.1:9100"; ":0" picks a
+// free port — see Addr). Sources can be added later with AddSource; Close
+// shuts the listener down. Used by wbcast-node and wbcast-bench via their
+// -metrics-addr flag.
+func ServeMetrics(addr string, sources ...MetricsSource) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wbcast: metrics listener: %w", err)
+	}
+	s := &MetricsServer{ln: ln, sources: sources}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.registries()...)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+
+	expvarOnce.Do(func() {
+		expvar.Publish("wbcast", expvar.Func(func() any {
+			expvarMu.Lock()
+			servers := append([]*MetricsServer(nil), expvarServers...)
+			expvarMu.Unlock()
+			var snaps []MetricsSnapshot
+			for _, srv := range servers {
+				for _, reg := range srv.registries() {
+					snaps = append(snaps, reg.Snapshot())
+				}
+			}
+			return MergeMetrics(snaps...)
+		}))
+	})
+	expvarMu.Lock()
+	expvarServers = append(expvarServers, s)
+	expvarMu.Unlock()
+
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// registries snapshots the current source list's registries.
+func (s *MetricsServer) registries() []*obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var regs []*obs.Registry
+	for _, src := range s.sources {
+		regs = append(regs, src.obsRegistries()...)
+	}
+	return regs
+}
+
+// AddSource exposes another source's metrics on this endpoint (e.g. a
+// client started after the server).
+func (s *MetricsServer) AddSource(src MetricsSource) {
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// SetSources replaces the source list wholesale. wbcast-bench uses it to
+// point one long-lived endpoint at each benchmark point's short-lived
+// cluster in turn.
+func (s *MetricsServer) SetSources(srcs ...MetricsSource) {
+	s.mu.Lock()
+	s.sources = srcs
+	s.mu.Unlock()
+}
+
+// Addr returns the address the server is listening on (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the HTTP server and its listener.
+func (s *MetricsServer) Close() error {
+	expvarMu.Lock()
+	for i, srv := range expvarServers {
+		if srv == s {
+			expvarServers = append(expvarServers[:i], expvarServers[i+1:]...)
+			break
+		}
+	}
+	expvarMu.Unlock()
+	return s.srv.Close()
+}

@@ -1,0 +1,155 @@
+package wbcast_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wbcast"
+)
+
+// obsRun drives a small deterministic deployment with tracing on and
+// returns the cluster's merged metrics plus the canonical trace timeline.
+func obsRun(t *testing.T, seed int64, o *wbcast.Observability) (wbcast.MetricsSnapshot, string) {
+	t.Helper()
+	cluster, err := wbcast.New(wbcast.Config{
+		Groups:        2,
+		Delta:         5 * time.Millisecond,
+		Transport:     wbcast.SimulatedWith(wbcast.SimulatedOptions{Seed: seed}),
+		Observability: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		dest := []wbcast.GroupID{wbcast.GroupID(i % 2)}
+		if i%3 == 0 {
+			dest = []wbcast.GroupID{0, 1}
+		}
+		if _, err := client.Multicast(ctx, []byte(fmt.Sprintf("m%d", i)), dest...); err != nil {
+			t.Fatalf("multicast %d: %v", i, err)
+		}
+	}
+	return cluster.Metrics(), wbcast.FormatTimeline(cluster.Trace())
+}
+
+// TestMetricsSnapshot: the default configuration (metrics on) counts every
+// delivery and populates the per-stage histograms.
+func TestMetricsSnapshot(t *testing.T) {
+	snap, _ := obsRun(t, 1, nil)
+	// 6 messages; the 2 multi-group ones deliver at both groups' replicas.
+	// Each group has 3 replicas, so deliveries ≥ 6×3.
+	if n := snap.Counters[wbcast.MetricDeliveries]; n < 18 {
+		t.Errorf("deliveries = %d, want ≥ 18", n)
+	}
+	var stages int
+	for name, ls := range snap.Latencies {
+		if strings.HasPrefix(name, wbcast.MetricStageLatency) && ls.Count > 0 {
+			stages++
+		}
+	}
+	if stages != 4 {
+		t.Errorf("populated stage histograms = %d, want 4 (propose/accept/commit/deliver)", stages)
+	}
+}
+
+// TestObservabilityDisabled: Disabled yields empty snapshots and traces.
+func TestObservabilityDisabled(t *testing.T) {
+	snap, trace := obsRun(t, 1, &wbcast.Observability{Disabled: true})
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Latencies) != 0 {
+		t.Errorf("disabled observability produced a non-empty snapshot: %v", snap)
+	}
+	if trace != "" {
+		t.Errorf("disabled observability produced a trace:\n%s", trace)
+	}
+}
+
+// TestTraceDeterministicPublic: on the simulated transport, two runs of
+// the same seed produce byte-identical trace timelines — virtual-time
+// stamps and sequence-number sampling leave nothing scheduler-dependent.
+func TestTraceDeterministicPublic(t *testing.T) {
+	_, a := obsRun(t, 42, &wbcast.Observability{TraceSample: 1})
+	_, b := obsRun(t, 42, &wbcast.Observability{TraceSample: 1})
+	if a == "" {
+		t.Fatal("empty trace")
+	}
+	if a != b {
+		t.Fatalf("traces differ between same-seed runs:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	for _, stage := range []string{"submit", "start", "propose", "accept", "commit", "deliver", "complete"} {
+		if !strings.Contains(a, stage) {
+			t.Errorf("trace lacks stage %q", stage)
+		}
+	}
+}
+
+// TestServeMetrics: the HTTP endpoint exposes Prometheus text with the
+// documented metric names, expvar and pprof.
+func TestServeMetrics(t *testing.T) {
+	cluster, err := wbcast.New(wbcast.Config{Groups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.Multicast(ctx, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := wbcast.ServeMetrics("127.0.0.1:0", cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.AddSource(client)
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE wbcast_stage_latency_seconds summary",
+		"wbcast_deliveries_total",
+		"wbcast_client_e2e_latency_seconds",
+		`proc="0"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "wbcast") {
+		t.Errorf("/debug/vars lacks the wbcast document")
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ lacks profile index")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"wbcast/internal/mcast"
+	"wbcast/internal/obs"
 )
 
 // Replica is a handle to one protocol replica hosted on a Transport. A
@@ -16,6 +17,7 @@ type Replica struct {
 	top *mcast.Topology
 	pid ProcessID
 	tr  Transport
+	reg *obs.Registry // nil when Observability.Disabled
 
 	mu     sync.Mutex
 	subs   []*Subscription
@@ -47,11 +49,30 @@ func newReplicaOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Replica, err
 	if !top.IsReplica(pid) {
 		return nil, fmt.Errorf("wbcast: process %d is not a replica of a %d×%d topology", pid, cfg.Groups, cfg.Replicas)
 	}
-	h, err := newProtocolHandler(cfg, top, pid)
+	var reg *obs.Registry
+	var po *obs.Proto
+	if cfg.obsOn() {
+		reg = obs.NewRegistry(fmt.Sprintf(`proc="%d"`, pid))
+		po = obs.NewProto(reg, cfg.clock, cfg.tracer, pid)
+	}
+	h, err := newProtocolHandler(cfg, top, pid, po)
 	if err != nil {
 		return nil, err
 	}
-	r := &Replica{cfg: cfg, top: top, pid: pid, tr: cfg.Transport}
+	r := &Replica{cfg: cfg, top: top, pid: pid, tr: cfg.Transport, reg: reg}
+	// Subscription drops join the registry as a view over the
+	// subscriptions' own counters — the same numbers Stats reports.
+	reg.RegisterFunc(obs.MetricDeliveriesDropped, "deliveries discarded by full subscriptions", obs.KindCounter,
+		func() int64 {
+			r.mu.Lock()
+			subs := r.subs
+			r.mu.Unlock()
+			var n int64
+			for _, s := range subs {
+				n += int64(s.Dropped())
+			}
+			return n
+		})
 	if cfg.OnDeliver != nil {
 		// The callback contract is an adapter over a lossless
 		// subscription: a dedicated goroutine drains it, so the callback
@@ -64,7 +85,7 @@ func newReplicaOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Replica, err
 			}
 		}()
 	}
-	if err := cfg.Transport.add(h, r.dispatch); err != nil {
+	if err := cfg.Transport.add(h, r.dispatch, reg); err != nil {
 		r.closeSubs()
 		return nil, err
 	}
@@ -130,6 +151,20 @@ func (r *Replica) Stats() TransportStats {
 	}
 	return s
 }
+
+// Metrics returns a snapshot of the replica's metrics: per-stage latency
+// histograms, recovery counters, delivery counts and the transport's
+// runtime counters, keyed by metric name (see docs/OBSERVABILITY.md for
+// the catalog). The snapshot is empty when Observability.Disabled is set.
+// Snapshots of many processes merge with MergeMetrics.
+func (r *Replica) Metrics() MetricsSnapshot { return r.reg.Snapshot() }
+
+// Trace returns the deployment-wide trace recorded so far: the stage
+// timelines of sampled messages interleaved with recovery and fault
+// events, in recording order. The tracer is shared by every process of the
+// deployment (any replica returns the same events); it is nil — and Trace
+// returns nothing — unless Observability.TraceSample is set.
+func (r *Replica) Trace() []TraceEvent { return r.cfg.tracer.Events() }
 
 // Close crash-stops the replica: it stops processing inputs (and, on the
 // TCP transport, closes its listener and connections) and its

@@ -5,6 +5,10 @@
 #     doc comment (grep gate; go vet handles comment placement rules).
 #  2. Every internal package must have a doc.go with a package comment.
 #  3. Every relative markdown link in README.md and docs/ must resolve.
+#  4. The metric catalog in docs/OBSERVABILITY.md is complete: every
+#     metric name declared in internal/obs/names.go appears there, and no
+#     non-test Go file mints a wbcast_* metric literal that is not a
+#     declared name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -50,6 +54,23 @@ for md in README.md docs/*.md; do
     fi
   done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' | grep -vE '^(https?:|#|mailto:)')
 done
+
+# --- 4. the observability catalog matches the declared metric names -----
+names=$(grep -oE '"wbcast_[a-z_]+"' internal/obs/names.go | tr -d '"' | sort -u)
+for name in $names; do
+  if ! grep -q "$name" docs/OBSERVABILITY.md; then
+    echo "docs/OBSERVABILITY.md: metric $name missing from the catalog"
+    fail=1
+  fi
+done
+while IFS=: read -r file line lit; do
+  lit=$(printf '%s' "$lit" | tr -d '"')
+  if ! printf '%s\n' $names | grep -qx "$lit"; then
+    echo "$file:$line: metric literal $lit is not declared in internal/obs/names.go"
+    fail=1
+  fi
+done < <(grep -rn --include='*.go' -oE '"wbcast_[a-z_]+"' . \
+  | grep -v '_test\.go:' | grep -v '^\./internal/obs/names\.go:')
 
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAILED"

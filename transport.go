@@ -12,6 +12,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 	"wbcast/internal/sim"
 	"wbcast/internal/tcpnet"
 )
@@ -43,8 +44,17 @@ type Transport interface {
 	Close()
 
 	// The interface is sealed: implementations live in this package.
+	//
+	// open prepares the transport and assigns the deployment-wide
+	// observability runtime (cfg.clock, cfg.tracer) into the passed Config
+	// — on every call, not just the first, so processes started later with
+	// fresh Config values share the same clock and tracer.
+	//
+	// add hosts a handler; reg, when non-nil, is the process's metrics
+	// registry, into which the transport registers its runtime counters
+	// (frame I/O on TCP, mailbox depth/high-water in-process).
 	open(cfg *Config) error
-	add(h node.Handler, onDeliver func(Delivery)) error
+	add(h node.Handler, onDeliver func(Delivery), reg *obs.Registry) error
 	inject(pid ProcessID, in node.Input) error
 	crash(pid ProcessID)
 	stats(pid ProcessID) TransportStats
@@ -106,11 +116,19 @@ type inProcTransport struct {
 	mu      sync.Mutex
 	net     *live.Network
 	deliver map[ProcessID]func(Delivery)
+	clock   obs.Clock
+	tracer  *obs.Tracer
 }
 
 func (t *inProcTransport) open(cfg *Config) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.clock == nil {
+		start := time.Now()
+		t.clock = func() time.Duration { return time.Since(start) }
+		t.tracer = cfg.newTracer(t.clock)
+	}
+	cfg.clock, cfg.tracer = t.clock, t.tracer
 	if t.net != nil {
 		return nil
 	}
@@ -130,7 +148,7 @@ func (t *inProcTransport) dispatch(p mcast.ProcessID, d mcast.Delivery) {
 	}
 }
 
-func (t *inProcTransport) add(h node.Handler, onDeliver func(Delivery)) error {
+func (t *inProcTransport) add(h node.Handler, onDeliver func(Delivery), reg *obs.Registry) error {
 	t.mu.Lock()
 	if t.net == nil {
 		t.mu.Unlock()
@@ -139,8 +157,16 @@ func (t *inProcTransport) add(h node.Handler, onDeliver func(Delivery)) error {
 	if onDeliver != nil {
 		t.deliver[h.ID()] = onDeliver
 	}
+	n := t.net
 	t.mu.Unlock()
-	return t.net.Add(h)
+	// Mailbox gauges are views over the network's single-source counters
+	// (evaluated at scrape time), never double-maintained.
+	pid := h.ID()
+	reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
+		func() int64 { return n.MailboxDepth(pid) })
+	reg.RegisterFunc(obs.MetricMailboxHighWater, "largest input-queue length observed", obs.KindGauge,
+		func() int64 { return n.MailboxHighWater(pid) })
+	return n.Add(h)
 }
 
 func (t *inProcTransport) inject(pid ProcessID, in node.Input) error {
@@ -250,14 +276,23 @@ type simTransport struct {
 	done    chan struct{}
 	// slice is the virtual-time advance per chaos-pump iteration.
 	slice time.Duration
+	clock obs.Clock
+	trc   *obs.Tracer
 }
 
 func (t *simTransport) open(cfg *Config) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.s != nil {
+		cfg.clock, cfg.tracer = t.clock, t.trc
 		return nil
 	}
+	// The observability clock is virtual time: traces of a seeded
+	// simulation are deterministic and replayable. The closure reads t.s,
+	// assigned below; handlers only run once the simulator exists.
+	t.clock = func() time.Duration { return t.s.Now() }
+	t.trc = cfg.newTracer(t.clock)
+	cfg.clock, cfg.tracer = t.clock, t.trc
 	var lat sim.Latency
 	if cfg.Latency != nil {
 		user := cfg.Latency
@@ -277,9 +312,21 @@ func (t *simTransport) open(cfg *Config) error {
 		if err := t.opts.Faults.validate(); err != nil {
 			return err
 		}
+		// Fault actions are trace events: a chaos failure's timeline shows
+		// crashes, partitions and heals interleaved with protocol stages.
+		onFault := t.opts.OnFault
+		if tr := t.trc; tr != nil {
+			user := onFault
+			onFault = func(at time.Duration, desc string) {
+				tr.Fault(at, desc)
+				if user != nil {
+					user(at, desc)
+				}
+			}
+		}
 		eng = faults.New(faults.Config{
 			Plan:    t.opts.Faults.compile(),
-			OnEvent: t.opts.OnFault,
+			OnEvent: onFault,
 		})
 		simCfg.Filter = eng.Filter
 		simCfg.TimerScale = eng.ScaleTimer
@@ -349,7 +396,7 @@ func (t *simTransport) pump() {
 	}
 }
 
-func (t *simTransport) add(h node.Handler, onDeliver func(Delivery)) error {
+func (t *simTransport) add(h node.Handler, onDeliver func(Delivery), _ *obs.Registry) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.s == nil {
@@ -453,11 +500,19 @@ type tcpTransport struct {
 	nodes      map[ProcessID]*tcpnet.Node
 	closed     map[ProcessID]bool
 	logf       func(format string, args ...any)
+	clock      obs.Clock
+	tracer     *obs.Tracer
 }
 
 func (t *tcpTransport) open(cfg *Config) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.clock == nil {
+		start := time.Now()
+		t.clock = func() time.Duration { return time.Since(start) }
+		t.tracer = cfg.newTracer(t.clock)
+	}
+	cfg.clock, cfg.tracer = t.clock, t.tracer
 	if t.opened {
 		return nil
 	}
@@ -468,7 +523,7 @@ func (t *tcpTransport) open(cfg *Config) error {
 	return nil
 }
 
-func (t *tcpTransport) add(h node.Handler, onDeliver func(Delivery)) error {
+func (t *tcpTransport) add(h node.Handler, onDeliver func(Delivery), reg *obs.Registry) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.opened {
@@ -502,10 +557,17 @@ func (t *tcpTransport) add(h node.Handler, onDeliver func(Delivery)) error {
 		Handler:    h,
 		OnDeliver:  deliver,
 		Logf:       t.logf,
+		// The node maintains these counters directly; its Stats() and the
+		// registry scrape are two views over the same atomics.
+		Metrics: obs.NewRuntime(reg),
 	})
 	if err != nil {
 		return err
 	}
+	// The high-water gauge lives in the Runtime; current depth is a view
+	// over the node's live queue.
+	reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
+		n.MailboxDepth)
 	t.nodes[pid] = n
 	// Ephemeral-port fix-up: when the configured address left the port to
 	// the kernel, adopt the actual bound address and teach every local node

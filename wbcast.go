@@ -77,6 +77,7 @@ import (
 	"wbcast/internal/live"
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
+	"wbcast/internal/obs"
 )
 
 // Re-exported core types. See the internal/mcast documentation for details.
@@ -175,6 +176,78 @@ func (b *Batching) options() batch.Options {
 	}
 }
 
+// Observability configures the deployment's metrics and tracing
+// (internal/obs). Metrics are on by default — every process maintains
+// atomic counters, gauges and per-stage latency histograms, readable via
+// Replica.Metrics / Client.Metrics and scrapeable through ServeMetrics.
+// Message-lifecycle tracing is off by default and enabled by TraceSample.
+type Observability struct {
+	// Disabled turns the whole layer off: no registries, no handles, no
+	// tracer. The hot paths then pay one nil-check branch per
+	// instrumentation point — the baseline the overhead benchmark
+	// (BENCH_PR6.json) compares against.
+	Disabled bool
+	// TraceSample enables message-lifecycle tracing: every TraceSample-th
+	// message of each sender (by client-local sequence number — a
+	// deterministic rule, so two runs of the same seeded simulation trace
+	// the same messages) has its stage events recorded. 1 traces every
+	// message; 0 disables tracing. Rare system events (step-downs,
+	// elections, injected faults) are recorded regardless of sampling.
+	TraceSample int
+	// TraceBuffer bounds the number of retained trace events (default
+	// 65536); overflow increments wbcast_trace_dropped_total instead of
+	// growing without bound.
+	TraceBuffer int
+}
+
+// MetricsSnapshot is a point-in-time copy of a process's metrics, keyed by
+// metric name (including the label set, e.g.
+// `wbcast_stage_latency_seconds{stage="commit"}`). See docs/OBSERVABILITY.md
+// for the catalog.
+type MetricsSnapshot = obs.Snapshot
+
+// LatencyStats summarises a latency histogram: count, sum, max and the
+// p50/p95/p99 quantiles (upper bucket bounds of a log₂ histogram), plus the
+// raw bucket counts so snapshots merge exactly.
+type LatencyStats = obs.LatencyStats
+
+// TraceEvent is one timestamped record of a message-lifecycle trace: a
+// stage transition of a sampled message, a recovery event, or an injected
+// fault.
+type TraceEvent = obs.Event
+
+// Metric and stage names used when reading MetricsSnapshot maps from
+// application code; the full catalog is in docs/OBSERVABILITY.md.
+const (
+	// MetricStageLatency is the per-stage latency histogram family,
+	// labelled {stage="propose|accept|commit|deliver"}.
+	MetricStageLatency = obs.MetricStageLatency
+	// MetricClientE2E is the client submit-to-complete latency histogram.
+	MetricClientE2E = obs.MetricClientE2E
+	// MetricDeliveries counts protocol-level deliveries at a replica.
+	MetricDeliveries = obs.MetricDeliveries
+)
+
+// MergeMetrics folds many per-process snapshots into one: counters and
+// gauges sum, histograms merge bucket-wise so the percentiles of the union
+// are exact to bucket resolution.
+func MergeMetrics(snaps ...MetricsSnapshot) MetricsSnapshot {
+	return obs.MergeSnapshots(snaps...)
+}
+
+// FormatTimeline renders trace events as one canonical line each, in
+// recording order. On the simulated transport two runs of the same seeded
+// schedule render byte-identical timelines.
+func FormatTimeline(events []TraceEvent) string { return obs.FormatTimeline(events) }
+
+// FormatMessageTimelines renders a per-message stage timeline (events
+// grouped by message, annotated with deltas from the message's first
+// event), with system and fault events in a trailing section. This is the
+// wbcast-sim -trace output format.
+func FormatMessageTimelines(events []TraceEvent) string {
+	return obs.FormatMessageTimelines(events)
+}
+
 // Config parametrises a deployment: the topology and protocol options
 // shared by every transport, plus the transport itself. The zero value of
 // every field except Groups is usable; construction validates the rest
@@ -220,9 +293,36 @@ type Config struct {
 	// documentation). Nil disables batching: every payload is ordered
 	// individually.
 	Batching *Batching
+	// Observability configures metrics and message-lifecycle tracing; nil
+	// means the default (metrics on, tracing off).
+	Observability *Observability
 	// Logf, when non-nil, receives transport diagnostics (connection
 	// errors, dropped frames) on transports that produce them (TCP).
 	Logf func(format string, args ...any)
+
+	// clock and tracer are the deployment-wide observability runtime,
+	// assigned by Transport.open on every call so late-started processes
+	// (NewReplica / NewClient with fresh Config values on a shared
+	// transport) all share them. The clock is wall time since the transport
+	// opened on live transports and virtual time on the simulator — which
+	// is what makes simulated traces deterministic.
+	clock  obs.Clock
+	tracer *obs.Tracer
+}
+
+// obsOn reports whether the observability layer is enabled.
+func (cfg Config) obsOn() bool {
+	return cfg.Observability == nil || !cfg.Observability.Disabled
+}
+
+// newTracer builds the deployment tracer per cfg.Observability, or nil
+// when tracing is off.
+func (cfg Config) newTracer(clock obs.Clock) *obs.Tracer {
+	o := cfg.Observability
+	if o == nil || o.Disabled || o.TraceSample <= 0 {
+		return nil
+	}
+	return obs.NewTracer(o.TraceSample, o.TraceBuffer, clock)
 }
 
 // Validate reports whether the configuration is well-formed: it is the
@@ -270,6 +370,14 @@ func (cfg Config) normalized() (Config, error) {
 	default:
 		return cfg, fmt.Errorf("wbcast: unknown DeliveryPolicy %d", cfg.DeliveryPolicy)
 	}
+	if o := cfg.Observability; o != nil {
+		if o.TraceSample < 0 {
+			return cfg, fmt.Errorf("wbcast: Observability.TraceSample must be ≥ 0, got %d", o.TraceSample)
+		}
+		if o.TraceBuffer < 0 {
+			return cfg, fmt.Errorf("wbcast: Observability.TraceBuffer must be ≥ 0, got %d", o.TraceBuffer)
+		}
+	}
 	if cfg.Transport == nil {
 		cfg.Transport = InProcess()
 	}
@@ -288,12 +396,13 @@ func (cfg Config) normalized() (Config, error) {
 // GC) are disabled so runs quiesce and replay identically — unless the
 // transport runs in chaos mode (SimulatedOptions.Faults), where the
 // timer-driven recovery machinery is exactly what is under test.
-func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID) (node.Handler, error) {
+func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.Proto) (node.Handler, error) {
 	d := cfg.Delta
 	det := !cfg.Transport.backgroundTimers()
 	switch cfg.Protocol {
 	case WhiteBox:
 		rc := core.DefaultConfig(pid, top, d)
+		rc.Obs = po
 		if cfg.DisableGC {
 			rc.GCInterval = 0
 		}
@@ -307,6 +416,7 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID) (node.Ha
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
+			Obs:               po,
 		}
 		if det {
 			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
@@ -318,6 +428,7 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID) (node.Ha
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
+			Obs:               po,
 		}
 		if det {
 			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
