@@ -83,7 +83,7 @@ func newClientOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Client, error
 		OnComplete:    cl.complete,
 		Obs:           co,
 	}, opts)
-	if err := cfg.Transport.add(cl.h, nil, cl.reg); err != nil {
+	if err := cfg.Transport.add(cl.h, hostOptions{reg: cl.reg}); err != nil {
 		return nil, err
 	}
 	return cl, nil

@@ -41,7 +41,7 @@ func New(cfg Config) (*Cluster, error) {
 		r, err := newReplicaOn(cfg, top, pid)
 		if err != nil {
 			for _, started := range c.replicas {
-				started.closeSubs()
+				started.Close()
 			}
 			c.tr.Close()
 			return nil, err
@@ -75,12 +75,19 @@ func ClientID(cfg Config, i int) ProcessID {
 }
 
 // Close shuts the whole deployment down — replicas, clients and the
-// transport — and joins their goroutines.
+// transport — and joins their goroutines. Configured stores are closed
+// with a final sync (crash-stop semantics; use Shutdown on individual
+// replicas for a final snapshot).
 func (c *Cluster) Close() {
 	for _, r := range c.replicas {
 		r.closeSubs()
 	}
 	c.tr.Close()
+	// The transport has joined every handler goroutine, so the final store
+	// teardown cannot race an in-flight append.
+	for _, r := range c.replicas {
+		r.Close()
+	}
 }
 
 // Replica returns the handle of replica pid, or nil if pid is not a

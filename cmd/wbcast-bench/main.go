@@ -34,6 +34,13 @@
 // live /metrics, /debug/vars and /debug/pprof endpoints while the sweep
 // runs, pointed at whichever point's cluster is currently active.
 //
+// Durability overhead is measured with -storage: "disk" gives every replica
+// a real WAL (fsync policy via -sync always|batched|none, -sync-batch),
+// "mem" the in-memory store, "none" (default) the undurable baseline. Disk
+// points run in a fresh directory each (-storage-dir picks the filesystem);
+// the sync-vs-batched-vs-none trade at the PR-2 configuration is recorded
+// in BENCH_PR7.json. See docs/DURABILITY.md for the policies' semantics.
+//
 // The paper's testbeds (CloudLab; Google Cloud across Oregon, N. Virginia
 // and England) are modelled by injected latency profiles on a single
 // machine, so absolute throughput differs from the paper while the relative
@@ -76,6 +83,11 @@ func main() {
 
 		obsOn       = flag.Bool("obs", true, "collect metrics and print per-stage latency percentiles (-obs=false measures the uninstrumented baseline)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the sweep")
+
+		storageMode = flag.String("storage", "none", "durable storage per replica: none, mem or disk (measures durability overhead; see BENCH_PR7.json)")
+		storageDir  = flag.String("storage-dir", "", "root for -storage disk (default: a fresh temp dir per point, removed afterwards)")
+		syncPolicy  = flag.String("sync", "always", "disk fsync policy: always, batched or none")
+		syncBatch   = flag.Int("sync-batch", 8, "fsync period under -sync batched")
 	)
 	flag.Parse()
 
@@ -115,6 +127,24 @@ func main() {
 	if !*obsOn {
 		observability = &wbcast.Observability{Disabled: true}
 	}
+	switch *storageMode {
+	case "none", "mem", "disk":
+	default:
+		fmt.Fprintf(os.Stderr, "wbcast-bench: unknown -storage %q (want none, mem or disk)\n", *storageMode)
+		os.Exit(2)
+	}
+	var policy wbcast.SyncPolicy
+	switch *syncPolicy {
+	case "always":
+		policy = wbcast.SyncAlways
+	case "batched":
+		policy = wbcast.SyncBatched
+	case "none":
+		policy = wbcast.SyncNone
+	default:
+		fmt.Fprintf(os.Stderr, "wbcast-bench: unknown -sync %q (want always, batched or none)\n", *syncPolicy)
+		os.Exit(2)
+	}
 	var srv *wbcast.MetricsServer
 	if *metricsAddr != "" {
 		if !*obsOn {
@@ -136,6 +166,13 @@ func main() {
 	if batching != nil {
 		fmt.Printf("# batching: msgs=%d bytes=%d delay=%v\n", *batchMsgs, *batchBytes, *batchDelay)
 	}
+	if *storageMode != "none" {
+		fmt.Printf("# storage: %s sync=%s", *storageMode, *syncPolicy)
+		if *syncPolicy == "batched" {
+			fmt.Printf(" batch=%d", *syncBatch)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("%-10s %5s %8s %14s %14s %12s %12s %12s %9s\n",
 		"protocol", "dest", "clients", "msgs/s", "batch/s", "mean_lat", "p50_lat", "p99_lat", "mbox_hw")
 	for _, d := range destCounts {
@@ -147,6 +184,8 @@ func main() {
 					payloadSize: *payload, batching: batching, latency: latency,
 					warmup: *warmup, measure: *measure, seed: *seed,
 					obs: observability, srv: srv,
+					storageMode: *storageMode, storageDir: *storageDir,
+					syncPolicy: policy, syncBatch: *syncBatch,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
@@ -181,6 +220,10 @@ type pointConfig struct {
 	seed        int64
 	obs         *wbcast.Observability
 	srv         *wbcast.MetricsServer
+	storageMode string // "none", "mem" or "disk"
+	storageDir  string // root for disk stores ("" = temp dir per point)
+	syncPolicy  wbcast.SyncPolicy
+	syncBatch   int
 }
 
 // stageStat is one populated stage of the merged per-stage histogram.
@@ -203,6 +246,27 @@ type pointResult struct {
 // methodology of the paper (§VI, following Coelho et al.), generalised
 // with client pipelining and optional batching.
 func runPoint(cfg pointConfig) (pointResult, error) {
+	// Durable mode: every replica appends and fsyncs its WAL on the hot
+	// path, so these points measure the durability overhead against the
+	// same workload (recorded in BENCH_PR7.json).
+	var storage func(wbcast.ProcessID) (wbcast.Storage, error)
+	switch cfg.storageMode {
+	case "mem":
+		storage = wbcast.MemoryStorage()
+	case "disk":
+		// A fresh directory per point — even under -storage-dir, which only
+		// picks the filesystem being measured — so no point replays the WAL
+		// of the previous one.
+		dir, err := os.MkdirTemp(cfg.storageDir, "wbcast-bench-")
+		if err != nil {
+			return pointResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		storage = wbcast.DirStorageWith(dir, wbcast.StorageOptions{
+			Policy:     cfg.syncPolicy,
+			BatchEvery: cfg.syncBatch,
+		})
+	}
 	cluster, err := wbcast.New(wbcast.Config{
 		Protocol:      cfg.protocol,
 		Groups:        cfg.groups,
@@ -211,6 +275,7 @@ func runPoint(cfg pointConfig) (pointResult, error) {
 		Latency:       cfg.latency,
 		Batching:      cfg.batching,
 		Observability: cfg.obs,
+		Storage:       storage,
 	})
 	if err != nil {
 		return pointResult{}, err

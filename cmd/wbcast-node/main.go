@@ -14,9 +14,16 @@
 //	done
 //	wbcast-client -id 6 -groups 2 -size 3 -peers $PEERS -dest 0,1 -count 10
 //
-// On shutdown (SIGINT/SIGTERM) the node prints its transport statistics:
-// messages encoded, frames sent/coalesced/read, outbound drops, reconnects
-// and the mailbox high-water mark.
+// With -data-dir the replica is durable: its ballot promises, accepted
+// records and delivery frontier are synced to a write-ahead log under
+// <data-dir>/p<id> before the corresponding messages leave the process, and
+// restarting the node on the same directory recovers that state (see
+// docs/DURABILITY.md).
+//
+// On shutdown (SIGINT/SIGTERM) the node prints its transport statistics
+// (messages encoded, frames sent/coalesced/read, outbound drops, reconnects
+// and the mailbox high-water mark) and — with -data-dir — writes a final
+// synced snapshot so the next start recovers without WAL replay.
 //
 // With -metrics-addr the node also serves its observability endpoint:
 // /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof/
@@ -47,6 +54,7 @@ func main() {
 		delta    = flag.Duration("delta", 5*time.Millisecond, "expected one-way network delay (drives timeouts)")
 		verbose  = flag.Bool("v", false, "log deliveries and transport diagnostics")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		dataDir  = flag.String("data-dir", "", "root directory for durable state (WAL + snapshots); empty runs in-memory")
 	)
 	flag.Parse()
 
@@ -77,6 +85,13 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
+	if *dataDir != "" {
+		// Durable mode: every crash-surviving state transition is synced to
+		// an append-only WAL under <data-dir>/p<id> before the corresponding
+		// message leaves the process; restarting on the same directory
+		// recovers the replica's promises, records and delivery frontier.
+		cfg.Storage = wbcast.DirStorage(*dataDir)
+	}
 	rep, err := wbcast.NewReplica(cfg, pid)
 	if err != nil {
 		log.Fatal(err)
@@ -106,6 +121,11 @@ func main() {
 	fmt.Printf("stats: encoded=%d frames_sent=%d coalesced=%d read=%d drops=%d reconnects=%d mailbox_hw=%d\n",
 		st.MessagesEncoded, st.FramesSent, st.FramesCoalesced, st.FramesRead,
 		st.OutboundDrops, st.Reconnects, st.MailboxHighWater)
-	rep.Close()
+	// Clean shutdown: Shutdown writes a final synced snapshot and truncates
+	// the WAL, so the next start recovers from the snapshot alone. Without
+	// -data-dir it is equivalent to Close.
+	if err := rep.Shutdown(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 	cfg.Transport.Close()
 }

@@ -206,7 +206,8 @@ func convoy() error {
 
 // chaos runs a seeded chaos schedule against one protocol: the leader of
 // group 0 is partitioned away mid-workload, a follower of group 1 crashes
-// and restarts with durable state, a lossy/reordering link and a skewed
+// and restarts (a pause-style restart: the narrated runs configure no
+// storage), a lossy/reordering link and a skewed
 // clock run throughout, and every delivery passes the continuous invariant
 // monitor. The same seed replays the identical schedule.
 func chaos(protocol string, seed int64, n int) error {

@@ -103,10 +103,13 @@ func (s *FaultStep) Crash(pid ProcessID) *FaultStep {
 	return s.add(faults.Crash{P: pid})
 }
 
-// Restart brings a crashed pid back with its protocol state intact —
-// crash-recovery of a process whose state is durable (or, equivalently, a
-// long pause). Messages sent to it while it was down are lost; the
-// protocols' catch-up machinery replays them.
+// Restart brings a crashed pid back. What it comes back with depends on
+// Config.Storage: with a configured store the replica is rebuilt by
+// replaying its durable state (real crash-recovery — transitions that were
+// never synced are lost); without one it returns with its in-memory state
+// intact, which models a long pause rather than a crash. Either way,
+// messages sent to it while it was down are lost; the protocols' catch-up
+// machinery replays them.
 func (s *FaultStep) Restart(pid ProcessID) *FaultStep {
 	return s.add(faults.Restart{P: pid})
 }

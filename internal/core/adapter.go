@@ -6,6 +6,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // Protocol is the harness adapter for the white-box protocol (it satisfies
@@ -32,6 +33,14 @@ func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Han
 // NewReplicaObs implements the harness's optional observability extension:
 // like NewReplica, with an instrumentation handle for the replica.
 func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error) {
+	return p.NewReplicaStored(pid, top, po, nil)
+}
+
+// NewReplicaStored implements the harness's optional durability extension:
+// rs, when non-nil, makes the replica durable — it emits persist effects
+// for every crash-surviving state transition and replays rs (the folded
+// state of its store) before joining.
+func (p Protocol) NewReplicaStored(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto, rs *wal.State) (node.Handler, error) {
 	return NewReplica(Config{
 		PID:               pid,
 		Top:               top,
@@ -41,6 +50,8 @@ func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *ob
 		GCInterval:        p.GCInterval,
 		ColdStart:         p.ColdStart,
 		Obs:               po,
+		Durable:           rs != nil,
+		Recovered:         rs,
 	})
 }
 

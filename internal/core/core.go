@@ -11,6 +11,7 @@ import (
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
 	"wbcast/internal/ordering"
+	"wbcast/internal/wal"
 )
 
 // Status is the replica's role (Fig. 3).
@@ -68,6 +69,20 @@ type Config struct {
 	// observability clock, so the handler itself still never reads real
 	// time (node.Handler contract).
 	Obs *obs.Proto
+	// Durable, when true, emits a persist effect for every crash-surviving
+	// state transition — ballot votes, ACCEPTED/COMMITTED records, the
+	// delivery frontier, state installs and prunes — each ordered before
+	// the message or delivery it backs (the hosting runtime syncs persist
+	// effects first). When false, no persist effects are emitted and a
+	// restart loses all protocol state.
+	Durable bool
+	// Recovered, if non-empty, seeds the replica from the durable state a
+	// Storage replayed: promise pair, clock, message records and delivery
+	// frontier. The replica always restarts as a follower — leadership is
+	// re-established by recovery, never resumed — and relies on the
+	// existing catch-up paths (heartbeat-ack replay, state transfer) for
+	// whatever the log missed.
+	Recovered *wal.State
 }
 
 // DefaultConfig returns a production-style configuration for the given
@@ -207,6 +222,48 @@ func NewReplica(cfg Config) (*Replica, error) {
 			r.status = StatusLeader
 		}
 	}
+	if rs := cfg.Recovered; rs != nil && !rs.Empty() {
+		// Crash recovery: replayed durable state overrides the bootstrap.
+		// The initial ballot is common knowledge (derived from the
+		// topology), so it acts as a floor under the recovered promise pair
+		// even though no entry records it explicitly.
+		if r.cballot.Less(rs.CBallot) {
+			r.cballot = rs.CBallot
+		}
+		if r.ballot.Less(rs.Ballot) {
+			r.ballot = rs.Ballot
+		}
+		if r.ballot.Less(r.cballot) {
+			r.ballot = r.cballot
+		}
+		r.clock = rs.Clock
+		r.maxDeliveredGTS = rs.MaxDelivered
+		r.lastDeliverGTS = rs.LastDeliver
+		for id, rec := range rs.Records {
+			st := &mstate{app: rec.M.Clone(), hasApp: true, phase: rec.Phase, lts: rec.LTS, gts: rec.GTS}
+			if rec.Phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(rec.GTS) {
+				st.delivered = true
+			}
+			r.state[id] = st
+			// Keep the clock monotone with every persisted timestamp even
+			// when the clock advance itself raced the crash.
+			if r.clock < rec.LTS.Time {
+				r.clock = rec.LTS.Time
+			}
+			if r.clock < rec.GTS.Time {
+				r.clock = rec.GTS.Time
+			}
+		}
+		if r.clock < r.maxDeliveredGTS.Time {
+			r.clock = r.maxDeliveredGTS.Time
+		}
+		// Never restart leading: a recovered leader's proposal clock may
+		// have outrun its last persisted entry, so leadership must be
+		// re-earned through an election (which re-derives the clock from a
+		// quorum). Until then the replica follows its recovered cballot and
+		// catches up on missed DELIVERs via the heartbeat-ack replay.
+		r.status = StatusFollower
+	}
 	return r, nil
 }
 
@@ -273,7 +330,7 @@ func (r *Replica) onRecv(in node.Recv, fx *node.Effects) {
 	case msgs.GCMark:
 		r.onGCMark(m)
 	case msgs.Prune:
-		r.onPrune(m)
+		r.onPrune(m, fx)
 	}
 }
 
@@ -353,6 +410,10 @@ func (r *Replica) evalAccepts(st *mstate, fx *node.Effects) {
 		st.phase = msgs.PhaseAccepted // line 12
 		st.lts = own.lts              // line 13
 		r.cfg.Obs.Stage(obs.StageAccept, st.app.ID, &st.at)
+		// The ACCEPT_ACK below promises this replica accepted lts; the
+		// record must survive a crash or a recovery quorum containing this
+		// replica could resurrect a forgotten timestamp (Invariant 5).
+		r.persistRecord(st, fx)
 		if r.status == StatusLeader {
 			r.queue.SetPending(st.app.ID, st.lts)
 		}
@@ -468,6 +529,8 @@ func (r *Replica) evalCommit(st *mstate, fx *node.Effects) {
 	st.gts = gts
 	st.phase = msgs.PhaseCommitted
 	r.cfg.Obs.Stage(obs.StageCommit, st.app.ID, &st.at)
+	// COMMITTED durable before any DELIVER of it is replicated.
+	r.persistRecord(st, fx)
 	r.queue.Commit(st.app.ID, gts)
 	r.drain(fx) // lines 21–23
 }
@@ -527,6 +590,13 @@ func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
 	r.maxDeliveredGTS = d.GTS // line 30
 	st.delivered = true
 	r.cfg.Obs.Stage(obs.StageDeliver, d.ID, &st.at)
+	// The committed record and the advanced frontier are durable before the
+	// application sees the delivery: a restart replays the frontier and
+	// never hands the message out twice.
+	r.persistRecord(st, fx)
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryFrontier, Max: d.GTS, Last: d.GTS})
+	}
 	r.queue.Remove(d.ID)
 	// line 31, unpacking batch envelopes into per-payload deliveries.
 	batch.ExpandInto(fx, mcast.Delivery{Msg: st.app, GTS: d.GTS})
@@ -571,6 +641,17 @@ func (r *Replica) noteLeader(g mcast.GroupID, b mcast.Ballot) {
 		return
 	}
 	r.curLeader[g] = b.Leader()
+}
+
+// persistRecord logs st's current record; called before the ACCEPT_ACK or
+// delivery the record backs leaves the process.
+func (r *Replica) persistRecord(st *mstate, fx *node.Effects) {
+	if !r.cfg.Durable || !st.hasApp {
+		return
+	}
+	fx.Persist(wal.Entry{Kind: wal.EntryRecord, Rec: msgs.MsgRecord{
+		M: st.app, Phase: st.phase, LTS: st.lts, GTS: st.gts,
+	}})
 }
 
 func (r *Replica) get(id mcast.MsgID) *mstate {

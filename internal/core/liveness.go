@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // Liveness machinery: the heartbeat failure detector that drives leader
@@ -208,7 +209,7 @@ func (r *Replica) candidacyBackoff() time.Duration {
 func (r *Replica) onGCTimer(fx *node.Effects) {
 	defer fx.SetTimer(r.cfg.GCInterval, node.TimerGC, 0)
 	if r.status != StatusLeader {
-		r.prune()
+		r.prune(fx)
 		return
 	}
 	// Group watermark: the minimum delivery watermark over all members.
@@ -242,7 +243,7 @@ func (r *Replica) onGCTimer(fx *node.Effects) {
 		marks = append(marks, msgs.GroupTS{Group: g, TS: w})
 	}
 	fx.SendAll(r.groupPeers, msgs.Prune{Group: r.group, Marks: marks})
-	r.prune()
+	r.prune(fx)
 }
 
 func (r *Replica) onGCMark(m msgs.GCMark) {
@@ -251,7 +252,7 @@ func (r *Replica) onGCMark(m msgs.GCMark) {
 	}
 }
 
-func (r *Replica) onPrune(m msgs.Prune) {
+func (r *Replica) onPrune(m msgs.Prune, fx *node.Effects) {
 	if m.Group != r.group {
 		return
 	}
@@ -260,10 +261,11 @@ func (r *Replica) onPrune(m msgs.Prune) {
 			r.groupWM[gt.Group] = gt.TS
 		}
 	}
-	r.prune()
+	r.prune(fx)
 }
 
-func (r *Replica) prune() {
+func (r *Replica) prune(fx *node.Effects) {
+	var pruned []mcast.MsgID
 	for id, st := range r.state {
 		if !st.delivered || !st.hasApp {
 			continue
@@ -279,6 +281,14 @@ func (r *Replica) prune() {
 			delete(r.state, id)
 			r.queue.Remove(id)
 			r.pruned++
+			if r.cfg.Durable {
+				pruned = append(pruned, id)
+			}
 		}
+	}
+	// Log the removals so a replayed store does not resurrect pruned
+	// records (and so snapshots shrink along with the in-memory state).
+	if len(pruned) > 0 {
+		fx.Persist(wal.Entry{Kind: wal.EntryPrune, IDs: pruned})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // Leader recovery (Fig. 4 lines 35–68).
@@ -48,6 +49,12 @@ func (r *Replica) onNewLeader(from mcast.ProcessID, m msgs.NewLeader, fx *node.E
 	// Abandon any candidacy bookkeeping of older ballots.
 	clear(r.nlAcks)
 	clear(r.nsAcks)
+	// The vote is a promise never to vote in a lower ballot again; it must
+	// survive a crash, or a restarted replica could vote twice and two
+	// leaders could recover conflicting states from disjoint quorums.
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryBallot, Bal: r.ballot, CBal: r.cballot, Clock: r.clock})
+	}
 	// line 41: vote, reporting the full local state. Only ACCEPTED and
 	// COMMITTED entries matter: PROPOSED state is leader-local and is never
 	// consulted by the merge rule (lines 46–54).
@@ -153,8 +160,15 @@ func (r *Replica) onNewLeaderAck(from mcast.ProcessID, m msgs.NewLeaderAck, fx *
 		}
 	}
 
+	// The merged state replaces this replica's records wholesale — in
+	// particular it may DROP accepted entries reported by voters outside J
+	// — so it must be durable before the NEW_STATE fan-out announces it.
+	recs := r.exportState()
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryState, Bal: r.ballot, CBal: r.cballot, Clock: r.clock, Recs: recs})
+	}
 	// line 56: push the new state to the rest of the group.
-	fx.SendAll(r.groupPeers, msgs.NewState{Bal: r.ballot, Clock: r.clock, State: r.exportState()})
+	fx.SendAll(r.groupPeers, msgs.NewState{Bal: r.ballot, Clock: r.clock, State: recs})
 	clear(r.nsAcks)
 	r.maybeFinishRecovery(fx) // a singleton group needs no acknowledgements
 }
@@ -178,7 +192,12 @@ func (r *Replica) onNewState(from mcast.ProcessID, m msgs.NewState, fx *node.Eff
 	}
 	r.queue.Clear() // not leading; the queue is rebuilt on leadership
 	r.noteLeader(r.group, m.Bal)
-	r.hbSeen = true                             // grace period for the new leader's heartbeats
+	r.hbSeen = true // grace period for the new leader's heartbeats
+	// The ack promises this follower holds the installed state; persist the
+	// wholesale replacement (ballot pair, clock, records) before sending it.
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryState, Bal: r.ballot, CBal: r.cballot, Clock: r.clock, Recs: r.exportState()})
+	}
 	fx.Send(from, msgs.NewStateAck{Bal: m.Bal}) // line 62
 }
 

@@ -6,6 +6,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // Protocol is the harness adapter for FastCast (it satisfies
@@ -28,6 +29,14 @@ func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Han
 // NewReplicaObs implements the harness's optional observability extension:
 // like NewReplica, with an instrumentation handle for the replica.
 func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error) {
+	return p.NewReplicaStored(pid, top, po, nil)
+}
+
+// NewReplicaStored implements the harness's optional durability extension:
+// rs, when non-nil, makes the replica durable — it emits persist effects
+// for every crash-surviving state transition and replays rs (the folded
+// state of its store) before joining.
+func (p Protocol) NewReplicaStored(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto, rs *wal.State) (node.Handler, error) {
 	return New(Config{
 		PID:               pid,
 		Top:               top,
@@ -36,6 +45,8 @@ func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *ob
 		SuspectTimeout:    p.SuspectTimeout,
 		ColdStart:         p.ColdStart,
 		Obs:               po,
+		Durable:           rs != nil,
+		Recovered:         rs,
 	})
 }
 

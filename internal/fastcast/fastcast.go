@@ -12,6 +12,7 @@ import (
 	"wbcast/internal/obs"
 	"wbcast/internal/paxos"
 	"wbcast/internal/rsm"
+	"wbcast/internal/wal"
 )
 
 // Config parametrises a Replica.
@@ -30,6 +31,14 @@ type Config struct {
 	// Obs is the replica's instrumentation handle; nil disables metrics
 	// and tracing.
 	Obs *obs.Proto
+	// Durable enables persist effects for the Paxos substrate and the
+	// delivery frontier (see paxos.Config.Durable).
+	Durable bool
+	// Recovered, if non-empty, seeds the replica from replayed durable
+	// state: the Paxos log is re-applied into the ordering state machine,
+	// and the delivery watermark is restored so the application never sees
+	// a message twice across a restart.
+	Recovered *wal.State
 }
 
 // Replica is one FastCast group member. It implements node.Handler.
@@ -129,11 +138,30 @@ func New(cfg Config) (*Replica, error) {
 		AckDelivered:  func() mcast.Timestamp { return r.maxDelivered },
 		OnFollowerLag: r.onFollowerLag,
 		Obs:           cfg.Obs,
+		Durable:       cfg.Durable,
+		Recovered:     cfg.Recovered,
 	}, fcApp{r})
 	if err != nil {
 		return nil, err
 	}
 	r.px = px
+	if rs := cfg.Recovered; rs != nil && !rs.Empty() {
+		// Rebuild the ordering state machine by replaying the recovered
+		// log (as a follower: Apply neither sends nor drains), then mark
+		// the already-delivered prefix — everything deliverable at or
+		// below the recovered watermark — so a later leadership takeover
+		// cannot hand those messages to the application again.
+		r.maxDelivered = rs.MaxDelivered
+		var discard node.Effects
+		r.px.Replay(&discard)
+		for {
+			_, gts, ok := r.sm.Deliverable()
+			if !ok || r.maxDelivered.Less(gts) {
+				break
+			}
+			r.sm.Deliver()
+		}
+	}
 	return r, nil
 }
 
@@ -428,7 +456,11 @@ func (r *Replica) drain(fx *node.Effects) {
 		if !ok {
 			return
 		}
-		r.deliver(d, fx)
+		if r.maxDelivered.Less(d.GTS) {
+			r.deliver(d, fx)
+		}
+		// else: the application saw this delivery before a restart (the
+		// recovered watermark covers it); only re-replicate the decision.
 		lts, _ := r.sm.LTS(id)
 		fx.SendAll(r.peers, msgs.Deliver{ID: id, Bal: r.px.Ballot(), LTS: lts, GTS: d.GTS, Prev: r.lastDeliverGTS})
 		r.lastDeliverGTS = d.GTS
@@ -437,6 +469,11 @@ func (r *Replica) drain(fx *node.Effects) {
 
 func (r *Replica) deliver(d mcast.Delivery, fx *node.Effects) {
 	r.maxDelivered = d.GTS
+	// The advanced watermark is durable before the application sees the
+	// delivery, so a replayed store never re-delivers.
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryFrontier, Max: d.GTS, Last: d.GTS})
+	}
 	if o := r.cfg.Obs; o != nil {
 		o.Stage(obs.StageDeliver, d.Msg.ID, r.stageAt(d.Msg.ID))
 		delete(r.obsAt, d.Msg.ID)

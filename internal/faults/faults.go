@@ -12,8 +12,9 @@
 // seeded RNG, so a chaos schedule replays byte-identically from its seed.
 //
 // The supported faults go deliberately beyond the paper's crash-stop,
-// reliable-FIFO model (§II): crash/restart (crash-recovery with durable
-// state), symmetric and asymmetric network partitions with heal events,
+// reliable-FIFO model (§II): crash/restart (crash-recovery replaying the
+// process's wal.Storage when one is configured, a long pause otherwise),
+// symmetric and asymmetric network partitions with heal events,
 // per-link probabilistic message drop/duplicate/delay/reorder, and
 // clock-skewed timers. The invariant monitor (internal/check.Monitor)
 // verifies that the protocols' safety properties survive all of them.
@@ -59,9 +60,10 @@ type Action interface {
 // Crash crash-stops process P (until a Restart).
 type Crash struct{ P mcast.ProcessID }
 
-// Restart brings a crashed P back with its state intact (crash-recovery
-// with durable state; see sim.Restart). Messages sent to P while it was
-// down are lost.
+// Restart brings a crashed P back: with a configured store its handler is
+// rebuilt from durable state, without one its in-memory state survives
+// intact (see sim.Restart for the exact semantics of both). Messages sent
+// to P while it was down are lost.
 type Restart struct{ P mcast.ProcessID }
 
 // Partition installs a symmetric partition: messages between processes in

@@ -12,6 +12,7 @@ import (
 	"wbcast/internal/obs"
 	"wbcast/internal/paxos"
 	"wbcast/internal/rsm"
+	"wbcast/internal/wal"
 )
 
 // Config parametrises a Replica.
@@ -31,6 +32,14 @@ type Config struct {
 	// Obs is the replica's instrumentation handle; nil disables metrics
 	// and tracing.
 	Obs *obs.Proto
+	// Durable enables persist effects for the Paxos substrate and the
+	// delivery frontier (see paxos.Config.Durable).
+	Durable bool
+	// Recovered, if non-empty, seeds the replica from replayed durable
+	// state: the Paxos log is re-applied into the ordering state machine,
+	// and deliveries at or below the recovered frontier are suppressed so
+	// the application never sees a message twice across a restart.
+	Recovered *wal.State
 }
 
 // Replica is one FT-Skeen group member. It implements node.Handler.
@@ -58,6 +67,16 @@ type Replica struct {
 	// obsAt holds each in-flight message's latest stage timestamp; touched
 	// only when cfg.Obs is set.
 	obsAt map[mcast.MsgID]*time.Duration
+
+	// maxDelivered is the application-delivery frontier, persisted before
+	// each delivery (Durable) and used at recovery to suppress re-delivery
+	// of the replayed prefix. FT-Skeen's delivery order is log-determined,
+	// so the frontier is only consulted while booting from a recovered log.
+	maxDelivered mcast.Timestamp
+	// booting is true while the recovered log replays inside New: drain
+	// then pops the already-delivered prefix silently and leaves newer
+	// deliverables queued for the Start input's live effects sink.
+	booting bool
 }
 
 // stageAt returns the stage-timestamp cell for id, creating it on demand.
@@ -100,11 +119,25 @@ func New(cfg Config) (*Replica, error) {
 		ColdStart:         cfg.ColdStart,
 		OnLead:            r.onLead,
 		Obs:               cfg.Obs,
+		Durable:           cfg.Durable,
+		Recovered:         cfg.Recovered,
 	}, paxosApp{r})
 	if err != nil {
 		return nil, err
 	}
 	r.px = px
+	if rs := cfg.Recovered; rs != nil && !rs.Empty() {
+		// Rebuild the ordering state machine by replaying the recovered
+		// log. Replay effects go to a throwaway sink: commands apply as a
+		// follower (no sends), and drain pops the already-delivered prefix
+		// silently. Deliverables beyond the frontier stay queued and are
+		// emitted on the Start input.
+		r.maxDelivered = rs.MaxDelivered
+		r.booting = true
+		var discard node.Effects
+		r.px.Replay(&discard)
+		r.booting = false
+	}
 	return r, nil
 }
 
@@ -122,6 +155,9 @@ func (r *Replica) Handle(in node.Input, fx *node.Effects) {
 	switch in := in.(type) {
 	case node.Start:
 		r.px.Start(fx)
+		// Emit any deliveries the recovered log determined beyond the
+		// persisted frontier (queued by the replay in New).
+		r.drain(fx)
 	case node.Recv:
 		if r.px.HandleMessage(in.From, in.Msg, fx) {
 			return
@@ -209,10 +245,31 @@ func (a paxosApp) Apply(_ uint64, cmd msgs.Command, leading bool, fx *node.Effec
 }
 
 func (r *Replica) drain(fx *node.Effects) {
+	if r.booting {
+		// Recovery replay: the prefix the application saw before the crash
+		// (gts at or below the recovered frontier) pops silently; anything
+		// newer stays queued for the Start input's live sink.
+		for {
+			_, gts, ok := r.sm.Deliverable()
+			if !ok || r.maxDelivered.Less(gts) {
+				return
+			}
+			r.sm.Deliver()
+		}
+	}
 	for {
 		d, ok := r.sm.Deliver()
 		if !ok {
 			return
+		}
+		if !r.maxDelivered.Less(d.GTS) {
+			continue // delivered before a restart (recovered frontier)
+		}
+		r.maxDelivered = d.GTS
+		// The advanced frontier is durable before the application sees the
+		// delivery, so a replayed store never re-delivers.
+		if r.cfg.Durable {
+			fx.Persist(wal.Entry{Kind: wal.EntryFrontier, Max: d.GTS, Last: d.GTS})
 		}
 		if o := r.cfg.Obs; o != nil {
 			o.Stage(obs.StageDeliver, d.Msg.ID, r.stageAt(d.Msg.ID))

@@ -20,6 +20,7 @@ import (
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
 	"wbcast/internal/sim"
+	"wbcast/internal/wal"
 )
 
 // Protocol abstracts over the four multicast implementations. Adapters are
@@ -42,6 +43,15 @@ type Protocol interface {
 // without it fall back to the plain NewReplica path, untraced.
 type ProtocolObs interface {
 	NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error)
+}
+
+// StorageProtocol is the optional durability extension of Protocol:
+// adapters that implement it build replicas that emit persist effects for
+// every crash-surviving state transition and replay a recovered state
+// before joining. Options.Storage requires it — the fault-tolerant
+// adapters (core, fastcast, ftskeen) implement it.
+type StorageProtocol interface {
+	NewReplicaStored(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto, rs *wal.State) (node.Handler, error)
 }
 
 // Options configures a simulated cluster.
@@ -67,6 +77,14 @@ type Options struct {
 	// message-count triggers. Pair it with timers on the Protocol adapter
 	// (retries, heartbeats) — fault recovery is timer-driven.
 	Faults *faults.Plan
+	// Storage, when non-nil, gives every replica a durable store (the
+	// protocol adapter must implement StorageProtocol): persist effects are
+	// appended and synced before the sends of the same Handle call, restarts
+	// rebuild the replica by replaying its store instead of resurrecting its
+	// in-memory state, and a storage error crash-stops the process. Pair a
+	// wal.Flaky fake with a Faults restart schedule for crash-consistency
+	// chaos.
+	Storage func(pid mcast.ProcessID) (wal.Storage, error)
 	// OnFault, when non-nil, receives a narration line per fired action.
 	OnFault func(at time.Duration, desc string)
 	// TraceSample enables message-lifecycle tracing (internal/obs): every
@@ -91,6 +109,9 @@ type Cluster struct {
 
 	// Engine is the fault engine, non-nil when Options.Faults was set.
 	Engine *faults.Engine
+	// Stores holds each replica's durable store when Options.Storage was
+	// set; tests reach in to inspect recovered state or trip fault fakes.
+	Stores map[mcast.ProcessID]wal.Storage
 	// Tracer records message-lifecycle and fault events, non-nil when
 	// Options.TraceSample was set. Render with obs.FormatTimeline.
 	Tracer *obs.Tracer
@@ -136,7 +157,22 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 		clock = func() time.Duration { return c.Sim.Now() }
 		c.Tracer = obs.NewTracer(opts.TraceSample, opts.TraceBuffer, clock)
 	}
+	// Storage-backed restarts: sim.Restart consults Rebuild, which replays
+	// the process's store into a fresh handler. The map is populated by the
+	// replica loop below; the closure only runs once the simulation does.
+	rebuilds := make(map[mcast.ProcessID]func() (node.Handler, error))
 	simCfg := sim.Config{Latency: opts.Latency, Seed: opts.Seed, Trace: opts.Trace}
+	if opts.Storage != nil {
+		simCfg.Rebuild = func(p mcast.ProcessID) (node.Handler, error) {
+			if rb := rebuilds[p]; rb != nil {
+				return rb()
+			}
+			return nil, nil
+		}
+		// A storage crash-stop counts as a crash for the Termination check
+		// (a FaultPlan restart revives the process and clears the mark).
+		simCfg.OnStorageCrash = func(p mcast.ProcessID, err error) { c.crashed[p] = true }
+	}
 	if opts.Faults != nil {
 		// Fault actions land in the trace too, so a chaos timeline shows
 		// crashes, partitions and heals interleaved with protocol stages.
@@ -165,14 +201,46 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 		c.Engine.Bind(s)
 	}
 	po, _ := p.(ProtocolObs)
+	sp, _ := p.(StorageProtocol)
+	if opts.Storage != nil && sp == nil {
+		return nil, fmt.Errorf("harness: Options.Storage set but %s's adapter does not implement StorageProtocol", p.Name())
+	}
+	if opts.Storage != nil {
+		c.Stores = make(map[mcast.ProcessID]wal.Storage)
+	}
 	for pid := mcast.ProcessID(0); int(pid) < top.NumReplicas(); pid++ {
-		var h node.Handler
-		var err error
+		var ph *obs.Proto
 		if c.Tracer != nil && po != nil {
 			// Trace-only handles: a nil registry keeps the metrics
 			// unscrapeable but the stage events flowing into the tracer.
-			h, err = po.NewReplicaObs(pid, top, obs.NewProto(nil, clock, c.Tracer, pid))
-		} else {
+			ph = obs.NewProto(nil, clock, c.Tracer, pid)
+		}
+		var h node.Handler
+		var err error
+		switch {
+		case opts.Storage != nil:
+			st, serr := opts.Storage(pid)
+			if serr != nil {
+				return nil, fmt.Errorf("harness: storage for replica %d: %w", pid, serr)
+			}
+			c.Stores[pid] = st
+			rs, lerr := st.Load()
+			if lerr != nil {
+				return nil, fmt.Errorf("harness: recovering replica %d: %w", pid, lerr)
+			}
+			h, err = sp.NewReplicaStored(pid, top, ph, rs)
+			s.SetStorage(pid, st)
+			pid, ph := pid, ph
+			rebuilds[pid] = func() (node.Handler, error) {
+				rs, err := st.Load()
+				if err != nil {
+					return nil, err
+				}
+				return sp.NewReplicaStored(pid, top, ph, rs)
+			}
+		case ph != nil:
+			h, err = po.NewReplicaObs(pid, top, ph)
+		default:
 			h, err = p.NewReplica(pid, top)
 		}
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/wal"
 )
 
 // LatencyFunc returns the one-way injected delay between two processes. It
@@ -28,6 +29,8 @@ type Config struct {
 	// OnDeliver receives every application delivery; it is invoked from
 	// the delivering process's goroutine and must not block for long.
 	OnDeliver func(p mcast.ProcessID, d mcast.Delivery)
+	// Logf, if non-nil, receives diagnostics (storage-failure crash-stops).
+	Logf func(format string, args ...any)
 }
 
 // Network hosts a set of processes. Construct with New, register handlers
@@ -59,6 +62,7 @@ type proc struct {
 	net     *Network
 	pid     mcast.ProcessID
 	h       node.Handler
+	store   wal.Storage
 	delayIn chan envelope
 	quit    chan struct{}
 	crashed chan struct{}
@@ -94,7 +98,13 @@ func (p *proc) post(env envelope) {
 
 // Add registers a handler. Handlers added after Start (e.g. late-joining
 // clients) are launched immediately.
-func (n *Network) Add(h node.Handler) error {
+func (n *Network) Add(h node.Handler) error { return n.AddStored(h, nil) }
+
+// AddStored registers a handler backed by a durable store: persist effects
+// are appended and synced before any send or delivery of the same Handle
+// call, and a storage error crash-stops the process. A nil store discards
+// persist effects (no durability).
+func (n *Network) AddStored(h node.Handler, st wal.Storage) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -108,6 +118,7 @@ func (n *Network) Add(h node.Handler) error {
 		net:     n,
 		pid:     pid,
 		h:       h,
+		store:   st,
 		delayIn: make(chan envelope, 1024),
 		quit:    make(chan struct{}),
 		crashed: make(chan struct{}),
@@ -261,6 +272,22 @@ func (p *proc) mainLoop() {
 }
 
 func (p *proc) apply(fx *node.Effects) {
+	// Durability first: nothing below is released unless the persist
+	// entries of this Handle call are durable. A storage failure
+	// crash-stops the process (its remaining effects are discarded).
+	if len(fx.Persists) > 0 && p.store != nil {
+		err := p.store.Append(fx.Persists...)
+		if err == nil {
+			err = p.store.Sync()
+		}
+		if err != nil {
+			if p.net.cfg.Logf != nil {
+				p.net.cfg.Logf("live: p%d crash-stopping on storage failure: %v", p.pid, err)
+			}
+			p.crashMu.Do(func() { close(p.crashed) })
+			return
+		}
+	}
 	for _, d := range fx.Deliveries {
 		if p.net.cfg.OnDeliver != nil {
 			p.net.cfg.OnDeliver(p.pid, d)

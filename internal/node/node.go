@@ -5,6 +5,7 @@ import (
 
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
+	"wbcast/internal/wal"
 )
 
 // Input is an event consumed by a Handler. Exactly one of the concrete
@@ -73,10 +74,18 @@ const (
 // Effects collects the I/O requested by a handler during one Handle call.
 // The runtime allocates it, passes it in, and performs the collected
 // operations after the handler returns. A zero Effects is ready to use.
+//
+// Persists are applied FIRST: a runtime hosting the handler on a durable
+// store appends and syncs every persist entry before releasing any send or
+// delivery from the same Handle call, so each outgoing message is backed
+// by durable state; a storage failure crash-stops the process instead of
+// applying the remaining effects. Entries may alias borrowed network
+// frames (stores copy during Append), like Sends.
 type Effects struct {
 	Sends      []Send
 	Deliveries []mcast.Delivery
 	Timers     []SetTimer
+	Persists   []wal.Entry
 }
 
 // Send is a request to transmit Msg. When Tos is nil the send is a unicast
@@ -173,11 +182,19 @@ func (fx *Effects) SetTimer(after time.Duration, kind TimerKind, data uint64) {
 	fx.Timers = append(fx.Timers, SetTimer{After: after, Kind: kind, Data: data})
 }
 
+// Persist appends a durable-storage entry, to be made durable before any
+// send or delivery of this Handle call is released. On a runtime without
+// a configured store the entry is discarded.
+func (fx *Effects) Persist(e wal.Entry) {
+	fx.Persists = append(fx.Persists, e)
+}
+
 // Reset clears the sink for reuse, retaining capacity.
 func (fx *Effects) Reset() {
 	fx.Sends = fx.Sends[:0]
 	fx.Deliveries = fx.Deliveries[:0]
 	fx.Timers = fx.Timers[:0]
+	fx.Persists = fx.Persists[:0]
 }
 
 // Handler is a deterministic protocol node. Handle must not retain in or fx

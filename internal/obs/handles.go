@@ -219,6 +219,82 @@ func (c *Client) OnFlush(trigger string) {
 	}
 }
 
+// Store is a durable-storage instrumentation handle: WAL append/fsync
+// latency, snapshot size/duration, and recovery replay counters for one
+// process's store (internal/wal). Nil-safe like Proto, so an
+// uninstrumented store costs one branch per event.
+type Store struct {
+	appendH, fsyncH, snapH         *Histogram
+	walBytes, snapBytes            *Gauge
+	snapshots, replayed, tornTails *Counter
+}
+
+// NewStore builds a storage handle, registering its metrics in reg.
+func NewStore(reg *Registry) *Store {
+	s := &Store{
+		appendH: &Histogram{}, fsyncH: &Histogram{}, snapH: &Histogram{},
+		walBytes: &Gauge{}, snapBytes: &Gauge{},
+		snapshots: &Counter{}, replayed: &Counter{}, tornTails: &Counter{},
+	}
+	reg.RegisterHistogram(MetricWALAppend, "WAL append latency (frame, checksum and write one Handle call's entries)", s.appendH)
+	reg.RegisterHistogram(MetricWALFsync, "WAL fsync latency", s.fsyncH)
+	reg.RegisterGauge(MetricWALBytes, "current WAL length in bytes", s.walBytes)
+	reg.RegisterCounter(MetricSnapshots, "snapshots written (each truncates the WAL)", s.snapshots)
+	reg.RegisterHistogram(MetricSnapshotDuration, "snapshot encode+write+rename latency", s.snapH)
+	reg.RegisterGauge(MetricSnapshotBytes, "size of the last snapshot written", s.snapBytes)
+	reg.RegisterCounter(MetricReplayEntries, "WAL entries replayed at recovery", s.replayed)
+	reg.RegisterCounter(MetricTornTails, "torn WAL tails detected and truncated at recovery", s.tornTails)
+	return s
+}
+
+// OnAppend records one append batch: its latency and the resulting WAL
+// length.
+func (s *Store) OnAppend(d time.Duration, walLen int64) {
+	if s == nil {
+		return
+	}
+	s.appendH.Observe(d)
+	s.walBytes.Set(walLen)
+}
+
+// OnFsync records one fsync.
+func (s *Store) OnFsync(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.fsyncH.Observe(d)
+}
+
+// OnSnapshot records one snapshot write.
+func (s *Store) OnSnapshot(d time.Duration, bytes int64) {
+	if s == nil {
+		return
+	}
+	s.snapshots.Inc()
+	s.snapH.Observe(d)
+	s.snapBytes.Set(bytes)
+}
+
+// OnReplay records a recovery replay: how many entries were folded and
+// whether a torn tail was truncated.
+func (s *Store) OnReplay(entries int, torn bool) {
+	if s == nil {
+		return
+	}
+	s.replayed.Add(uint64(entries))
+	if torn {
+		s.tornTails.Inc()
+	}
+}
+
+// SetWALBytes updates the WAL-length gauge.
+func (s *Store) SetWALBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.walBytes.Set(n)
+}
+
 // Runtime is a transport/runtime instrumentation handle: the I/O and
 // mailbox counters of one hosted process. tcpnet maintains these counters
 // directly (its Stats() is a view over them), keeping one source of truth.

@@ -62,6 +62,27 @@ const (
 	// MetricTraceDropped counts trace events discarded because the
 	// tracer's bounded buffer was full.
 	MetricTraceDropped = "wbcast_trace_dropped_total"
+
+	// MetricWALAppend is the WAL append latency histogram (framing,
+	// checksumming and writing one Handle call's entries).
+	MetricWALAppend = "wbcast_wal_append_seconds"
+	// MetricWALFsync is the WAL fsync latency histogram.
+	MetricWALFsync = "wbcast_wal_fsync_seconds"
+	// MetricWALBytes is the current WAL length in bytes (drops to zero at
+	// every snapshot truncation).
+	MetricWALBytes = "wbcast_wal_bytes"
+	// MetricSnapshots counts snapshots written (each truncates the WAL).
+	MetricSnapshots = "wbcast_snapshots_total"
+	// MetricSnapshotDuration is the snapshot encode+write+rename latency
+	// histogram.
+	MetricSnapshotDuration = "wbcast_snapshot_seconds"
+	// MetricSnapshotBytes is the size of the last snapshot written.
+	MetricSnapshotBytes = "wbcast_snapshot_bytes"
+	// MetricReplayEntries counts WAL entries replayed at recovery.
+	MetricReplayEntries = "wbcast_replay_entries_total"
+	// MetricTornTails counts torn WAL tails detected and truncated at
+	// recovery.
+	MetricTornTails = "wbcast_wal_torn_tails_total"
 )
 
 // Lifecycle stages recorded by the tracer and keyed into the stage

@@ -8,6 +8,7 @@ import (
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // App receives chosen commands in slot order, exactly once per slot, on
@@ -49,6 +50,16 @@ type Config struct {
 	// Obs is the embedding protocol's instrumentation handle; Paxos records
 	// its elections and step-downs on it. Nil disables.
 	Obs *obs.Proto
+	// Durable, when true, emits a persist effect for every crash-surviving
+	// transition — the promise pair before a P1b vote, accepted slots
+	// before their P2b, chosen slots before the Learn — so the hosting
+	// runtime syncs them before the corresponding message leaves.
+	Durable bool
+	// Recovered, if non-nil, seeds the replica from replayed durable state
+	// (promise pair and log). The replica restarts as a follower; the
+	// executed frontier is NOT restored here — the embedding protocol
+	// calls Replay to re-apply the committed prefix into its state machine.
+	Recovered *wal.State
 }
 
 type entry struct {
@@ -108,7 +119,54 @@ func New(cfg Config, app App) (*Replica, error) {
 		r.cbal = r.bal
 		r.leading = r.bal.Leader() == r.pid
 	}
+	if rs := cfg.Recovered; rs != nil && !rs.Empty() {
+		// Crash recovery: the replayed promise pair and log override the
+		// bootstrap, floored at the initial ballot (common knowledge).
+		if r.cbal.Less(rs.PaxosCBal) {
+			r.cbal = rs.PaxosCBal
+		}
+		if r.bal.Less(rs.PaxosBal) {
+			r.bal = rs.PaxosBal
+		}
+		if r.bal.Less(r.cbal) {
+			r.bal = r.cbal
+		}
+		for slot, ps := range rs.PaxosLog {
+			r.log[slot] = &entry{vbal: ps.VBal, cmd: ps.Cmd.Clone(), committed: ps.Committed}
+			if slot >= r.nextSlot {
+				r.nextSlot = slot + 1
+			}
+		}
+		// Never restart leading: the leader's nextSlot may have outrun its
+		// last persisted entry, so leadership is re-earned through phase 1
+		// (which re-derives the log tail from a quorum).
+		r.leading = false
+	}
 	return r, nil
+}
+
+// Replay applies the recovered log's contiguous committed prefix to the
+// application, advancing the executed frontier. The embedding protocol calls
+// it once after New (with recovery), before handling any input; commands
+// apply with leading=false, so the app rebuilds state without re-sending.
+func (r *Replica) Replay(fx *node.Effects) {
+	r.execute(fx)
+}
+
+// persistBallot logs the promise pair; called before the P1b/P2b vote it
+// backs leaves the process.
+func (r *Replica) persistBallot(fx *node.Effects) {
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryPaxosBallot, Bal: r.bal, CBal: r.cbal})
+	}
+}
+
+// persistSlot logs one log slot's current (vbal, cmd, committed) value;
+// called before the P2b or Learn the slot backs leaves the process.
+func (r *Replica) persistSlot(slot uint64, e *entry, fx *node.Effects) {
+	if r.cfg.Durable {
+		fx.Persist(wal.Entry{Kind: wal.EntryPaxosCmd, Slot: slot, Bal: e.vbal, Cmd: e.cmd, Committed: e.committed})
+	}
 }
 
 // stepDown clears the leading flag, recording the loss when it was set.
@@ -158,6 +216,9 @@ func (r *Replica) Propose(cmd msgs.Command, fx *node.Effects) (uint64, bool) {
 	r.nextSlot++
 	e := &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
 	r.log[slot] = e
+	// The leader's own acceptance counts toward the quorum, so it must be
+	// durable before the P2a solicits the others'.
+	r.persistSlot(slot, e, fx)
 	fx.SendAll(r.peers, msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd})
 	r.maybeChoose(slot, fx) // singleton groups choose immediately
 	return slot, true
@@ -220,6 +281,7 @@ func (r *Replica) onP2a(from mcast.ProcessID, m msgs.P2a, fx *node.Effects) {
 	if m.Group != r.group || m.Bal.Less(r.bal) {
 		return
 	}
+	ballotChanged := r.bal.Less(m.Bal) || r.cbal != m.Bal
 	if r.bal.Less(m.Bal) {
 		r.bal = m.Bal
 	}
@@ -228,12 +290,20 @@ func (r *Replica) onP2a(from mcast.ProcessID, m msgs.P2a, fx *node.Effects) {
 		r.stepDown(m.Bal)
 		r.recovering = false
 	}
+	if ballotChanged {
+		r.persistBallot(fx)
+	}
 	e := r.log[m.Slot]
 	if e == nil || e.vbal.Less(m.Bal) {
 		if e == nil || !e.committed {
 			// Retention boundary: the log outlives this Handle call, so
 			// deep-copy the command off the (possibly borrowed) frame.
-			r.log[m.Slot] = &entry{vbal: m.Bal, cmd: m.Cmd.Clone()}
+			ne := &entry{vbal: m.Bal, cmd: m.Cmd.Clone()}
+			r.log[m.Slot] = ne
+			// The P2b below promises this acceptance; it must survive a
+			// crash or a choosing quorum could include a vote that a
+			// restarted replica no longer remembers.
+			r.persistSlot(m.Slot, ne, fx)
 		}
 	}
 	fx.Send(from, msgs.P2b{Group: r.group, Bal: m.Bal, Slot: m.Slot})
@@ -260,6 +330,9 @@ func (r *Replica) maybeChoose(slot uint64, fx *node.Effects) {
 		return
 	}
 	e.committed = true
+	// Chosen before announced: the Learn fan-out and the local execution
+	// both presume the decision survives this replica's crash.
+	r.persistSlot(slot, e, fx)
 	fx.SendAll(r.peers, msgs.Learn{Group: r.group, Slot: slot, Cmd: e.cmd})
 	r.execute(fx)
 }
@@ -273,7 +346,10 @@ func (r *Replica) onLearn(m msgs.Learn, fx *node.Effects) {
 		return
 	}
 	// Retention boundary (see onP2a).
-	r.log[m.Slot] = &entry{vbal: r.cbal, cmd: m.Cmd.Clone(), committed: true}
+	ne := &entry{vbal: r.cbal, cmd: m.Cmd.Clone(), committed: true}
+	r.log[m.Slot] = ne
+	// Learned decisions are durable before execution reaches the app.
+	r.persistSlot(m.Slot, ne, fx)
 	r.execute(fx)
 }
 
@@ -313,6 +389,9 @@ func (r *Replica) onP1a(from mcast.ProcessID, m msgs.P1a, fx *node.Effects) {
 	r.stepDown(m.Bal)
 	r.recovering = true
 	clear(r.p1bs)
+	// The P1b below is a promise never to accept in a lower ballot; it must
+	// survive a crash, or a restarted replica could promise two candidates.
+	r.persistBallot(fx)
 	// Report accepted, uncommitted entries plus the commit frontier;
 	// committed entries are re-sent too so a lagging candidate catches up.
 	p1b := msgs.P1b{Group: r.group, Bal: m.Bal, Executed: r.executed}
@@ -361,6 +440,7 @@ func (r *Replica) onP1b(from mcast.ProcessID, m msgs.P1b, fx *node.Effects) {
 	r.cbal = r.bal
 	r.leading = true
 	r.recovering = false
+	r.persistBallot(fx)
 	end := uint64(0)
 	if have {
 		end = maxSlot + 1
@@ -382,7 +462,9 @@ func (r *Replica) onP1b(from mcast.ProcessID, m msgs.P1b, fx *node.Effects) {
 		if ent, ok := adopted[slot]; ok && !ent.VBal.IsZero() {
 			cmd = ent.Cmd // owned: cloned when the P1b was stored
 		}
-		r.log[slot] = &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
+		ne := &entry{vbal: r.cbal, cmd: cmd, acks: map[mcast.ProcessID]bool{r.pid: true}}
+		r.log[slot] = ne
+		r.persistSlot(slot, ne, fx)
 		fx.SendAll(r.peers, msgs.P2a{Group: r.group, Bal: r.cbal, Slot: slot, Cmd: cmd})
 		r.maybeChoose(slot, fx)
 	}
@@ -425,6 +507,7 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 		r.cbal = m.Bal
 		r.stepDown(m.Bal)
 		r.recovering = false
+		r.persistBallot(fx)
 	}
 	if m.Bal == r.cbal && !r.leading {
 		r.hbSeen = true

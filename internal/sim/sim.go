@@ -9,6 +9,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/wal"
 )
 
 // Latency decides the network delay of one message. It may consult mutable
@@ -75,6 +76,16 @@ type Config struct {
 	// built on the simulator (the public Simulated transport) use it to
 	// stream deliveries out without polling Deliveries().
 	OnDeliver func(p mcast.ProcessID, d mcast.Delivery)
+	// Rebuild, if non-nil, constructs a fresh handler for a restarting
+	// process (Restart): a disk-backed deployment builds it by loading the
+	// process's Storage, so simulated restarts exercise the real recovery
+	// path instead of reusing the live in-memory handler. Returning a nil
+	// handler (and nil error) keeps the existing in-memory handler — the
+	// escape hatch for processes without a configured store.
+	Rebuild func(p mcast.ProcessID) (node.Handler, error)
+	// OnStorageCrash, if non-nil, observes a process crash-stopping on a
+	// storage failure (Append or Sync error on its configured Storage).
+	OnStorageCrash func(p mcast.ProcessID, err error)
 }
 
 // TraceEvent describes one processed input for debugging and audits.
@@ -99,6 +110,7 @@ type Sim struct {
 	seq     uint64
 	pq      eventHeap
 	nodes   map[mcast.ProcessID]node.Handler
+	stores  map[mcast.ProcessID]wal.Storage
 	crashed map[mcast.ProcessID]bool
 	// lastArrival enforces FIFO per ordered process pair: arrival times on a
 	// link never decrease, and equal-time events are dispatched in schedule
@@ -134,6 +146,7 @@ func New(cfg Config) *Sim {
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		nodes:       make(map[mcast.ProcessID]node.Handler),
+		stores:      make(map[mcast.ProcessID]wal.Storage),
 		crashed:     make(map[mcast.ProcessID]bool),
 		lastArrival: make(map[linkKey]time.Duration),
 		msgCounts:   make(map[msgs.Kind]int),
@@ -152,6 +165,13 @@ func (s *Sim) Add(h node.Handler) {
 	s.schedule(s.now, pid, node.Start{})
 }
 
+// SetStorage attaches a durable store to process pid: its persist effects
+// are appended and synced before any send or delivery of the same Handle
+// call, and a storage error crash-stops it.
+func (s *Sim) SetStorage(pid mcast.ProcessID, st wal.Storage) {
+	s.stores[pid] = st
+}
+
 // Crash marks a process as crashed: it processes no further events —
 // inputs that arrive (or timers that fire) while it is down are lost.
 // Crashes are permanent (crash-stop model, paper §II) unless undone by
@@ -161,13 +181,19 @@ func (s *Sim) Crash(pid mcast.ProcessID) { s.crashed[pid] = true }
 // Crashed reports whether pid has crashed.
 func (s *Sim) Crashed(pid mcast.ProcessID) bool { return s.crashed[pid] }
 
-// Restart brings a crashed process back at the current virtual time with
-// its handler state intact, and re-delivers Start so it re-arms its
-// background timers. This models crash-recovery of a process whose protocol
-// state is durable (synchronously persisted), or equivalently a long pause:
-// everything sent to the process while it was down is lost, which is what
-// exercises the protocols' catch-up machinery. It is a no-op if pid is not
-// crashed.
+// Restart brings a crashed process back at the current virtual time and
+// re-delivers Start so it re-arms its background timers. It is a no-op if
+// pid is not crashed.
+//
+// Without Config.Rebuild, the process returns with its in-memory handler
+// state INTACT — an optimistic model equivalent to a long pause, not real
+// crash-recovery: nothing was persisted, the state simply never left RAM.
+// With Config.Rebuild (set when a Storage is configured), the old handler
+// is discarded and a fresh one is constructed by replaying the process's
+// durable store, which is the real recovery path: state transitions that
+// were never synced are lost, exactly as on disk. Either way, everything
+// sent to the process while it was down is gone, which is what exercises
+// the protocols' catch-up machinery.
 //
 // Timers the process armed before crashing are purged: they are
 // process-local state a real crash loses, and leaving them queued would
@@ -191,9 +217,25 @@ func (s *Sim) Restart(pid mcast.ProcessID) {
 	}
 	s.pq = kept
 	heap.Init(&s.pq)
-	if _, ok := s.nodes[pid]; ok {
-		s.schedule(s.now, pid, node.Start{})
+	if _, ok := s.nodes[pid]; !ok {
+		return
 	}
+	if s.cfg.Rebuild != nil {
+		h, err := s.cfg.Rebuild(pid)
+		if err != nil {
+			// A process whose store cannot be replayed stays down (its peers
+			// carry on; a later Restart retries).
+			s.crashed[pid] = true
+			if s.cfg.OnStorageCrash != nil {
+				s.cfg.OnStorageCrash(pid, err)
+			}
+			return
+		}
+		if h != nil {
+			s.nodes[pid] = h
+		}
+	}
+	s.schedule(s.now, pid, node.Start{})
 }
 
 // ControlAt schedules fn to run at virtual time at, between handler events.
@@ -300,6 +342,25 @@ func (s *Sim) dispatch(ev event) {
 }
 
 func (s *Sim) apply(from mcast.ProcessID, fx *node.Effects) {
+	// Durability first: persist entries are appended and synced before any
+	// send or delivery of this Handle call is released, and a storage
+	// failure crash-stops the process — none of its remaining effects
+	// apply, exactly as if it had crashed inside the Handle call.
+	if len(fx.Persists) > 0 {
+		if st, ok := s.stores[from]; ok {
+			err := st.Append(fx.Persists...)
+			if err == nil {
+				err = st.Sync()
+			}
+			if err != nil {
+				s.crashed[from] = true
+				if s.cfg.OnStorageCrash != nil {
+					s.cfg.OnStorageCrash(from, err)
+				}
+				return
+			}
+		}
+	}
 	for _, d := range fx.Deliveries {
 		s.deliveries = append(s.deliveries, DeliveryRecord{Proc: from, At: s.now, D: d})
 		if s.cfg.OnDeliver != nil {

@@ -13,6 +13,7 @@ import (
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 	"wbcast/internal/wire"
 )
 
@@ -44,6 +45,12 @@ type Config struct {
 	Peers map[mcast.ProcessID]string
 	// Handler is the protocol state machine to run.
 	Handler node.Handler
+	// Storage, if non-nil, backs the handler's persist effects: every entry
+	// is appended and synced before any send or delivery of the same Handle
+	// call is released. A storage error crash-stops the node (it closes as
+	// if killed; the durable prefix is what a restart recovers). When nil,
+	// persist effects are discarded and the node provides no durability.
+	Storage wal.Storage
 	// Logf, if non-nil, receives diagnostics (connection errors etc.).
 	Logf func(format string, args ...any)
 	// OnDeliver, if non-nil, receives the handler's application deliveries.
@@ -94,8 +101,9 @@ type Node struct {
 	cfg Config
 	ln  net.Listener
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
 
 	// The input queue: an elastic FIFO. post appends under qmu and nudges
 	// wake; mainLoop swaps the slice out and processes it in order.
@@ -252,14 +260,16 @@ func (n *Node) Inject(in node.Input) error {
 	return nil
 }
 
+// stop initiates shutdown without joining goroutines (safe to call from
+// the main loop itself, e.g. on a storage failure).
+func (n *Node) stop() {
+	n.quitOnce.Do(func() { close(n.quit) })
+	n.ln.Close()
+}
+
 // Close stops the node and joins its goroutines.
 func (n *Node) Close() {
-	select {
-	case <-n.quit:
-	default:
-		close(n.quit)
-	}
-	n.ln.Close()
+	n.stop()
 	n.wg.Wait()
 }
 
@@ -389,6 +399,21 @@ func (n *Node) mainLoop() {
 // once: the encoded frame is shared across every remote recipient's writer
 // queue via reference counting.
 func (n *Node) apply(fx *node.Effects) {
+	// Durability first: nothing below is released unless this Handle call's
+	// persist entries are durable. A storage failure crash-stops the node —
+	// from the outside indistinguishable from a kill at this point, which is
+	// exactly the state a restart recovers from.
+	if len(fx.Persists) > 0 && n.cfg.Storage != nil {
+		err := n.cfg.Storage.Append(fx.Persists...)
+		if err == nil {
+			err = n.cfg.Storage.Sync()
+		}
+		if err != nil {
+			n.logf("tcpnet: p%d crash-stopping on storage failure: %v", n.cfg.PID, err)
+			n.stop()
+			return
+		}
+	}
 	for _, tm := range fx.Timers {
 		in := node.Timer{Kind: tm.Kind, Data: tm.Data}
 		time.AfterFunc(tm.After, func() {

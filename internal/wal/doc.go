@@ -1,0 +1,22 @@
+// Package wal supplies durable storage for protocol replicas: the Storage
+// interface, a per-process on-disk write-ahead log with checksummed
+// snapshots and log truncation (Disk), a staged in-memory implementation
+// (Memory) whose durability boundary is Sync, and a deterministic
+// fault-injecting wrapper (Flaky) for crash-consistency chaos runs.
+//
+// Layering: wal sits beside the runtimes, below the public package and
+// above the codec. It imports only internal/mcast, internal/msgs,
+// internal/wire (the WAL reuses the message wire format for its payloads)
+// and internal/obs (instrumentation). It must never import internal/node
+// or any runtime: handlers describe persistence as node.Effects entries,
+// and the runtimes — which own all I/O — apply them here. That keeps
+// handlers deterministic and lets the simulator drive real recovery code
+// under virtual time.
+//
+// The durability contract is two-phase: Append stages entries, Sync makes
+// everything staged durable. Runtimes call Append+Sync for a Handle call's
+// entries before releasing any of its sends or deliveries, so every
+// message a replica emits is backed by durable state; a storage error
+// crash-stops the process rather than letting it equivocate. See
+// docs/DURABILITY.md for the full contract and recovery sequence.
+package wal

@@ -1,0 +1,210 @@
+package wal
+
+import (
+	"fmt"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/wire"
+)
+
+// EntryKind distinguishes the durable state transitions a replica logs.
+// Values are part of the on-disk format; do not reorder.
+type EntryKind uint8
+
+// Entry kinds.
+const (
+	// EntryBallot records the white-box ballot/promise pair and logical
+	// clock (Fig. 3 ballot, cballot) — logged before a replica votes in a
+	// leader election, so a restarted replica cannot un-promise.
+	EntryBallot EntryKind = iota + 1
+	// EntryRecord records one message reaching ACCEPTED or COMMITTED at
+	// this replica — logged before the corresponding ACCEPT_ACK or DELIVER
+	// leaves the process.
+	EntryRecord
+	// EntryFrontier records the delivery frontier (the max delivered GTS
+	// and the last GTS this replica handed to the application) — logged
+	// before the delivery itself, so restarts never re-deliver.
+	EntryFrontier
+	// EntryPrune removes garbage-collected message records.
+	EntryPrune
+	// EntryState replaces the whole white-box message state (a NEW_STATE
+	// install or a leader's post-election merge).
+	EntryState
+	// EntryPaxosBallot records the Paxos promise pair of the baseline
+	// protocols — logged before a P1b vote.
+	EntryPaxosBallot
+	// EntryPaxosCmd records one Paxos log slot (vote ballot, command,
+	// committed flag) — logged before the P2b or Learn it backs.
+	EntryPaxosCmd
+)
+
+// Entry is one durable state transition. Which fields are meaningful
+// depends on Kind (see the kind constants). Entries appended to a
+// node.Effects may alias borrowed network frames; Storage implementations
+// must encode or deep-copy them during Append and never retain the entry's
+// slices afterwards.
+type Entry struct {
+	Kind EntryKind
+
+	// Bal, CBal, Clock — EntryBallot, EntryState, EntryPaxosBallot
+	// (EntryPaxosCmd uses Bal as the slot's vote ballot).
+	Bal   mcast.Ballot
+	CBal  mcast.Ballot
+	Clock uint64
+
+	// Rec — EntryRecord.
+	Rec msgs.MsgRecord
+
+	// Max, Last — EntryFrontier: max delivered GTS, last app-delivery GTS.
+	Max  mcast.Timestamp
+	Last mcast.Timestamp
+
+	// IDs — EntryPrune.
+	IDs []mcast.MsgID
+
+	// Recs — EntryState.
+	Recs []msgs.MsgRecord
+
+	// Slot, Cmd, Committed — EntryPaxosCmd.
+	Slot      uint64
+	Cmd       msgs.Command
+	Committed bool
+}
+
+// appendEntry serialises e, appending to dst.
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = append(dst, byte(e.Kind))
+	switch e.Kind {
+	case EntryBallot, EntryPaxosBallot:
+		dst = wire.AppendBallot(dst, e.Bal)
+		dst = wire.AppendBallot(dst, e.CBal)
+		dst = wire.AppendUint(dst, e.Clock)
+	case EntryRecord:
+		dst = wire.AppendRecord(dst, e.Rec)
+	case EntryFrontier:
+		dst = wire.AppendTS(dst, e.Max)
+		dst = wire.AppendTS(dst, e.Last)
+	case EntryPrune:
+		dst = wire.AppendUint(dst, uint64(len(e.IDs)))
+		for _, id := range e.IDs {
+			dst = wire.AppendUint(dst, uint64(id))
+		}
+	case EntryState:
+		dst = wire.AppendBallot(dst, e.Bal)
+		dst = wire.AppendBallot(dst, e.CBal)
+		dst = wire.AppendUint(dst, e.Clock)
+		dst = wire.AppendUint(dst, uint64(len(e.Recs)))
+		for _, r := range e.Recs {
+			dst = wire.AppendRecord(dst, r)
+		}
+	case EntryPaxosCmd:
+		dst = wire.AppendUint(dst, e.Slot)
+		dst = wire.AppendBallot(dst, e.Bal)
+		if e.Committed {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = wire.AppendCommand(dst, e.Cmd)
+	}
+	return dst
+}
+
+// decodeEntry parses one serialised entry. The result owns all its memory.
+func decodeEntry(data []byte) (Entry, error) {
+	if len(data) == 0 {
+		return Entry{}, fmt.Errorf("wal: empty entry")
+	}
+	e := Entry{Kind: EntryKind(data[0])}
+	buf := data[1:]
+	var err error
+	switch e.Kind {
+	case EntryBallot, EntryPaxosBallot:
+		if e.Bal, buf, err = wire.ConsumeBallot(buf); err != nil {
+			return e, err
+		}
+		if e.CBal, buf, err = wire.ConsumeBallot(buf); err != nil {
+			return e, err
+		}
+		if e.Clock, buf, err = wire.ConsumeUint(buf); err != nil {
+			return e, err
+		}
+	case EntryRecord:
+		if e.Rec, buf, err = wire.ConsumeRecord(buf); err != nil {
+			return e, err
+		}
+	case EntryFrontier:
+		if e.Max, buf, err = wire.ConsumeTS(buf); err != nil {
+			return e, err
+		}
+		if e.Last, buf, err = wire.ConsumeTS(buf); err != nil {
+			return e, err
+		}
+	case EntryPrune:
+		var n uint64
+		if n, buf, err = wire.ConsumeUint(buf); err != nil {
+			return e, err
+		}
+		if n > maxLoadCount {
+			return e, fmt.Errorf("wal: prune of %d ids exceeds limit", n)
+		}
+		e.IDs = make([]mcast.MsgID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var v uint64
+			if v, buf, err = wire.ConsumeUint(buf); err != nil {
+				return e, err
+			}
+			e.IDs = append(e.IDs, mcast.MsgID(v))
+		}
+	case EntryState:
+		if e.Bal, buf, err = wire.ConsumeBallot(buf); err != nil {
+			return e, err
+		}
+		if e.CBal, buf, err = wire.ConsumeBallot(buf); err != nil {
+			return e, err
+		}
+		if e.Clock, buf, err = wire.ConsumeUint(buf); err != nil {
+			return e, err
+		}
+		var n uint64
+		if n, buf, err = wire.ConsumeUint(buf); err != nil {
+			return e, err
+		}
+		if n > maxLoadCount {
+			return e, fmt.Errorf("wal: state of %d records exceeds limit", n)
+		}
+		e.Recs = make([]msgs.MsgRecord, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var r msgs.MsgRecord
+			if r, buf, err = wire.ConsumeRecord(buf); err != nil {
+				return e, err
+			}
+			e.Recs = append(e.Recs, r)
+		}
+	case EntryPaxosCmd:
+		if e.Slot, buf, err = wire.ConsumeUint(buf); err != nil {
+			return e, err
+		}
+		if e.Bal, buf, err = wire.ConsumeBallot(buf); err != nil {
+			return e, err
+		}
+		if len(buf) == 0 {
+			return e, fmt.Errorf("wal: truncated committed flag")
+		}
+		e.Committed = buf[0] != 0
+		buf = buf[1:]
+		if e.Cmd, buf, err = wire.ConsumeCommand(buf); err != nil {
+			return e, err
+		}
+	default:
+		return e, fmt.Errorf("wal: unknown entry kind %d", e.Kind)
+	}
+	if len(buf) != 0 {
+		return e, fmt.Errorf("wal: %d trailing bytes after entry kind %d", len(buf), e.Kind)
+	}
+	return e, nil
+}
+
+// maxLoadCount bounds decoded collection sizes against corrupt input.
+const maxLoadCount = 1 << 22

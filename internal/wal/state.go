@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+	"wbcast/internal/wire"
+)
+
+// State is the aggregate durable state of one replica: the result of
+// folding every logged Entry, and the unit a snapshot captures. It carries
+// both the white-box protocol's Fig. 3 state and the Paxos substrate state
+// of the baseline protocols; a replica populates only the half its
+// protocol uses.
+type State struct {
+	// White-box (internal/core): promise pair, logical clock, per-message
+	// records, and the delivery frontier.
+	Ballot  mcast.Ballot
+	CBallot mcast.Ballot
+	Clock   uint64
+	Records map[mcast.MsgID]msgs.MsgRecord
+	// MaxDelivered is the GTS of the newest protocol-level delivery;
+	// LastDeliver is the GTS most recently handed to the application (they
+	// differ transiently in protocols that replicate DELIVER).
+	MaxDelivered mcast.Timestamp
+	LastDeliver  mcast.Timestamp
+
+	// Paxos substrate (internal/paxos): promise pair and the replicated
+	// command log.
+	PaxosBal  mcast.Ballot
+	PaxosCBal mcast.Ballot
+	PaxosLog  map[uint64]PaxosSlot
+}
+
+// PaxosSlot is one durable Paxos log slot.
+type PaxosSlot struct {
+	VBal      mcast.Ballot
+	Cmd       msgs.Command
+	Committed bool
+}
+
+// NewState returns an empty state with allocated maps.
+func NewState() *State {
+	return &State{
+		Records:  make(map[mcast.MsgID]msgs.MsgRecord),
+		PaxosLog: make(map[uint64]PaxosSlot),
+	}
+}
+
+// Empty reports whether the state records nothing durable — a fresh data
+// directory, i.e. a cold boot rather than a recovery.
+func (s *State) Empty() bool {
+	return s == nil ||
+		(s.Ballot.IsZero() && s.CBallot.IsZero() && s.Clock == 0 &&
+			len(s.Records) == 0 && s.MaxDelivered.IsZero() && s.LastDeliver.IsZero() &&
+			s.PaxosBal.IsZero() && s.PaxosCBal.IsZero() && len(s.PaxosLog) == 0)
+}
+
+// Apply folds one entry into the state. Anything retained from e is
+// deep-copied, so entries aliasing borrowed network frames are safe.
+func (s *State) Apply(e Entry) {
+	switch e.Kind {
+	case EntryBallot:
+		s.Ballot, s.CBallot = e.Bal, e.CBal
+		if s.Clock < e.Clock {
+			s.Clock = e.Clock
+		}
+	case EntryRecord:
+		s.Records[e.Rec.M.ID] = e.Rec.Clone()
+	case EntryFrontier:
+		if s.MaxDelivered.Less(e.Max) {
+			s.MaxDelivered = e.Max
+		}
+		if s.LastDeliver.Less(e.Last) {
+			s.LastDeliver = e.Last
+		}
+	case EntryPrune:
+		for _, id := range e.IDs {
+			delete(s.Records, id)
+		}
+	case EntryState:
+		s.Ballot, s.CBallot = e.Bal, e.CBal
+		if s.Clock < e.Clock {
+			s.Clock = e.Clock
+		}
+		s.Records = make(map[mcast.MsgID]msgs.MsgRecord, len(e.Recs))
+		for _, r := range e.Recs {
+			s.Records[r.M.ID] = r.Clone()
+		}
+	case EntryPaxosBallot:
+		s.PaxosBal, s.PaxosCBal = e.Bal, e.CBal
+	case EntryPaxosCmd:
+		s.PaxosLog[e.Slot] = PaxosSlot{VBal: e.Bal, Cmd: e.Cmd.Clone(), Committed: e.Committed}
+	}
+}
+
+// Clone returns an independent deep copy.
+func (s *State) Clone() *State {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Records = make(map[mcast.MsgID]msgs.MsgRecord, len(s.Records))
+	for id, r := range s.Records {
+		out.Records[id] = r.Clone()
+	}
+	out.PaxosLog = make(map[uint64]PaxosSlot, len(s.PaxosLog))
+	for slot, ps := range s.PaxosLog {
+		ps.Cmd = ps.Cmd.Clone()
+		out.PaxosLog[slot] = ps
+	}
+	return &out
+}
+
+// stateVersion guards the snapshot layout.
+const stateVersion = 1
+
+// Encode serialises the state deterministically (maps sorted by key),
+// appending to dst. Two equal states encode to identical bytes, which is
+// what the snapshot round-trip tests rely on.
+func (s *State) Encode(dst []byte) []byte {
+	dst = append(dst, stateVersion)
+	dst = wire.AppendBallot(dst, s.Ballot)
+	dst = wire.AppendBallot(dst, s.CBallot)
+	dst = wire.AppendUint(dst, s.Clock)
+	ids := make([]mcast.MsgID, 0, len(s.Records))
+	for id := range s.Records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dst = wire.AppendUint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = wire.AppendRecord(dst, s.Records[id])
+	}
+	dst = wire.AppendTS(dst, s.MaxDelivered)
+	dst = wire.AppendTS(dst, s.LastDeliver)
+	dst = wire.AppendBallot(dst, s.PaxosBal)
+	dst = wire.AppendBallot(dst, s.PaxosCBal)
+	slots := make([]uint64, 0, len(s.PaxosLog))
+	for slot := range s.PaxosLog {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	dst = wire.AppendUint(dst, uint64(len(slots)))
+	for _, slot := range slots {
+		ps := s.PaxosLog[slot]
+		dst = wire.AppendUint(dst, slot)
+		dst = wire.AppendBallot(dst, ps.VBal)
+		if ps.Committed {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = wire.AppendCommand(dst, ps.Cmd)
+	}
+	return dst
+}
+
+// DecodeState parses a serialised state.
+func DecodeState(data []byte) (*State, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wal: empty state")
+	}
+	if data[0] != stateVersion {
+		return nil, fmt.Errorf("wal: unknown state version %d", data[0])
+	}
+	buf := data[1:]
+	s := NewState()
+	var err error
+	if s.Ballot, buf, err = wire.ConsumeBallot(buf); err != nil {
+		return nil, err
+	}
+	if s.CBallot, buf, err = wire.ConsumeBallot(buf); err != nil {
+		return nil, err
+	}
+	if s.Clock, buf, err = wire.ConsumeUint(buf); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if n, buf, err = wire.ConsumeUint(buf); err != nil {
+		return nil, err
+	}
+	if n > maxLoadCount {
+		return nil, fmt.Errorf("wal: state of %d records exceeds limit", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var r msgs.MsgRecord
+		if r, buf, err = wire.ConsumeRecord(buf); err != nil {
+			return nil, err
+		}
+		s.Records[r.M.ID] = r
+	}
+	if s.MaxDelivered, buf, err = wire.ConsumeTS(buf); err != nil {
+		return nil, err
+	}
+	if s.LastDeliver, buf, err = wire.ConsumeTS(buf); err != nil {
+		return nil, err
+	}
+	if s.PaxosBal, buf, err = wire.ConsumeBallot(buf); err != nil {
+		return nil, err
+	}
+	if s.PaxosCBal, buf, err = wire.ConsumeBallot(buf); err != nil {
+		return nil, err
+	}
+	if n, buf, err = wire.ConsumeUint(buf); err != nil {
+		return nil, err
+	}
+	if n > maxLoadCount {
+		return nil, fmt.Errorf("wal: state of %d slots exceeds limit", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var slot uint64
+		if slot, buf, err = wire.ConsumeUint(buf); err != nil {
+			return nil, err
+		}
+		var ps PaxosSlot
+		if ps.VBal, buf, err = wire.ConsumeBallot(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("wal: truncated committed flag")
+		}
+		ps.Committed = buf[0] != 0
+		buf = buf[1:]
+		if ps.Cmd, buf, err = wire.ConsumeCommand(buf); err != nil {
+			return nil, err
+		}
+		s.PaxosLog[slot] = ps
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after state", len(buf))
+	}
+	return s, nil
+}

@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"errors"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
+)
+
+// Storage is a replica's durable store. The contract is two-phase:
+// Append stages entries, Sync makes everything staged durable. A runtime
+// applies a Handle call's persistence as Append(entries...) followed by
+// Sync(), before releasing any send or delivery from the same call; on
+// error it crash-stops the process.
+//
+// Load is called once, before the replica joins the cluster; it returns
+// the folded durable state (never nil; Empty() distinguishes a cold
+// boot). Implementations are used from a single goroutine at a time.
+type Storage interface {
+	// Load returns the durable state. The caller owns the result.
+	Load() (*State, error)
+	// Append stages entries for durability. Entries may alias borrowed
+	// network frames: implementations must encode or deep-copy during the
+	// call and not retain any entry slice afterwards.
+	Append(entries ...Entry) error
+	// Sync makes every staged entry durable.
+	Sync() error
+	// Snapshot captures the folded state and truncates the log. Called by
+	// clean shutdown paths; implementations also snapshot on their own
+	// policy.
+	Snapshot() error
+	// Close releases resources after a final Sync. The Storage is unusable
+	// afterwards.
+	Close() error
+}
+
+// Memory is an in-memory Storage whose durability boundary is Sync:
+// appended entries stage in a tail buffer and fold into the durable state
+// only when Sync succeeds, exactly mirroring a disk WAL whose unsynced
+// tail is torn off by a crash. It is the default store for simulator
+// restarts and the base of the chaos fake.
+type Memory struct {
+	durable *State
+	staged  []Entry
+	closed  bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{durable: NewState()}
+}
+
+// Load implements Storage. It also discards any unsynced tail, modelling
+// the data loss of a crash: Load is only ever called by a (re)booting
+// replica.
+func (m *Memory) Load() (*State, error) {
+	m.staged = m.staged[:0]
+	m.closed = false
+	return m.durable.Clone(), nil
+}
+
+// Append implements Storage.
+func (m *Memory) Append(entries ...Entry) error {
+	if m.closed {
+		return errors.New("wal: append to closed store")
+	}
+	for _, e := range entries {
+		m.staged = append(m.staged, cloneEntry(e))
+	}
+	return nil
+}
+
+// Sync implements Storage.
+func (m *Memory) Sync() error {
+	if m.closed {
+		return errors.New("wal: sync of closed store")
+	}
+	for _, e := range m.staged {
+		m.durable.Apply(e)
+	}
+	m.staged = m.staged[:0]
+	return nil
+}
+
+// Snapshot implements Storage (a no-op beyond Sync: the folded state is
+// the only representation).
+func (m *Memory) Snapshot() error { return m.Sync() }
+
+// Close implements Storage. The durable state survives Close so a
+// restarted replica can Load it again.
+func (m *Memory) Close() error {
+	err := m.Sync()
+	m.closed = true
+	return err
+}
+
+// cloneEntry deep-copies an entry so it is safe to stage past the Handle
+// call that produced it (entry fields may alias borrowed network frames).
+func cloneEntry(e Entry) Entry {
+	out := e
+	out.Rec = e.Rec.Clone()
+	out.Cmd = e.Cmd.Clone()
+	if e.IDs != nil {
+		out.IDs = make([]mcast.MsgID, len(e.IDs))
+		copy(out.IDs, e.IDs)
+	}
+	if e.Recs != nil {
+		out.Recs = msgs.CloneRecords(e.Recs)
+	}
+	return out
+}

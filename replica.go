@@ -5,7 +5,9 @@ import (
 	"sync"
 
 	"wbcast/internal/mcast"
+	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // Replica is a handle to one protocol replica hosted on a Transport. A
@@ -13,15 +15,19 @@ import (
 // deployment starts exactly the replicas that live on this host with
 // NewReplica, one per process (see cmd/wbcast-node).
 type Replica struct {
-	cfg Config // normalised
-	top *mcast.Topology
-	pid ProcessID
-	tr  Transport
-	reg *obs.Registry // nil when Observability.Disabled
+	cfg   Config // normalised
+	top   *mcast.Topology
+	pid   ProcessID
+	tr    Transport
+	reg   *obs.Registry  // nil when Observability.Disabled
+	store *lockedStorage // nil without Config.Storage
 
 	mu     sync.Mutex
 	subs   []*Subscription
 	closed bool
+	// stopOnce guards the crash + store-teardown sequence shared by Close
+	// and Shutdown, so a double Close never double-closes the store.
+	stopOnce sync.Once
 }
 
 // NewReplica builds, starts and returns replica pid of the topology
@@ -55,11 +61,48 @@ func newReplicaOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Replica, err
 		reg = obs.NewRegistry(fmt.Sprintf(`proc="%d"`, pid))
 		po = obs.NewProto(reg, cfg.clock, cfg.tracer, pid)
 	}
-	h, err := newProtocolHandler(cfg, top, pid, po)
+	// Durability: open the replica's store, recover its folded state, and
+	// hand the protocol a handler that replays it before joining. The
+	// rebuild closure re-runs exactly this load-and-construct sequence —
+	// the simulated transport invokes it on FaultPlan restarts so a revived
+	// process recovers from its store rather than from leftover RAM.
+	var (
+		store   *lockedStorage
+		rebuild func() (node.Handler, error)
+		rs      *wal.State
+	)
+	if cfg.Storage != nil {
+		inner, err := cfg.Storage(pid)
+		if err != nil {
+			return nil, fmt.Errorf("wbcast: opening storage for process %d: %w", pid, err)
+		}
+		if reg != nil {
+			if im, ok := inner.(interface{ SetMetrics(*obs.Store) }); ok {
+				im.SetMetrics(obs.NewStore(reg))
+			}
+		}
+		store = &lockedStorage{inner: inner}
+		rs, err = store.Load()
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("wbcast: recovering storage for process %d: %w", pid, err)
+		}
+		rebuild = func() (node.Handler, error) {
+			st, err := store.Load()
+			if err != nil {
+				return nil, err
+			}
+			return newProtocolHandler(cfg, top, pid, po, st)
+		}
+	}
+	h, err := newProtocolHandler(cfg, top, pid, po, rs)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
-	r := &Replica{cfg: cfg, top: top, pid: pid, tr: cfg.Transport, reg: reg}
+	r := &Replica{cfg: cfg, top: top, pid: pid, tr: cfg.Transport, reg: reg, store: store}
 	// Subscription drops join the registry as a view over the
 	// subscriptions' own counters — the same numbers Stats reports.
 	reg.RegisterFunc(obs.MetricDeliveriesDropped, "deliveries discarded by full subscriptions", obs.KindCounter,
@@ -85,11 +128,27 @@ func newReplicaOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Replica, err
 			}
 		}()
 	}
-	if err := cfg.Transport.add(h, r.dispatch, reg); err != nil {
+	if err := cfg.Transport.add(h, hostOptions{
+		onDeliver: r.dispatch,
+		reg:       reg,
+		store:     storageOrNil(store),
+		rebuild:   rebuild,
+	}); err != nil {
 		r.closeSubs()
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	return r, nil
+}
+
+// storageOrNil avoids handing transports a typed-nil Storage interface.
+func storageOrNil(s *lockedStorage) wal.Storage {
+	if s == nil {
+		return nil
+	}
+	return s
 }
 
 // dispatch fans one delivery out to every live subscription. It runs on
@@ -169,14 +228,43 @@ func (r *Replica) Trace() []TraceEvent { return r.cfg.tracer.Events() }
 // Close crash-stops the replica: it stops processing inputs (and, on the
 // TCP transport, closes its listener and connections) and its
 // subscriptions are closed. The group tolerates up to (Replicas-1)/2
-// closed or crashed members.
+// closed or crashed members. A configured store is closed with a final
+// sync but no snapshot — a later restart on the same storage replays the
+// WAL; Shutdown is the graceful variant that snapshots first.
 func (r *Replica) Close() {
 	// Subscriptions first: a full Backpressure subscription blocks the
 	// delivering goroutine inside push, and the TCP/simulated transports'
 	// crash paths join (or lock against) exactly that goroutine. Closing
 	// the subscriptions releases it; Cluster.Close orders the same way.
 	r.closeSubs()
-	r.tr.crash(r.pid)
+	r.stopOnce.Do(func() {
+		r.tr.crash(r.pid)
+		if r.store != nil {
+			r.store.Close()
+		}
+	})
+}
+
+// Shutdown stops the replica cleanly: it stops processing inputs (as
+// Close), then writes a final synced snapshot and closes its store, so a
+// later restart on the same storage recovers from the snapshot alone
+// without WAL replay. Without a configured store, Shutdown is Close. The
+// returned error is the storage's — a failed final snapshot still leaves
+// the synced WAL, from which a restart recovers just as correctly.
+func (r *Replica) Shutdown() error {
+	r.closeSubs()
+	var err error
+	r.stopOnce.Do(func() {
+		r.tr.crash(r.pid)
+		if r.store == nil {
+			return
+		}
+		err = r.store.Snapshot()
+		if cerr := r.store.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
 }
 
 func (r *Replica) closeSubs() {

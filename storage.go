@@ -1,0 +1,143 @@
+package wbcast
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"wbcast/internal/wal"
+)
+
+// Storage is a replica's durable store (see internal/wal for the
+// contract). The interface is two-phase: Append stages WAL entries, Sync
+// makes everything staged durable. The hosting runtime appends and syncs
+// every state transition of a Handle call before releasing any message or
+// delivery from the same call, so anything the rest of the cluster has
+// observed is backed by durable state; a storage error crash-stops the
+// replica. Load, called once at construction, returns the folded durable
+// state the protocol recovers from.
+//
+// Two implementations ship with the package — disk-backed stores built by
+// DirStorage (an append-only checksummed WAL beside an atomically-replaced
+// snapshot, with automatic log truncation) and the in-memory stores of
+// MemoryStorage (durability boundary at Sync; survives simulated restarts,
+// not process exits).
+type Storage = wal.Storage
+
+// DurableState is the folded durable state a Storage recovers: the paxos
+// ballot/promise pair, the ACCEPTED/COMMITTED message records and the
+// delivery frontier. Storage.Load returns it; protocol replicas replay it
+// at construction.
+type DurableState = wal.State
+
+// StorageEntry is one WAL record: a crash-surviving state transition
+// (ballot promise, accepted record, delivery-frontier advance, prune,
+// wholesale state install, paxos ballot or slot).
+type StorageEntry = wal.Entry
+
+// SyncPolicy selects when a disk-backed store turns Sync calls into
+// fsyncs — the durability/throughput trade recorded in BENCH_PR7.json.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for StorageOptions.Policy.
+const (
+	// SyncAlways fsyncs on every Sync call: full crash-consistency; every
+	// message sent is backed by durable state. The default.
+	SyncAlways = wal.SyncAlways
+	// SyncBatched fsyncs every BatchEvery-th Sync call, trading a bounded
+	// window of recent transitions for throughput.
+	SyncBatched = wal.SyncBatched
+	// SyncNone never fsyncs (the OS page cache decides); for measuring the
+	// WAL's append cost in isolation.
+	SyncNone = wal.SyncNone
+)
+
+// StorageOptions tunes the disk-backed stores built by DirStorageWith.
+// The zero value is the production-safe default: SyncAlways, 4 MiB
+// snapshot threshold.
+type StorageOptions struct {
+	// Policy selects the fsync schedule (default SyncAlways).
+	Policy SyncPolicy
+	// BatchEvery is the fsync period under SyncBatched (default 8).
+	BatchEvery int
+	// SnapshotThreshold triggers an automatic snapshot + WAL truncation
+	// when the log exceeds this many bytes (default 4 MiB).
+	SnapshotThreshold int64
+}
+
+// DirStorage returns a Config.Storage factory that roots each locally
+// hosted replica's store in its own subdirectory dir/p<pid>, with the
+// default options (SyncAlways, 4 MiB snapshot threshold). Restarting a
+// replica on the same directory recovers its durable state:
+//
+//	cfg.Storage = wbcast.DirStorage("/var/lib/wbcast")
+func DirStorage(dir string) func(ProcessID) (Storage, error) {
+	return DirStorageWith(dir, StorageOptions{})
+}
+
+// DirStorageWith is DirStorage with explicit options.
+func DirStorageWith(dir string, opts StorageOptions) func(ProcessID) (Storage, error) {
+	return func(pid ProcessID) (Storage, error) {
+		return wal.OpenDisk(filepath.Join(dir, fmt.Sprintf("p%d", pid)), wal.DiskOptions{
+			Policy:            opts.Policy,
+			BatchEvery:        opts.BatchEvery,
+			SnapshotThreshold: opts.SnapshotThreshold,
+		})
+	}
+}
+
+// MemoryStorage returns a Config.Storage factory of in-memory stores. An
+// in-memory store's durability boundary is Sync — entries staged by a
+// Handle call whose Sync never ran are lost by a restart, exactly like a
+// disk WAL's torn tail — but the store itself lives only as long as the
+// deployment, so it provides recovery semantics without disk I/O: the
+// right store for exercising crash-recovery on the Simulated transport
+// (FaultPlan Crash/Restart schedules), not for surviving process exits.
+func MemoryStorage() func(ProcessID) (Storage, error) {
+	return func(ProcessID) (Storage, error) { return wal.NewMemory(), nil }
+}
+
+// lockedStorage serialises a Storage shared between the hosting runtime's
+// apply loop and the replica handle's Shutdown/Close: without it a final
+// Snapshot+Close could race an in-flight Append. Appends after Close fail,
+// which the runtime treats as a storage crash-stop — the right outcome for
+// a handler input that slipped in behind a shutdown.
+type lockedStorage struct {
+	mu    sync.Mutex
+	inner wal.Storage
+}
+
+// Load implements Storage under the lock.
+func (l *lockedStorage) Load() (*wal.State, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Load()
+}
+
+// Append implements Storage under the lock.
+func (l *lockedStorage) Append(entries ...wal.Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Append(entries...)
+}
+
+// Sync implements Storage under the lock.
+func (l *lockedStorage) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Sync()
+}
+
+// Snapshot implements Storage under the lock.
+func (l *lockedStorage) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Snapshot()
+}
+
+// Close implements Storage under the lock.
+func (l *lockedStorage) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Close()
+}

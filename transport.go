@@ -15,6 +15,7 @@ import (
 	"wbcast/internal/obs"
 	"wbcast/internal/sim"
 	"wbcast/internal/tcpnet"
+	"wbcast/internal/wal"
 )
 
 // Transport is the runtime that hosts the protocol processes of a
@@ -50,11 +51,16 @@ type Transport interface {
 	// — on every call, not just the first, so processes started later with
 	// fresh Config values share the same clock and tracer.
 	//
-	// add hosts a handler; reg, when non-nil, is the process's metrics
+	// add hosts a handler; opts.reg, when non-nil, is the process's metrics
 	// registry, into which the transport registers its runtime counters
-	// (frame I/O on TCP, mailbox depth/high-water in-process).
+	// (frame I/O on TCP, mailbox depth/high-water in-process). opts.store,
+	// when non-nil, backs the process's persist effects: append + sync
+	// before any send or delivery of the same Handle call, storage error ⇒
+	// crash-stop. opts.rebuild, when non-nil, reconstructs the handler from
+	// its store — the simulated transport uses it so FaultPlan restarts
+	// replay the durable state instead of resurrecting in-memory state.
 	open(cfg *Config) error
-	add(h node.Handler, onDeliver func(Delivery), reg *obs.Registry) error
+	add(h node.Handler, opts hostOptions) error
 	inject(pid ProcessID, in node.Input) error
 	crash(pid ProcessID)
 	stats(pid ProcessID) TransportStats
@@ -68,6 +74,17 @@ type Transport interface {
 	// recovery is timer-driven.
 	backgroundTimers() bool
 	name() string
+}
+
+// hostOptions carries the per-process extras of Transport.add: the
+// delivery fan-out, the metrics registry, and (replicas with a configured
+// Config.Storage only) the durable store plus the storage-backed handler
+// rebuilder.
+type hostOptions struct {
+	onDeliver func(Delivery)
+	reg       *obs.Registry
+	store     wal.Storage
+	rebuild   func() (node.Handler, error)
 }
 
 // TransportStats is a snapshot of a process's transport-level counters,
@@ -148,25 +165,25 @@ func (t *inProcTransport) dispatch(p mcast.ProcessID, d mcast.Delivery) {
 	}
 }
 
-func (t *inProcTransport) add(h node.Handler, onDeliver func(Delivery), reg *obs.Registry) error {
+func (t *inProcTransport) add(h node.Handler, opts hostOptions) error {
 	t.mu.Lock()
 	if t.net == nil {
 		t.mu.Unlock()
 		return fmt.Errorf("wbcast: transport not opened")
 	}
-	if onDeliver != nil {
-		t.deliver[h.ID()] = onDeliver
+	if opts.onDeliver != nil {
+		t.deliver[h.ID()] = opts.onDeliver
 	}
 	n := t.net
 	t.mu.Unlock()
 	// Mailbox gauges are views over the network's single-source counters
 	// (evaluated at scrape time), never double-maintained.
 	pid := h.ID()
-	reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
+	opts.reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
 		func() int64 { return n.MailboxDepth(pid) })
-	reg.RegisterFunc(obs.MetricMailboxHighWater, "largest input-queue length observed", obs.KindGauge,
+	opts.reg.RegisterFunc(obs.MetricMailboxHighWater, "largest input-queue length observed", obs.KindGauge,
 		func() int64 { return n.MailboxHighWater(pid) })
-	return n.Add(h)
+	return n.AddStored(h, opts.store)
 }
 
 func (t *inProcTransport) inject(pid ProcessID, in node.Input) error {
@@ -258,6 +275,7 @@ func SimulatedWith(opts SimulatedOptions) Transport {
 	t := &simTransport{
 		opts:    opts,
 		deliver: make(map[ProcessID]func(Delivery)),
+		rebuild: make(map[ProcessID]func() (node.Handler, error)),
 		done:    make(chan struct{}),
 	}
 	t.cond = sync.NewCond(&t.mu)
@@ -271,6 +289,11 @@ type simTransport struct {
 	cond    *sync.Cond
 	s       *sim.Sim
 	deliver map[ProcessID]func(Delivery)
+	// rebuild holds the storage-backed handler constructors of durable
+	// processes. Like deliver it is written under mu (add) and read from
+	// inside the pump's Run — which also holds mu — so restarts never race
+	// late-added processes.
+	rebuild map[ProcessID]func() (node.Handler, error)
 	pending bool
 	closed  bool
 	done    chan struct{}
@@ -306,6 +329,22 @@ func (t *simTransport) open(cfg *Config) error {
 		Latency:   lat,
 		Seed:      t.opts.Seed,
 		OnDeliver: t.dispatchLocked,
+		// Restarts of storage-backed processes rebuild their handler by
+		// replaying the store; everything else keeps its in-memory handler
+		// (nil, nil). Runs inside the pump's Run, i.e. with t.mu held.
+		Rebuild: func(p mcast.ProcessID) (node.Handler, error) {
+			if rb := t.rebuild[p]; rb != nil {
+				return rb()
+			}
+			return nil, nil
+		},
+	}
+	if tr := t.trc; tr != nil {
+		// A storage crash-stop is a fault event: chaos timelines show it
+		// interleaved with the protocol stages it interrupted.
+		simCfg.OnStorageCrash = func(p mcast.ProcessID, err error) {
+			tr.Fault(t.s.Now(), fmt.Sprintf("p%d storage failure: %v", p, err))
+		}
 	}
 	var eng *faults.Engine
 	if t.opts.Faults != nil {
@@ -396,7 +435,7 @@ func (t *simTransport) pump() {
 	}
 }
 
-func (t *simTransport) add(h node.Handler, onDeliver func(Delivery), _ *obs.Registry) error {
+func (t *simTransport) add(h node.Handler, opts hostOptions) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.s == nil {
@@ -405,8 +444,14 @@ func (t *simTransport) add(h node.Handler, onDeliver func(Delivery), _ *obs.Regi
 	if t.closed {
 		return fmt.Errorf("wbcast: transport closed")
 	}
-	if onDeliver != nil {
-		t.deliver[h.ID()] = onDeliver
+	if opts.onDeliver != nil {
+		t.deliver[h.ID()] = opts.onDeliver
+	}
+	if opts.store != nil {
+		t.s.SetStorage(h.ID(), opts.store)
+	}
+	if opts.rebuild != nil {
+		t.rebuild[h.ID()] = opts.rebuild
 	}
 	t.s.Add(h)
 	t.pending = true
@@ -523,7 +568,7 @@ func (t *tcpTransport) open(cfg *Config) error {
 	return nil
 }
 
-func (t *tcpTransport) add(h node.Handler, onDeliver func(Delivery), reg *obs.Registry) error {
+func (t *tcpTransport) add(h node.Handler, opts hostOptions) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.opened {
@@ -547,8 +592,8 @@ func (t *tcpTransport) add(h node.Handler, onDeliver func(Delivery), reg *obs.Re
 		peers[p] = a
 	}
 	var deliver func(mcast.Delivery)
-	if onDeliver != nil {
-		deliver = onDeliver
+	if opts.onDeliver != nil {
+		deliver = opts.onDeliver
 	}
 	n, err := tcpnet.Serve(tcpnet.Config{
 		PID:        pid,
@@ -556,17 +601,18 @@ func (t *tcpTransport) add(h node.Handler, onDeliver func(Delivery), reg *obs.Re
 		Peers:      peers,
 		Handler:    h,
 		OnDeliver:  deliver,
+		Storage:    opts.store,
 		Logf:       t.logf,
 		// The node maintains these counters directly; its Stats() and the
 		// registry scrape are two views over the same atomics.
-		Metrics: obs.NewRuntime(reg),
+		Metrics: obs.NewRuntime(opts.reg),
 	})
 	if err != nil {
 		return err
 	}
 	// The high-water gauge lives in the Runtime; current depth is a view
 	// over the node's live queue.
-	reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
+	opts.reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
 		n.MailboxDepth)
 	t.nodes[pid] = n
 	// Ephemeral-port fix-up: when the configured address left the port to

@@ -78,6 +78,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/wal"
 )
 
 // Re-exported core types. See the internal/mcast documentation for details.
@@ -293,6 +294,18 @@ type Config struct {
 	// documentation). Nil disables batching: every payload is ordered
 	// individually.
 	Batching *Batching
+	// Storage, when non-nil, gives every locally hosted replica a durable
+	// store: the factory is invoked once per replica at construction, the
+	// store's Load recovers the replica's durable state (ballot promises,
+	// accepted records, the delivery frontier), and from then on every
+	// crash-surviving state transition is appended and synced before the
+	// corresponding message leaves the replica. See DirStorage for
+	// disk-backed stores and MemoryStorage for simulator-restart semantics
+	// without disk I/O; docs/DURABILITY.md describes the design. Clients
+	// have no durable state; the factory is not invoked for them. Nil means
+	// no durability: replicas are volatile (the crash-stop model), and a
+	// returning process rejoins empty through the NEW_STATE transfer.
+	Storage func(pid ProcessID) (Storage, error)
 	// Observability configures metrics and message-lifecycle tracing; nil
 	// means the default (metrics on, tracing off).
 	Observability *Observability
@@ -396,13 +409,21 @@ func (cfg Config) normalized() (Config, error) {
 // GC) are disabled so runs quiesce and replay identically — unless the
 // transport runs in chaos mode (SimulatedOptions.Faults), where the
 // timer-driven recovery machinery is exactly what is under test.
-func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.Proto) (node.Handler, error) {
+//
+// rs, when non-nil, makes the replica durable: it emits persist effects
+// for every crash-surviving state transition and replays rs — the folded
+// state of its Storage — before joining (a cold store passes an Empty
+// state, which replays to nothing).
+func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.Proto, rs *wal.State) (node.Handler, error) {
 	d := cfg.Delta
 	det := !cfg.Transport.backgroundTimers()
+	durable := rs != nil
 	switch cfg.Protocol {
 	case WhiteBox:
 		rc := core.DefaultConfig(pid, top, d)
 		rc.Obs = po
+		rc.Durable = durable
+		rc.Recovered = rs
 		if cfg.DisableGC {
 			rc.GCInterval = 0
 		}
@@ -417,6 +438,8 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
 			Obs:               po,
+			Durable:           durable,
+			Recovered:         rs,
 		}
 		if det {
 			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
@@ -429,6 +452,8 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
 			Obs:               po,
+			Durable:           durable,
+			Recovered:         rs,
 		}
 		if det {
 			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
