@@ -10,7 +10,7 @@ import (
 
 func TestParseProtocol(t *testing.T) {
 	// Every valid name round-trips through String.
-	for _, want := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen} {
+	for _, want := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen, wbcast.Skeen} {
 		got, err := wbcast.ParseProtocol(want.String())
 		if err != nil {
 			t.Fatalf("ParseProtocol(%q): %v", want.String(), err)
@@ -19,7 +19,7 @@ func TestParseProtocol(t *testing.T) {
 			t.Fatalf("ParseProtocol(%q) = %v, want %v", want.String(), got, want)
 		}
 	}
-	for _, bad := range []string{"", "WBCAST", "wbcast ", "skeen", "paxos", "white-box"} {
+	for _, bad := range []string{"", "WBCAST", "wbcast ", "paxos", "white-box"} {
 		if _, err := wbcast.ParseProtocol(bad); err == nil {
 			t.Errorf("ParseProtocol(%q) accepted", bad)
 		} else if !strings.Contains(err.Error(), "unknown protocol") {

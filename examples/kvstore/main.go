@@ -1,19 +1,17 @@
 // kvstore: a partitioned, replicated key-value store with cross-partition
 // transactions ordered by atomic multicast — the paper's motivating use
 // case (scalable fault-tolerant transaction processing in the style of
-// Granola and P-Store, §I).
+// Granola and P-Store, §I), here as a thin tour of the kv package.
 //
-// Keys are hash-partitioned over the groups; each group replicates its
-// partition 3 ways. Single-partition writes are multicast to one group;
-// multi-key transactions (here: atomic swaps) are multicast to the union of
-// the involved partitions. Because every replica applies operations in
-// global-timestamp order, the replicas of each partition stay identical and
-// cross-partition transactions are serialised consistently — no distributed
-// locking or two-phase commit required.
-//
-// Each replica's state machine drains its own pull-based delivery
-// subscription (Replica.Deliveries) — the composable-handle shape that
-// works identically when the replicas are spread over a TCP cluster.
+// The kv.Service maps each multicast group to one shard of the keyspace
+// and attaches a deterministic state-machine engine to every replica; the
+// kv.Client routes single-key operations to the one shard that owns the
+// key and multi-key transactions to exactly the shards they touch. Because
+// every replica applies operations in global-timestamp order, the replicas
+// of each shard stay identical and cross-shard transactions are serialised
+// consistently — no distributed locking or two-phase commit required. See
+// docs/KVSTORE.md for the design and cmd/wbcast-kv for the HTTP-served
+// version of the same stack.
 //
 // Run with:
 //
@@ -22,61 +20,24 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"math/rand"
-	"sync"
 	"time"
 
 	"wbcast"
+	"wbcast/kv"
 )
 
 const (
-	numGroups = 4
+	numShards = 4
 	numKeys   = 16
 	numOps    = 400
 )
 
-// op is the replicated command format.
-type op struct {
-	Kind string `json:"kind"` // "put" or "swap"
-	K1   string `json:"k1"`
-	V1   string `json:"v1,omitempty"`
-	K2   string `json:"k2,omitempty"`
-}
-
-// store is one replica's partition state. It applies only the keys its
-// group owns (a replica delivers every message addressed to its group).
-type store struct {
-	mu   sync.Mutex
-	data map[string]string
-	log  []wbcast.Timestamp // applied GTS sequence, for the audit
-}
-
-func partitionOf(key string) wbcast.GroupID {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return wbcast.GroupID(h.Sum32() % numGroups)
-}
-
 func main() {
-	stores := make(map[wbcast.ProcessID]*store)
-	var smu sync.Mutex
-	getStore := func(p wbcast.ProcessID) *store {
-		smu.Lock()
-		defer smu.Unlock()
-		s, ok := stores[p]
-		if !ok {
-			s = &store{data: make(map[string]string)}
-			stores[p] = s
-		}
-		return s
-	}
-
 	cluster, err := wbcast.New(wbcast.Config{
-		Groups:   numGroups,
+		Groups:   numShards,
 		Replicas: 3,
 	})
 	if err != nil {
@@ -84,127 +45,69 @@ func main() {
 	}
 	defer cluster.Close()
 
-	// One state-machine goroutine per replica, applying its delivery
-	// stream in (GTS, Sub) order.
-	apply := func(p wbcast.ProcessID, d wbcast.Delivery) {
-		var o op
-		if err := json.Unmarshal(d.Msg.Payload, &o); err != nil {
-			log.Fatalf("replica %d: bad payload: %v", p, err)
-		}
-		s := getStore(p)
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.log = append(s.log, d.GTS)
-		switch o.Kind {
-		case "put":
-			s.data[o.K1] = o.V1
-		case "swap":
-			// Applied at every replica of both partitions; each key
-			// lives in exactly one partition, and both sides apply the
-			// swap at the same point of the total order.
-			s.data[o.K1], s.data[o.K2] = s.data[o.K2], s.data[o.K1]
-		}
+	// One engine per replica; RecordApplied retains the histories the
+	// closing audit (Verify) checks.
+	svc, err := kv.NewService(cluster, kv.Options{RecordApplied: true})
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, r := range cluster.Replicas() {
-		sub := r.Deliveries()
-		go func(p wbcast.ProcessID) {
-			for d := range sub.C() {
-				apply(p, d)
-			}
-		}(r.ID())
-	}
-
-	client, err := cluster.NewClient()
+	defer svc.Close()
+	client, err := svc.NewClient()
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	send := func(o op, dest ...wbcast.GroupID) {
-		payload, err := json.Marshal(o)
-		if err != nil {
+	// Seed every key. Put completes once the owning shard has applied the
+	// write, so a later Get — ordered after it — always observes it.
+	keys := make([][]byte, numKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%02d", i))
+		if err := client.Put(ctx, keys[i], []byte(fmt.Sprintf("v%d", i))); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := client.Multicast(ctx, payload, dest...); err != nil {
-			log.Fatalf("multicast: %v", err)
-		}
 	}
 
-	// Seed every key.
-	keys := make([]string, numKeys)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("key-%02d", i)
-		send(op{Kind: "put", K1: keys[i], V1: fmt.Sprintf("v%d", i)}, partitionOf(keys[i]))
-	}
-
-	// Mixed workload: 70% single-partition puts, 30% cross-partition swaps.
+	// Mixed workload: 70% single-shard puts, 30% cross-shard swaps. A swap
+	// reads both keys and writes them back crossed — expressed as two
+	// transactions, each atomic across the two owning shards.
 	rng := rand.New(rand.NewSource(42))
 	puts, swaps := 0, 0
 	for i := 0; i < numOps; i++ {
 		if rng.Intn(10) < 7 {
 			k := keys[rng.Intn(numKeys)]
-			send(op{Kind: "put", K1: k, V1: fmt.Sprintf("v%d-%d", i, rng.Int())}, partitionOf(k))
+			if err := client.Put(ctx, k, []byte(fmt.Sprintf("v%d-%d", i, rng.Int()))); err != nil {
+				log.Fatal(err)
+			}
 			puts++
 		} else {
 			k1, k2 := keys[rng.Intn(numKeys)], keys[rng.Intn(numKeys)]
-			if k1 == k2 {
+			if string(k1) == string(k2) {
 				continue
 			}
-			send(op{Kind: "swap", K1: k1, K2: k2}, partitionOf(k1), partitionOf(k2))
+			res, err := client.Txn(ctx,
+				kv.Op{Kind: kv.OpGet, Key: k1},
+				kv.Op{Kind: kv.OpGet, Key: k2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := client.Txn(ctx,
+				kv.Op{Kind: kv.OpPut, Key: k1, Val: res[1].Val},
+				kv.Op{Kind: kv.OpPut, Key: k2, Val: res[0].Val}); err != nil {
+				log.Fatal(err)
+			}
 			swaps++
 		}
 	}
-	fmt.Printf("applied %d puts and %d cross-partition swaps over %d partitions\n", puts, swaps, numGroups)
+	fmt.Printf("applied %d puts and %d cross-shard swaps over %d shards\n", puts, swaps, numShards)
 
-	time.Sleep(200 * time.Millisecond) // let followers drain
-
-	// Audit 1: the three replicas of each partition hold identical state.
-	divergent := 0
-	for g := wbcast.GroupID(0); g < numGroups; g++ {
-		members := cluster.GroupMembers(g)
-		ref := getStore(members[0])
-		for _, p := range members[1:] {
-			s := getStore(p)
-			if !sameOwned(ref, s, g) {
-				divergent++
-				fmt.Printf("PARTITION %d DIVERGED between replicas %d and %d\n", g, members[0], p)
-			}
-		}
+	// The audit the old hand-rolled version did by hand is the service's
+	// correctness contract: per-replica (GTS, Sub) order, one global stamp
+	// per operation, intra-shard prefix agreement with digest equality, and
+	// multi-shard transaction atomicity.
+	if err := svc.Verify(true); err != nil {
+		log.Fatalf("audit failed: %v", err)
 	}
-	// Audit 2: per-replica application order is strictly GTS-increasing.
-	outOfOrder := 0
-	smu.Lock()
-	for p, s := range stores {
-		for i := 1; i < len(s.log); i++ {
-			if !s.log[i-1].Less(s.log[i]) {
-				outOfOrder++
-				fmt.Printf("replica %d applied out of GTS order at %d\n", p, i)
-			}
-		}
-	}
-	smu.Unlock()
-	if divergent == 0 && outOfOrder == 0 {
-		fmt.Println("audit passed: all partition replicas identical; all applies in GTS order")
-	}
-}
-
-// sameOwned compares two replicas' values for the keys owned by group g.
-func sameOwned(a, b *store, g wbcast.GroupID) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(a.data) != len(b.data) {
-		return false
-	}
-	for k, v := range a.data {
-		if partitionOf(k) != g {
-			continue
-		}
-		if b.data[k] != v {
-			return false
-		}
-	}
-	return true
+	fmt.Println("audit passed: all shard replicas identical; all applies in global order")
 }

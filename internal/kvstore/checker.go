@@ -1,0 +1,137 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"wbcast/internal/mcast"
+)
+
+// History is one engine's applied log, as collected by the chaos tests.
+type History struct {
+	PID    mcast.ProcessID
+	Group  mcast.GroupID
+	Log    []Applied
+	Digest uint64
+}
+
+// pos identifies one applied payload globally: the original message ID plus
+// the intra-batch sub-index (batched payloads keep their own IDs, but an ID
+// is unique per payload anyway — the pair is belt and braces).
+type pos struct {
+	id  mcast.MsgID
+	sub int
+}
+
+// Check validates a set of shard histories against the guarantees the
+// key-value service inherits from atomic multicast:
+//
+//  1. each replica applied deliveries in strictly increasing (GTS, Sub)
+//     order, with no payload applied twice;
+//  2. every payload was stamped with one global position — the same GTS
+//     everywhere it was applied, across shards;
+//  3. replicas of one shard applied consistent prefixes of one sequence,
+//     and equal-length logs imply equal state digests;
+//  4. with complete set, every multi-shard operation present anywhere was
+//     applied by every shard it addressed (only meaningful after the
+//     system has quiesced; under an ongoing workload trailing operations
+//     may legitimately be mid-flight).
+//
+// Together 2-4 are the atomicity acceptance check: a transaction spanning
+// several shards occupies a single position of the global order and either
+// executes at all its shards or none.
+func Check(hs []History, complete bool) error {
+	stamp := make(map[pos]mcast.Timestamp)
+	for _, h := range hs {
+		var last Applied
+		seen := make(map[pos]bool, len(h.Log))
+		for i, a := range h.Log {
+			if i > 0 && !before(last, a) {
+				return fmt.Errorf("kvstore: replica %d: order violation at %d: %v/(%v,%d) then %v/(%v,%d)",
+					h.PID, i, last.ID, last.GTS, last.Sub, a.ID, a.GTS, a.Sub)
+			}
+			last = a
+			p := pos{a.ID, a.Sub}
+			if seen[p] {
+				return fmt.Errorf("kvstore: replica %d applied %v sub %d twice", h.PID, a.ID, a.Sub)
+			}
+			seen[p] = true
+			if ts, ok := stamp[p]; ok && ts != a.GTS {
+				return fmt.Errorf("kvstore: %v sub %d stamped %v at replica %d but %v elsewhere",
+					a.ID, a.Sub, a.GTS, h.PID, ts)
+			}
+			stamp[p] = a.GTS
+			if !a.Dest.Contains(h.Group) {
+				return fmt.Errorf("kvstore: replica %d (shard %d) applied %v addressed to %v",
+					h.PID, h.Group, a.ID, a.Dest)
+			}
+		}
+	}
+
+	byGroup := make(map[mcast.GroupID][]History)
+	for _, h := range hs {
+		byGroup[h.Group] = append(byGroup[h.Group], h)
+	}
+	for g, ghs := range byGroup {
+		for i := 0; i < len(ghs); i++ {
+			for j := i + 1; j < len(ghs); j++ {
+				a, b := ghs[i], ghs[j]
+				n := len(a.Log)
+				if len(b.Log) < n {
+					n = len(b.Log)
+				}
+				for k := 0; k < n; k++ {
+					if a.Log[k].ID != b.Log[k].ID || a.Log[k].Sub != b.Log[k].Sub || a.Log[k].GTS != b.Log[k].GTS {
+						return fmt.Errorf("kvstore: shard %d: replicas %d and %d diverge at %d: %v vs %v",
+							g, a.PID, b.PID, k, a.Log[k].ID, b.Log[k].ID)
+					}
+				}
+				if len(a.Log) == len(b.Log) && a.Digest != b.Digest {
+					return fmt.Errorf("kvstore: shard %d: replicas %d and %d applied the same log but digests differ (%#x vs %#x)",
+						g, a.PID, b.PID, a.Digest, b.Digest)
+				}
+			}
+		}
+	}
+
+	if complete {
+		// Any group's longest log is that shard's authoritative sequence
+		// once quiesced; every multi-shard op must be in all of them.
+		longest := make(map[mcast.GroupID]map[pos]bool)
+		for g, ghs := range byGroup {
+			var max History
+			for _, h := range ghs {
+				if len(h.Log) > len(max.Log) {
+					max = h
+				}
+			}
+			set := make(map[pos]bool, len(max.Log))
+			for _, a := range max.Log {
+				set[pos{a.ID, a.Sub}] = true
+			}
+			longest[g] = set
+		}
+		for _, h := range hs {
+			for _, a := range h.Log {
+				for _, g := range a.Dest {
+					set, hosted := longest[g]
+					if !hosted {
+						continue // shard not under test
+					}
+					if !set[pos{a.ID, a.Sub}] {
+						return fmt.Errorf("kvstore: %v sub %d (dest %v) applied at shard %d but missing at shard %d: transaction not atomic",
+							a.ID, a.Sub, a.Dest, h.Group, g)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// before reports strict (GTS, Sub) order between applied records.
+func before(a, b Applied) bool {
+	if a.GTS != b.GTS {
+		return a.GTS.Less(b.GTS)
+	}
+	return a.Sub < b.Sub
+}

@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/wire"
+)
+
+// OpKind identifies a key-value operation.
+type OpKind uint8
+
+// The operation kinds. OpTxn groups sub-operations that must apply
+// atomically; its Subs must themselves be single-key operations (no
+// nesting).
+const (
+	OpGet OpKind = 1 + iota
+	OpPut
+	OpDelete
+	OpTxn
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpTxn:
+		return "txn"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one key-value operation. Get/Put/Delete use Key (and Val for Put);
+// Txn uses Subs. An Op is the unit multicast as one message payload: a Txn
+// addressing several shards is delivered to each of them at the same global
+// position, which is what makes it atomic.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+	Val  []byte
+	Subs []Op
+}
+
+// opCodecVersion versions the payload encoding so it can evolve without
+// breaking mixed-version logs.
+const opCodecVersion = 1
+
+// EncodeOp serialises op, appending to dst (which may be nil).
+func EncodeOp(dst []byte, op Op) []byte {
+	dst = append(dst, opCodecVersion)
+	return appendOp(dst, op)
+}
+
+func appendOp(dst []byte, op Op) []byte {
+	dst = append(dst, byte(op.Kind))
+	switch op.Kind {
+	case OpTxn:
+		dst = wire.AppendUint(dst, uint64(len(op.Subs)))
+		for _, sub := range op.Subs {
+			dst = appendOp(dst, sub)
+		}
+	default:
+		dst = wire.AppendUint(dst, uint64(len(op.Key)))
+		dst = append(dst, op.Key...)
+		if op.Kind == OpPut {
+			dst = wire.AppendUint(dst, uint64(len(op.Val)))
+			dst = append(dst, op.Val...)
+		}
+	}
+	return dst
+}
+
+// DecodeOp parses an operation previously encoded with EncodeOp. The result
+// is fully independent of data.
+func DecodeOp(data []byte) (Op, error) {
+	if len(data) == 0 {
+		return Op{}, fmt.Errorf("kvstore: empty op payload")
+	}
+	if data[0] != opCodecVersion {
+		return Op{}, fmt.Errorf("kvstore: unknown op codec version %d", data[0])
+	}
+	op, rest, err := consumeOp(data[1:], false)
+	if err != nil {
+		return Op{}, err
+	}
+	if len(rest) != 0 {
+		return Op{}, fmt.Errorf("kvstore: %d trailing bytes after op", len(rest))
+	}
+	return op, nil
+}
+
+func consumeOp(buf []byte, nested bool) (Op, []byte, error) {
+	if len(buf) == 0 {
+		return Op{}, nil, fmt.Errorf("kvstore: truncated op")
+	}
+	op := Op{Kind: OpKind(buf[0])}
+	buf = buf[1:]
+	switch op.Kind {
+	case OpTxn:
+		if nested {
+			return Op{}, nil, fmt.Errorf("kvstore: nested txn")
+		}
+		n, rest, err := wire.ConsumeUint(buf)
+		if err != nil {
+			return Op{}, nil, fmt.Errorf("kvstore: txn size: %w", err)
+		}
+		if n > uint64(len(rest)) {
+			return Op{}, nil, fmt.Errorf("kvstore: txn claims %d sub-ops in %d bytes", n, len(rest))
+		}
+		buf = rest
+		op.Subs = make([]Op, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var sub Op
+			sub, buf, err = consumeOp(buf, true)
+			if err != nil {
+				return Op{}, nil, err
+			}
+			op.Subs = append(op.Subs, sub)
+		}
+	case OpGet, OpPut, OpDelete:
+		var err error
+		op.Key, buf, err = consumeBytes(buf)
+		if err != nil {
+			return Op{}, nil, fmt.Errorf("kvstore: op key: %w", err)
+		}
+		if op.Kind == OpPut {
+			op.Val, buf, err = consumeBytes(buf)
+			if err != nil {
+				return Op{}, nil, fmt.Errorf("kvstore: op value: %w", err)
+			}
+		}
+	default:
+		return Op{}, nil, fmt.Errorf("kvstore: unknown op kind %d", uint8(op.Kind))
+	}
+	return op, buf, nil
+}
+
+func consumeBytes(buf []byte) ([]byte, []byte, error) {
+	n, rest, err := wire.ConsumeUint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("length %d exceeds %d remaining bytes", n, len(rest))
+	}
+	out := make([]byte, n)
+	copy(out, rest[:n])
+	return out, rest[n:], nil
+}
+
+// Flatten returns the single-key operations op performs: itself for
+// Get/Put/Delete, or Subs for a Txn. Callers use it to iterate uniformly.
+func (op Op) Flatten() []Op {
+	if op.Kind == OpTxn {
+		return op.Subs
+	}
+	return []Op{op}
+}
+
+// EncodeApplied frames one applied delivery as an opaque WAL app record:
+// the delivery's global position (GTS, Sub) followed by its payload. The
+// engine re-appends these through the Persister so recovery can rebuild
+// shard state without replaying the protocol.
+func EncodeApplied(d mcast.Delivery) []byte {
+	dst := wire.AppendTS(nil, d.GTS)
+	dst = wire.AppendUint(dst, uint64(d.Sub))
+	dst = wire.AppendUint(dst, uint64(len(d.Msg.Payload)))
+	return append(dst, d.Msg.Payload...)
+}
+
+// DecodeApplied parses a record written by EncodeApplied. Only the fields
+// recovery needs are rebuilt: the global position and the payload.
+func DecodeApplied(data []byte) (mcast.Delivery, error) {
+	gts, rest, err := wire.ConsumeTS(data)
+	if err != nil {
+		return mcast.Delivery{}, fmt.Errorf("kvstore: applied record gts: %w", err)
+	}
+	sub, rest, err := wire.ConsumeUint(rest)
+	if err != nil {
+		return mcast.Delivery{}, fmt.Errorf("kvstore: applied record sub: %w", err)
+	}
+	payload, rest, err := consumeBytes(rest)
+	if err != nil {
+		return mcast.Delivery{}, fmt.Errorf("kvstore: applied record payload: %w", err)
+	}
+	if len(rest) != 0 {
+		return mcast.Delivery{}, fmt.Errorf("kvstore: %d trailing bytes after applied record", len(rest))
+	}
+	return mcast.Delivery{Msg: mcast.AppMsg{Payload: payload}, GTS: gts, Sub: int(sub)}, nil
+}

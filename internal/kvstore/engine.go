@@ -1,0 +1,393 @@
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"wbcast/internal/mcast"
+	"wbcast/internal/obs"
+	"wbcast/internal/wire"
+)
+
+// Persister is the durability hook an Engine writes applied state through.
+// *wbcast.Replica satisfies it: records land in the replica's write-ahead
+// log as app entries and come back via RecoveredAppState after a restart.
+// A nil Persister makes the engine volatile.
+type Persister interface {
+	// AppendAppState durably appends opaque application records.
+	AppendAppState(recs ...[]byte) error
+	// SaveAppSnapshot replaces the application snapshot and clears the
+	// accumulated application log.
+	SaveAppSnapshot(snap []byte) error
+}
+
+// Resp reports the outcome of one applied operation to the service layer,
+// which routes it back to the waiting client by (ID, Sub).
+type Resp struct {
+	ID    mcast.MsgID
+	Sub   int
+	Group mcast.GroupID
+	// Results holds one entry per flattened sub-operation, in submission
+	// order, so multi-shard transaction results merge positionally.
+	Results []OpResult
+}
+
+// OpResult is the outcome of one single-key operation at one shard.
+type OpResult struct {
+	// Owned reports whether this shard owns the key. Shards answer only
+	// for positions they own; the client merges per-shard responses.
+	Owned bool
+	// Found reports whether the key existed (Get: at read time; Delete: at
+	// removal time; Put: always true).
+	Found bool
+	// Val is the value read by a Get (nil otherwise).
+	Val []byte
+}
+
+// Applied records one delivery applied by an engine, in the order applied.
+// The checker consumes these to validate the shard histories.
+type Applied struct {
+	ID   mcast.MsgID
+	GTS  mcast.Timestamp
+	Sub  int
+	Dest mcast.GroupSet
+}
+
+// EngineConfig configures a shard engine.
+type EngineConfig struct {
+	// Group is the shard (multicast group) this engine executes.
+	Group mcast.GroupID
+	// PID is the hosting replica, used only for diagnostics.
+	PID mcast.ProcessID
+	// Owns reports whether this shard owns a key. Ownership must agree
+	// with the partitioner that routed the operation.
+	Owns func(key []byte) bool
+	// OnResult, if non-nil, receives the outcome of every applied
+	// operation. Called on the applying goroutine, in delivery order.
+	OnResult func(Resp)
+	// Persist, if non-nil, makes applied state durable (see Persister).
+	Persist Persister
+	// SnapshotEvery compacts the app log into an app snapshot after that
+	// many applied operations (0 disables compaction).
+	SnapshotEvery int
+	// RecordApplied retains the full applied history for the checker.
+	// Tests only: the history grows without bound.
+	RecordApplied bool
+	// Registry, if non-nil, receives the engine's kv_* metrics.
+	Registry *obs.Registry
+}
+
+// Engine is one replica's deterministic copy of one shard. Deliveries are
+// fed in via Apply (or Run over a subscription channel) in the replica's
+// delivery order; the engine filters duplicates by global position, so
+// replaying a prefix after recovery is harmless.
+type Engine struct {
+	cfg EngineConfig
+
+	mu        sync.Mutex
+	data      map[string][]byte
+	lastGTS   mcast.Timestamp // position of the last applied delivery
+	lastSub   int
+	sinceSnap int
+	applied   []Applied
+	err       error // first persistence failure; sticky
+
+	appliedC  obs.Counter
+	replayedC obs.Counter
+	dupC      obs.Counter
+}
+
+// NewEngine builds an engine for one shard replica.
+func NewEngine(cfg EngineConfig) *Engine {
+	e := &Engine{cfg: cfg, data: make(map[string][]byte)}
+	if r := cfg.Registry; r != nil {
+		r.RegisterCounter(obs.MetricKVApplied, "Operations applied by this kv shard engine.", &e.appliedC)
+		r.RegisterCounter(obs.MetricKVReplayed, "Operations re-applied at recovery by this kv shard engine.", &e.replayedC)
+		r.RegisterCounter(obs.MetricKVDuplicates, "Duplicate deliveries skipped by this kv shard engine.", &e.dupC)
+		r.RegisterFunc(obs.MetricKVKeys, "Keys currently stored by this kv shard engine.", obs.KindGauge, func() int64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return int64(len(e.data))
+		})
+	}
+	return e
+}
+
+// Run consumes deliveries from ch until it closes. It is the usual way to
+// drive an engine from a subscription's channel.
+func (e *Engine) Run(ch <-chan mcast.Delivery) {
+	for d := range ch {
+		e.Apply(d)
+	}
+}
+
+// Apply executes one delivery. Deliveries at or below the applied frontier
+// are skipped (duplicates from a recovery replay); fresh ones mutate the
+// store, persist a redo record, and report their outcome via OnResult.
+func (e *Engine) Apply(d mcast.Delivery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.after(d) {
+		e.dupC.Inc()
+		return
+	}
+	resp, persisted := e.applyLocked(d, true)
+	if !persisted {
+		return // state diverged from the log; stop answering clients
+	}
+	if e.cfg.OnResult != nil {
+		e.cfg.OnResult(resp)
+	}
+}
+
+// after reports whether d is strictly beyond the applied frontier. The
+// initial frontier is (⊥, 0) and protocols never issue ⊥, so every live
+// delivery starts out "after".
+// Callers hold e.mu.
+func (e *Engine) after(d mcast.Delivery) bool {
+	if d.GTS != e.lastGTS {
+		return e.lastGTS.Less(d.GTS)
+	}
+	return d.Sub > e.lastSub
+}
+
+// applyLocked mutates the store for d and advances the frontier. When
+// persist is set and a Persister is configured, the delivery is logged as a
+// redo record (and periodically compacted); a logging failure is recorded
+// in Err and reported as persisted == false. Callers hold e.mu.
+func (e *Engine) applyLocked(d mcast.Delivery, persist bool) (Resp, bool) {
+	op, err := DecodeOp(d.Msg.Payload)
+	if err != nil {
+		// Every replica sees the same bytes, so a decode failure is
+		// deterministic: record it and skip the delivery everywhere.
+		if e.err == nil {
+			e.err = fmt.Errorf("kvstore: shard %d: decode %v: %w", e.cfg.Group, d.Msg.ID, err)
+		}
+		e.lastGTS, e.lastSub = d.GTS, d.Sub
+		return Resp{}, false
+	}
+	resp := Resp{ID: d.Msg.ID, Sub: d.Sub, Group: e.cfg.Group}
+	for _, sub := range op.Flatten() {
+		var r OpResult
+		if e.cfg.Owns == nil || e.cfg.Owns(sub.Key) {
+			r.Owned = true
+			switch sub.Kind {
+			case OpGet:
+				v, ok := e.data[string(sub.Key)]
+				r.Found = ok
+				if ok {
+					r.Val = append([]byte(nil), v...)
+				}
+			case OpPut:
+				e.data[string(sub.Key)] = append([]byte(nil), sub.Val...)
+				r.Found = true
+			case OpDelete:
+				_, r.Found = e.data[string(sub.Key)]
+				delete(e.data, string(sub.Key))
+			}
+		}
+		resp.Results = append(resp.Results, r)
+	}
+	e.lastGTS, e.lastSub = d.GTS, d.Sub
+	e.appliedC.Inc()
+	if e.cfg.RecordApplied {
+		e.applied = append(e.applied, Applied{ID: d.Msg.ID, GTS: d.GTS, Sub: d.Sub, Dest: d.Msg.Dest.Clone()})
+	}
+	if persist && e.cfg.Persist != nil {
+		if err := e.cfg.Persist.AppendAppState(EncodeApplied(d)); err != nil {
+			if e.err == nil {
+				e.err = fmt.Errorf("kvstore: shard %d: persist %v: %w", e.cfg.Group, d.Msg.ID, err)
+			}
+			return resp, false
+		}
+		e.sinceSnap++
+		if e.cfg.SnapshotEvery > 0 && e.sinceSnap >= e.cfg.SnapshotEvery {
+			e.sinceSnap = 0
+			if err := e.cfg.Persist.SaveAppSnapshot(e.snapshotLocked()); err != nil && e.err == nil {
+				e.err = fmt.Errorf("kvstore: shard %d: snapshot: %w", e.cfg.Group, err)
+			}
+		}
+	}
+	return resp, true
+}
+
+// Recover rebuilds the engine from the durable state a restarted replica
+// reports (wbcast.Replica.RecoveredAppState): the app snapshot, then the
+// app log, then the protocol-level replay of committed deliveries the
+// engine had not yet logged. Replayed deliveries are re-logged in one
+// batch so the next crash recovers them from the app channel directly.
+// Recover must run before the engine consumes live deliveries.
+func (e *Engine) Recover(snapshot []byte, log [][]byte, replay []mcast.Delivery) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(snapshot) > 0 {
+		if err := e.restoreSnapshotLocked(snapshot); err != nil {
+			return err
+		}
+		e.replayedC.Inc()
+	}
+	for _, rec := range log {
+		d, err := DecodeApplied(rec)
+		if err != nil {
+			return err
+		}
+		if !e.after(d) {
+			continue
+		}
+		e.applyLocked(d, false)
+		e.replayedC.Inc()
+	}
+	var recs [][]byte
+	for _, d := range replay {
+		if !e.after(d) {
+			continue
+		}
+		e.applyLocked(d, false)
+		e.replayedC.Inc()
+		recs = append(recs, EncodeApplied(d))
+	}
+	if len(recs) > 0 && e.cfg.Persist != nil {
+		if err := e.cfg.Persist.AppendAppState(recs...); err != nil {
+			return fmt.Errorf("kvstore: shard %d: re-log replay: %w", e.cfg.Group, err)
+		}
+	}
+	return e.err
+}
+
+// snapshotVersion versions the app snapshot encoding.
+const snapshotVersion = 1
+
+// Snapshot serialises the full shard state: the applied frontier and every
+// key/value pair in sorted key order (so equal states encode identically).
+func (e *Engine) Snapshot() []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+func (e *Engine) snapshotLocked() []byte {
+	keys := make([]string, 0, len(e.data))
+	for k := range e.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst := []byte{snapshotVersion}
+	dst = wire.AppendTS(dst, e.lastGTS)
+	dst = wire.AppendUint(dst, uint64(e.lastSub))
+	dst = wire.AppendUint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = wire.AppendUint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		v := e.data[k]
+		dst = wire.AppendUint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// restoreSnapshotLocked replaces the engine's state with a snapshot's.
+// Callers hold e.mu.
+func (e *Engine) restoreSnapshotLocked(snap []byte) error {
+	if len(snap) == 0 || snap[0] != snapshotVersion {
+		return fmt.Errorf("kvstore: bad app snapshot header")
+	}
+	gts, rest, err := wire.ConsumeTS(snap[1:])
+	if err != nil {
+		return fmt.Errorf("kvstore: app snapshot frontier: %w", err)
+	}
+	sub, rest, err := wire.ConsumeUint(rest)
+	if err != nil {
+		return fmt.Errorf("kvstore: app snapshot frontier sub: %w", err)
+	}
+	n, rest, err := wire.ConsumeUint(rest)
+	if err != nil {
+		return fmt.Errorf("kvstore: app snapshot size: %w", err)
+	}
+	data := make(map[string][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v []byte
+		if k, rest, err = consumeBytes(rest); err != nil {
+			return fmt.Errorf("kvstore: app snapshot key: %w", err)
+		}
+		if v, rest, err = consumeBytes(rest); err != nil {
+			return fmt.Errorf("kvstore: app snapshot value: %w", err)
+		}
+		data[string(k)] = v
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("kvstore: %d trailing bytes after app snapshot", len(rest))
+	}
+	e.data, e.lastGTS, e.lastSub = data, gts, int(sub)
+	return nil
+}
+
+// Digest hashes the shard state (sorted pairs plus the applied frontier);
+// replicas of one shard that applied the same prefix have equal digests.
+func (e *Engine) Digest() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := fnv.New64a()
+	h.Write(wire.AppendUint(wire.AppendTS(nil, e.lastGTS), uint64(e.lastSub))) //nolint:errcheck
+	keys := make([]string, 0, len(e.data))
+	for k := range e.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write(wire.AppendUint(nil, uint64(len(k)))) //nolint:errcheck
+		h.Write([]byte(k))                            //nolint:errcheck
+		h.Write(e.data[k])                            //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// Frontier returns the global position (GTS, Sub) of the last applied
+// delivery.
+func (e *Engine) Frontier() (mcast.Timestamp, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastGTS, e.lastSub
+}
+
+// Get reads a key directly from the local replica state, bypassing the
+// ordering layer (no linearizability guarantee; tests and status endpoints
+// only).
+func (e *Engine) Get(key []byte) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.data[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of keys stored.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.data)
+}
+
+// AppliedLog returns a copy of the applied history (requires
+// RecordApplied).
+func (e *Engine) AppliedLog() []Applied {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Applied(nil), e.applied...)
+}
+
+// Counters returns the applied / replayed / duplicate counts, for status
+// endpoints and tests.
+func (e *Engine) Counters() (applied, replayed, duplicates uint64) {
+	return e.appliedC.Load(), e.replayedC.Load(), e.dupC.Load()
+}
+
+// Err returns the first persistence or decode failure, if any.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,277 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"wbcast/internal/mcast"
+)
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpGet, Key: []byte("k1")},
+		{Kind: OpGet, Key: []byte{}}, // empty key is legal
+		{Kind: OpPut, Key: []byte("k2"), Val: []byte("hello")},
+		{Kind: OpPut, Key: []byte("k3"), Val: []byte{}},
+		{Kind: OpDelete, Key: []byte("k4")},
+		{Kind: OpTxn, Subs: []Op{
+			{Kind: OpPut, Key: []byte("a"), Val: []byte("1")},
+			{Kind: OpGet, Key: []byte("b")},
+			{Kind: OpDelete, Key: []byte("c")},
+		}},
+	}
+	for _, op := range ops {
+		enc := EncodeOp(nil, op)
+		got, err := DecodeOp(enc)
+		if err != nil {
+			t.Fatalf("DecodeOp(%v): %v", op.Kind, err)
+		}
+		if got.Kind != op.Kind || !bytes.Equal(got.Key, op.Key) || !bytes.Equal(got.Val, op.Val) || len(got.Subs) != len(op.Subs) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, op)
+		}
+		for i := range op.Subs {
+			if got.Subs[i].Kind != op.Subs[i].Kind || !bytes.Equal(got.Subs[i].Key, op.Subs[i].Key) {
+				t.Fatalf("sub %d mismatch: %+v vs %+v", i, got.Subs[i], op.Subs[i])
+			}
+		}
+	}
+}
+
+func TestOpCodecRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad version": {99, byte(OpGet), 0},
+		"bad kind":    {opCodecVersion, 77},
+		"truncated":   EncodeOp(nil, Op{Kind: OpPut, Key: []byte("k"), Val: []byte("v")})[:3],
+		"trailing":    append(EncodeOp(nil, Op{Kind: OpGet, Key: []byte("k")}), 0xff),
+		"nested txn":  append(append([]byte{opCodecVersion, byte(OpTxn), 1}, byte(OpTxn)), 0),
+	}
+	for name, data := range cases {
+		if _, err := DecodeOp(data); err == nil {
+			t.Errorf("%s: DecodeOp accepted %x", name, data)
+		}
+	}
+}
+
+func TestAppliedCodecRoundTrip(t *testing.T) {
+	d := mcast.Delivery{
+		Msg: mcast.AppMsg{ID: mcast.MakeMsgID(7, 42), Payload: []byte("payload")},
+		GTS: mcast.Timestamp{Time: 9, Group: 2},
+		Sub: 3,
+	}
+	got, err := DecodeApplied(EncodeApplied(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GTS != d.GTS || got.Sub != d.Sub || !bytes.Equal(got.Msg.Payload, d.Msg.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, d)
+	}
+}
+
+// deliver builds a delivery carrying op at position (time, sub).
+func deliver(id uint32, op Op, time uint64, sub int, dest ...mcast.GroupID) mcast.Delivery {
+	if len(dest) == 0 {
+		dest = []mcast.GroupID{0}
+	}
+	return mcast.Delivery{
+		Msg: mcast.AppMsg{ID: mcast.MakeMsgID(100, id), Dest: mcast.NewGroupSet(dest...), Payload: EncodeOp(nil, op)},
+		GTS: mcast.Timestamp{Time: time, Group: 0},
+		Sub: sub,
+	}
+}
+
+func TestEngineApplyAndDedupe(t *testing.T) {
+	var resps []Resp
+	e := NewEngine(EngineConfig{Group: 0, OnResult: func(r Resp) { resps = append(resps, r) }, RecordApplied: true})
+
+	put := deliver(1, Op{Kind: OpPut, Key: []byte("k"), Val: []byte("v1")}, 1, 0)
+	get := deliver(2, Op{Kind: OpGet, Key: []byte("k")}, 2, 0)
+	e.Apply(put)
+	e.Apply(put) // duplicate: same position
+	e.Apply(get)
+	e.Apply(put) // stale: below frontier
+
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses, want 2", len(resps))
+	}
+	if !resps[1].Results[0].Found || string(resps[1].Results[0].Val) != "v1" {
+		t.Fatalf("get saw %+v", resps[1].Results[0])
+	}
+	if applied, _, dups := func() (uint64, uint64, uint64) { return e.Counters() }(); applied != 2 || dups != 2 {
+		t.Fatalf("counters applied=%d dups=%d, want 2/2", applied, dups)
+	}
+	if gts, sub := e.Frontier(); gts.Time != 2 || sub != 0 {
+		t.Fatalf("frontier (%v,%d)", gts, sub)
+	}
+}
+
+func TestEngineSubOrderWithinBatch(t *testing.T) {
+	e := NewEngine(EngineConfig{Group: 0})
+	// Two payloads sharing a GTS, distinguished by Sub: both must apply.
+	e.Apply(deliver(1, Op{Kind: OpPut, Key: []byte("a"), Val: []byte("1")}, 5, 0))
+	e.Apply(deliver(2, Op{Kind: OpPut, Key: []byte("b"), Val: []byte("2")}, 5, 1))
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+}
+
+func TestEngineOwnership(t *testing.T) {
+	var resp Resp
+	e := NewEngine(EngineConfig{
+		Group:    1,
+		Owns:     func(key []byte) bool { return key[0] == 'b' },
+		OnResult: func(r Resp) { resp = r },
+	})
+	txn := Op{Kind: OpTxn, Subs: []Op{
+		{Kind: OpPut, Key: []byte("a1"), Val: []byte("x")},
+		{Kind: OpPut, Key: []byte("b1"), Val: []byte("y")},
+	}}
+	e.Apply(deliver(1, txn, 1, 0, 0, 1))
+	if resp.Results[0].Owned || !resp.Results[1].Owned {
+		t.Fatalf("ownership flags %+v", resp.Results)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("engine stored %d keys, want only the owned one", e.Len())
+	}
+}
+
+// memPersist collects app records like a WAL would.
+type memPersist struct {
+	snap []byte
+	log  [][]byte
+}
+
+func (p *memPersist) AppendAppState(recs ...[]byte) error {
+	for _, r := range recs {
+		p.log = append(p.log, append([]byte(nil), r...))
+	}
+	return nil
+}
+
+func (p *memPersist) SaveAppSnapshot(snap []byte) error {
+	p.snap = append([]byte(nil), snap...)
+	p.log = nil
+	return nil
+}
+
+func TestEngineSnapshotRecoverRoundTrip(t *testing.T) {
+	p := &memPersist{}
+	e := NewEngine(EngineConfig{Group: 0, Persist: p, SnapshotEvery: 3})
+	for i := uint32(0); i < 7; i++ {
+		op := Op{Kind: OpPut, Key: []byte(fmt.Sprintf("k%d", i)), Val: []byte(fmt.Sprintf("v%d", i))}
+		e.Apply(deliver(i+1, op, uint64(i+1), 0))
+	}
+	// 7 ops, snapshot every 3: snapshot at op 6, one logged record after.
+	if p.snap == nil || len(p.log) != 1 {
+		t.Fatalf("persist state: snap=%v logs=%d", p.snap != nil, len(p.log))
+	}
+
+	// A replica restart also replays committed-but-unlogged deliveries.
+	replay := []mcast.Delivery{
+		deliver(7, Op{Kind: OpPut, Key: []byte("k6"), Val: []byte("v6")}, 7, 0), // duplicate of logged tail
+		deliver(8, Op{Kind: OpDelete, Key: []byte("k0")}, 8, 0),                 // beyond the log
+	}
+	r := NewEngine(EngineConfig{Group: 0, Persist: p})
+	if err := r.Recover(p.snap, p.log, replay); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 6 { // 7 puts, one deleted
+		t.Fatalf("recovered %d keys, want 6", r.Len())
+	}
+	if _, ok := r.Get([]byte("k0")); ok {
+		t.Fatal("k0 survived its replayed delete")
+	}
+	if gts, _ := r.Frontier(); gts.Time != 8 {
+		t.Fatalf("recovered frontier %v, want time 8", gts)
+	}
+	// The replayed-but-unlogged delete was re-logged for the next crash.
+	if len(p.log) != 2 {
+		t.Fatalf("replay re-logging left %d records, want 2", len(p.log))
+	}
+
+	if e2 := NewEngine(EngineConfig{Group: 0}); func() bool {
+		if err := e2.Recover(p.snap, p.log, nil); err != nil {
+			t.Fatal(err)
+		}
+		return e2.Digest() != r.Digest()
+	}() {
+		t.Fatal("digest mismatch after second recovery")
+	}
+}
+
+func TestEngineDigestMatchesAcrossOrderEquivalentReplicas(t *testing.T) {
+	ops := []mcast.Delivery{
+		deliver(1, Op{Kind: OpPut, Key: []byte("x"), Val: []byte("1")}, 1, 0),
+		deliver(2, Op{Kind: OpPut, Key: []byte("y"), Val: []byte("2")}, 2, 0),
+		deliver(3, Op{Kind: OpDelete, Key: []byte("x")}, 3, 0),
+	}
+	a, b := NewEngine(EngineConfig{Group: 0}), NewEngine(EngineConfig{Group: 0})
+	for _, d := range ops {
+		a.Apply(d)
+		b.Apply(d)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("same history, different digests")
+	}
+	b.Apply(deliver(4, Op{Kind: OpPut, Key: []byte("z"), Val: []byte("3")}, 4, 0))
+	if a.Digest() == b.Digest() {
+		t.Fatal("different histories, same digest")
+	}
+}
+
+func TestCheckerCatchesViolations(t *testing.T) {
+	ap := func(id uint32, time uint64, dest ...mcast.GroupID) Applied {
+		return Applied{ID: mcast.MakeMsgID(1, id), GTS: mcast.Timestamp{Time: time}, Dest: mcast.NewGroupSet(dest...)}
+	}
+	ok := []History{
+		{PID: 0, Group: 0, Log: []Applied{ap(1, 1, 0), ap(3, 3, 0, 1)}},
+		{PID: 1, Group: 0, Log: []Applied{ap(1, 1, 0), ap(3, 3, 0, 1)}},
+		{PID: 2, Group: 1, Log: []Applied{ap(2, 2, 1), ap(3, 3, 0, 1)}},
+	}
+	if err := Check(ok, true); err != nil {
+		t.Fatalf("valid histories rejected: %v", err)
+	}
+
+	cases := map[string][]History{
+		"order violation": {
+			{PID: 0, Group: 0, Log: []Applied{ap(3, 3, 0), ap(1, 1, 0)}},
+		},
+		"double apply": {
+			{PID: 0, Group: 0, Log: []Applied{ap(1, 1, 0), ap(1, 1, 0)}},
+		},
+		"stamp disagreement": {
+			{PID: 0, Group: 0, Log: []Applied{ap(3, 3, 0, 1)}},
+			{PID: 2, Group: 1, Log: []Applied{ap(3, 4, 0, 1)}},
+		},
+		"prefix divergence": {
+			{PID: 0, Group: 0, Log: []Applied{ap(1, 1, 0), ap(2, 2, 0)}},
+			{PID: 1, Group: 0, Log: []Applied{ap(1, 1, 0), ap(4, 4, 0)}},
+		},
+		"misrouted": {
+			{PID: 0, Group: 0, Log: []Applied{ap(1, 1, 1)}},
+		},
+		"digest divergence": {
+			{PID: 0, Group: 0, Log: []Applied{ap(1, 1, 0)}, Digest: 7},
+			{PID: 1, Group: 0, Log: []Applied{ap(1, 1, 0)}, Digest: 8},
+		},
+	}
+	for name, hs := range cases {
+		if err := Check(hs, false); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// A multi-shard op applied at only one of its shards is the atomicity
+	// failure; only the complete check can flag it.
+	partial := []History{
+		{PID: 0, Group: 0, Log: []Applied{ap(3, 3, 0, 1)}},
+		{PID: 2, Group: 1, Log: nil},
+	}
+	if err := Check(partial, false); err != nil {
+		t.Fatalf("in-flight txn flagged by incomplete check: %v", err)
+	}
+	if err := Check(partial, true); err == nil {
+		t.Error("non-atomic txn accepted by complete check")
+	}
+}

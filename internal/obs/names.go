@@ -83,6 +83,27 @@ const (
 	// MetricTornTails counts torn WAL tails detected and truncated at
 	// recovery.
 	MetricTornTails = "wbcast_wal_torn_tails_total"
+
+	// MetricKVOps counts key-value operations completed by a kv client,
+	// labelled {op="get|put|delete|txn"}.
+	MetricKVOps = "wbcast_kv_ops_total"
+	// MetricKVOpLatency is the kv client's submit-to-complete operation
+	// latency histogram, labelled {dests="single|multi"} — the cross-shard
+	// penalty the paper's evaluation measures, as a live metric.
+	MetricKVOpLatency = "wbcast_kv_op_latency_seconds"
+	// MetricKVApplied counts operations applied by a kv shard engine (one
+	// per delivery the engine consumed and executed).
+	MetricKVApplied = "wbcast_kv_applied_total"
+	// MetricKVKeys is the number of keys currently stored by a kv shard
+	// engine.
+	MetricKVKeys = "wbcast_kv_keys"
+	// MetricKVReplayed counts operations a kv shard engine re-applied at
+	// recovery (snapshot records, app-log records and protocol replay).
+	MetricKVReplayed = "wbcast_kv_replayed_total"
+	// MetricKVDuplicates counts deliveries a kv shard engine skipped as
+	// duplicates (at or below its applied frontier) — nonzero only across
+	// recovery replays.
+	MetricKVDuplicates = "wbcast_kv_duplicates_total"
 )
 
 // Lifecycle stages recorded by the tracer and keyed into the stage

@@ -37,6 +37,15 @@ const (
 	// EntryPaxosCmd records one Paxos log slot (vote ballot, command,
 	// committed flag) — logged before the P2b or Learn it backs.
 	EntryPaxosCmd
+	// EntryApp records one opaque application-state record appended by a
+	// service layered on the replica (kv shard engines append their redo
+	// records here, through Replica.AppendAppState): the application's own
+	// log, riding in the same WAL and covered by the same Sync boundary.
+	EntryApp
+	// EntryAppSnapshot replaces the application snapshot and clears the
+	// accumulated application log (Replica.SaveAppSnapshot) — the
+	// application-level analog of EntryState.
+	EntryAppSnapshot
 )
 
 // Entry is one durable state transition. Which fields are meaningful
@@ -70,6 +79,10 @@ type Entry struct {
 	Slot      uint64
 	Cmd       msgs.Command
 	Committed bool
+
+	// App — EntryApp (one application record), EntryAppSnapshot (the
+	// whole application snapshot). Opaque to the WAL.
+	App []byte
 }
 
 // appendEntry serialises e, appending to dst.
@@ -107,6 +120,9 @@ func appendEntry(dst []byte, e Entry) []byte {
 			dst = append(dst, 0)
 		}
 		dst = wire.AppendCommand(dst, e.Cmd)
+	case EntryApp, EntryAppSnapshot:
+		dst = wire.AppendUint(dst, uint64(len(e.App)))
+		dst = append(dst, e.App...)
 	}
 	return dst
 }
@@ -197,6 +213,17 @@ func decodeEntry(data []byte) (Entry, error) {
 		if e.Cmd, buf, err = wire.ConsumeCommand(buf); err != nil {
 			return e, err
 		}
+	case EntryApp, EntryAppSnapshot:
+		var n uint64
+		if n, buf, err = wire.ConsumeUint(buf); err != nil {
+			return e, err
+		}
+		if n > uint64(len(buf)) {
+			return e, fmt.Errorf("wal: app record of %d bytes exceeds %d remaining", n, len(buf))
+		}
+		e.App = make([]byte, n)
+		copy(e.App, buf[:n])
+		buf = buf[n:]
 	default:
 		return e, fmt.Errorf("wal: unknown entry kind %d", e.Kind)
 	}

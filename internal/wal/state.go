@@ -32,6 +32,12 @@ type State struct {
 	PaxosBal  mcast.Ballot
 	PaxosCBal mcast.Ballot
 	PaxosLog  map[uint64]PaxosSlot
+
+	// Application state (Replica.AppendAppState / SaveAppSnapshot): the
+	// service layer's last snapshot and the opaque records appended since.
+	// A kv shard engine recovers its store as AppSnapshot + AppLog.
+	AppSnapshot []byte
+	AppLog      [][]byte
 }
 
 // PaxosSlot is one durable Paxos log slot.
@@ -55,7 +61,8 @@ func (s *State) Empty() bool {
 	return s == nil ||
 		(s.Ballot.IsZero() && s.CBallot.IsZero() && s.Clock == 0 &&
 			len(s.Records) == 0 && s.MaxDelivered.IsZero() && s.LastDeliver.IsZero() &&
-			s.PaxosBal.IsZero() && s.PaxosCBal.IsZero() && len(s.PaxosLog) == 0)
+			s.PaxosBal.IsZero() && s.PaxosCBal.IsZero() && len(s.PaxosLog) == 0 &&
+			len(s.AppSnapshot) == 0 && len(s.AppLog) == 0)
 }
 
 // Apply folds one entry into the state. Anything retained from e is
@@ -93,6 +100,11 @@ func (s *State) Apply(e Entry) {
 		s.PaxosBal, s.PaxosCBal = e.Bal, e.CBal
 	case EntryPaxosCmd:
 		s.PaxosLog[e.Slot] = PaxosSlot{VBal: e.Bal, Cmd: e.Cmd.Clone(), Committed: e.Committed}
+	case EntryApp:
+		s.AppLog = append(s.AppLog, append([]byte(nil), e.App...))
+	case EntryAppSnapshot:
+		s.AppSnapshot = append([]byte(nil), e.App...)
+		s.AppLog = nil
 	}
 }
 
@@ -111,11 +123,23 @@ func (s *State) Clone() *State {
 		ps.Cmd = ps.Cmd.Clone()
 		out.PaxosLog[slot] = ps
 	}
+	if s.AppSnapshot != nil {
+		out.AppSnapshot = append([]byte(nil), s.AppSnapshot...)
+	}
+	if s.AppLog != nil {
+		out.AppLog = make([][]byte, len(s.AppLog))
+		for i, rec := range s.AppLog {
+			out.AppLog[i] = append([]byte(nil), rec...)
+		}
+	}
 	return &out
 }
 
-// stateVersion guards the snapshot layout.
-const stateVersion = 1
+// stateVersion guards the snapshot layout. Version 2 appended the
+// application-state section (AppSnapshot, AppLog); version-1 snapshots —
+// written before the kv service layer existed — still decode, with an
+// empty application section.
+const stateVersion = 2
 
 // Encode serialises the state deterministically (maps sorted by key),
 // appending to dst. Two equal states encode to identical bytes, which is
@@ -155,6 +179,13 @@ func (s *State) Encode(dst []byte) []byte {
 		}
 		dst = wire.AppendCommand(dst, ps.Cmd)
 	}
+	dst = wire.AppendUint(dst, uint64(len(s.AppSnapshot)))
+	dst = append(dst, s.AppSnapshot...)
+	dst = wire.AppendUint(dst, uint64(len(s.AppLog)))
+	for _, rec := range s.AppLog {
+		dst = wire.AppendUint(dst, uint64(len(rec)))
+		dst = append(dst, rec...)
+	}
 	return dst
 }
 
@@ -163,8 +194,9 @@ func DecodeState(data []byte) (*State, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wal: empty state")
 	}
-	if data[0] != stateVersion {
-		return nil, fmt.Errorf("wal: unknown state version %d", data[0])
+	version := data[0]
+	if version != 1 && version != stateVersion {
+		return nil, fmt.Errorf("wal: unknown state version %d", version)
 	}
 	buf := data[1:]
 	s := NewState()
@@ -228,6 +260,38 @@ func DecodeState(data []byte) (*State, error) {
 			return nil, err
 		}
 		s.PaxosLog[slot] = ps
+	}
+	if version >= 2 {
+		if n, buf, err = wire.ConsumeUint(buf); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(buf)) {
+			return nil, fmt.Errorf("wal: app snapshot of %d bytes exceeds %d remaining", n, len(buf))
+		}
+		if n > 0 {
+			s.AppSnapshot = make([]byte, n)
+			copy(s.AppSnapshot, buf[:n])
+		}
+		buf = buf[n:]
+		if n, buf, err = wire.ConsumeUint(buf); err != nil {
+			return nil, err
+		}
+		if n > maxLoadCount {
+			return nil, fmt.Errorf("wal: state of %d app records exceeds limit", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var sz uint64
+			if sz, buf, err = wire.ConsumeUint(buf); err != nil {
+				return nil, err
+			}
+			if sz > uint64(len(buf)) {
+				return nil, fmt.Errorf("wal: app record of %d bytes exceeds %d remaining", sz, len(buf))
+			}
+			rec := make([]byte, sz)
+			copy(rec, buf[:sz])
+			buf = buf[sz:]
+			s.AppLog = append(s.AppLog, rec)
+		}
 	}
 	if len(buf) != 0 {
 		return nil, fmt.Errorf("wal: %d trailing bytes after state", len(buf))

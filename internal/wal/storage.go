@@ -107,5 +107,9 @@ func cloneEntry(e Entry) Entry {
 	if e.Recs != nil {
 		out.Recs = msgs.CloneRecords(e.Recs)
 	}
+	if e.App != nil {
+		out.App = make([]byte, len(e.App))
+		copy(out.App, e.App)
+	}
 	return out
 }

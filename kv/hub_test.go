@@ -1,0 +1,97 @@
+package kv
+
+import (
+	"testing"
+
+	"wbcast"
+)
+
+func resp(id wbcast.MsgID, sub int, g wbcast.GroupID, results ...OpResult) Resp {
+	return Resp{ID: id, Sub: sub, Group: g, Results: results}
+}
+
+// TestHubDuplicateResponses covers the matcher's core contract: one
+// response per addressed shard completes the call, and duplicates — other
+// replicas of a group, or re-deliveries after a replica restart — fold in
+// idempotently without corrupting results.
+func TestHubDuplicateResponses(t *testing.T) {
+	h := newHub()
+	id := wbcast.MsgID(1)
+	dest := wbcast.NewGroupSet(0, 1)
+	c := h.register(id, dest)
+
+	h.dispatch(resp(id, 2, 0, OpResult{Owned: true, Found: true, Val: []byte("a")}, OpResult{}))
+	select {
+	case <-c.done:
+		t.Fatal("completed with one of two shards")
+	default:
+	}
+	// Two more replicas of group 0 answer; then a post-restart replay.
+	h.dispatch(resp(id, 2, 0, OpResult{Owned: true, Found: true, Val: []byte("a")}, OpResult{}))
+	h.dispatch(resp(id, 2, 0, OpResult{Owned: true, Found: true, Val: []byte("stale")}, OpResult{}))
+	h.dispatch(resp(id, 2, 1, OpResult{}, OpResult{Owned: true, Found: false}))
+	<-c.done
+
+	got := c.merge(dest, 2)
+	if string(got[0].Val) != "a" || !got[0].Owned {
+		t.Fatalf("position 0 = %+v; duplicate overwrote first response", got[0])
+	}
+	if !got[1].Owned || got[1].Found {
+		t.Fatalf("position 1 = %+v", got[1])
+	}
+	if c.sub != 2 {
+		t.Fatalf("recorded Sub %d, want 2", c.sub)
+	}
+	// The completed call is gone; stragglers land in pending, bounded.
+	h.dispatch(resp(id, 2, 1))
+	if len(h.calls) != 0 {
+		t.Fatal("completed call retained")
+	}
+}
+
+// TestHubEarlyResponse: with in-process engines, deliveries can beat the
+// waiter registration; responses buffered before register must complete
+// the call immediately.
+func TestHubEarlyResponse(t *testing.T) {
+	h := newHub()
+	id := wbcast.MsgID(7)
+	h.dispatch(resp(id, 0, 0, OpResult{Owned: true, Found: true, Val: []byte("v")}))
+	c := h.register(id, wbcast.NewGroupSet(0))
+	select {
+	case <-c.done:
+	default:
+		t.Fatal("early response not drained at register")
+	}
+	if got := c.merge(wbcast.NewGroupSet(0), 1); string(got[0].Val) != "v" {
+		t.Fatalf("merged %+v", got)
+	}
+}
+
+// TestHubPendingEviction: orphaned responses age out FIFO instead of
+// growing without bound.
+func TestHubPendingEviction(t *testing.T) {
+	h := newHub()
+	for i := 0; i < maxPending+10; i++ {
+		h.dispatch(resp(wbcast.MsgID(i), 0, 0))
+	}
+	if len(h.pending) != maxPending || len(h.order) != maxPending {
+		t.Fatalf("pending %d / order %d, want %d", len(h.pending), len(h.order), maxPending)
+	}
+	if _, ok := h.pending[wbcast.MsgID(0)]; ok {
+		t.Fatal("oldest orphan survived eviction")
+	}
+}
+
+// TestHubCancel: a cancelled call never completes and its id is released.
+func TestHubCancel(t *testing.T) {
+	h := newHub()
+	id := wbcast.MsgID(3)
+	c := h.register(id, wbcast.NewGroupSet(0))
+	h.cancel(id)
+	h.dispatch(resp(id, 0, 0))
+	select {
+	case <-c.done:
+		t.Fatal("cancelled call completed")
+	default:
+	}
+}

@@ -1,0 +1,284 @@
+package kv
+
+import (
+	"fmt"
+
+	"wbcast"
+	"wbcast/internal/kvstore"
+	"wbcast/internal/obs"
+)
+
+// Operation types, re-exported from the engine so callers never import
+// internal packages (the same aliasing idiom the root package uses for
+// mcast types).
+type (
+	// Op is one key-value operation; see the OpGet..OpTxn kinds.
+	Op = kvstore.Op
+	// OpKind identifies an operation kind.
+	OpKind = kvstore.OpKind
+	// OpResult is the outcome of one single-key operation.
+	OpResult = kvstore.OpResult
+	// Resp is a shard engine's response to one applied operation.
+	Resp = kvstore.Resp
+	// Applied is one entry of a shard engine's applied history.
+	Applied = kvstore.Applied
+)
+
+// The operation kinds.
+const (
+	// OpGet reads Key.
+	OpGet = kvstore.OpGet
+	// OpPut writes Val under Key.
+	OpPut = kvstore.OpPut
+	// OpDelete removes Key.
+	OpDelete = kvstore.OpDelete
+	// OpTxn applies Subs atomically (built by Client.Txn; Subs must be
+	// single-key operations).
+	OpTxn = kvstore.OpTxn
+)
+
+// ShardOptions configures one shard engine attached to one replica.
+type ShardOptions struct {
+	// Shards is the total number of shards (the cluster's group count).
+	// Required.
+	Shards int
+	// Partitioner maps keys to shards (default HashPartitioner). It must
+	// equal the clients'.
+	Partitioner Partitioner
+	// Persist logs applied state through the replica's WAL (Config.Storage)
+	// and recovers it on restart. Without it the engine rebuilds from the
+	// protocol replay only.
+	Persist bool
+	// SnapshotEvery compacts the app log after that many applied ops
+	// (0 disables; meaningful only with Persist).
+	SnapshotEvery int
+	// RecordApplied retains the applied history for Verify. Tests only.
+	RecordApplied bool
+	// Buffer is the delivery-subscription depth (default 1024). The
+	// subscription uses the lossless Backpressure policy: a state machine
+	// must see every delivery.
+	Buffer int
+	// OnResult receives every applied operation's outcome (the Service
+	// wires this to its response hub).
+	OnResult func(Resp)
+}
+
+// Shard is one replica's engine for one shard of the keyspace, consuming
+// the replica's delivery subscription. Created by AttachShard (one-replica
+// processes) or NewService (whole-cluster hosts).
+type Shard struct {
+	eng   *kvstore.Engine
+	sub   *wbcast.Subscription
+	reg   *obs.Registry
+	group wbcast.GroupID
+	pid   wbcast.ProcessID
+	done  chan struct{}
+}
+
+// AttachShard builds the shard engine for replica r: it recovers any
+// durable application state (snapshot, app log, and the protocol's replay
+// of committed-but-unlogged deliveries), subscribes to r's deliveries, and
+// applies them on a background goroutine until the subscription closes.
+// Attach exactly one engine per replica, before the replica starts
+// receiving traffic the engine must observe.
+func AttachShard(r *wbcast.Replica, opts ShardOptions) (*Shard, error) {
+	if opts.Shards <= 0 {
+		return nil, fmt.Errorf("kv: ShardOptions.Shards must be positive, got %d", opts.Shards)
+	}
+	part := opts.Partitioner
+	if part == nil {
+		part = HashPartitioner{}
+	}
+	g := r.Group()
+	reg := obs.NewRegistry(fmt.Sprintf(`proc="%d"`, r.ID()))
+	var persist kvstore.Persister
+	if opts.Persist {
+		persist = r
+	}
+	eng := kvstore.NewEngine(kvstore.EngineConfig{
+		Group: g,
+		PID:   r.ID(),
+		Owns: func(key []byte) bool {
+			return part.Shard(key, opts.Shards) == int(g)
+		},
+		OnResult:      opts.OnResult,
+		Persist:       persist,
+		SnapshotEvery: opts.SnapshotEvery,
+		RecordApplied: opts.RecordApplied,
+		Registry:      reg,
+	})
+	rs := r.RecoveredAppState()
+	if err := eng.Recover(rs.Snapshot, rs.Log, rs.Replay); err != nil {
+		return nil, fmt.Errorf("kv: shard %d recovery: %w", g, err)
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	s := &Shard{eng: eng, reg: reg, group: g, pid: r.ID(), done: make(chan struct{})}
+	s.sub = r.Subscribe(buffer, wbcast.Backpressure)
+	go func() {
+		defer close(s.done)
+		eng.Run(s.sub.C())
+	}()
+	return s, nil
+}
+
+// Group returns the shard (multicast group) this engine executes.
+func (s *Shard) Group() wbcast.GroupID { return s.group }
+
+// Digest hashes the shard replica's state; replicas of one shard that
+// applied the same prefix have equal digests.
+func (s *Shard) Digest() uint64 { return s.eng.Digest() }
+
+// Frontier returns the global position (GTS, Sub) of the last applied
+// delivery.
+func (s *Shard) Frontier() (wbcast.Timestamp, int) { return s.eng.Frontier() }
+
+// Counters returns the applied / replayed / duplicate operation counts.
+func (s *Shard) Counters() (applied, replayed, duplicates uint64) { return s.eng.Counters() }
+
+// AppliedLog returns the applied history (requires RecordApplied).
+func (s *Shard) AppliedLog() []Applied { return s.eng.AppliedLog() }
+
+// Get reads a key from this replica's local state, bypassing the ordering
+// layer — a dirty read for status endpoints and tests; use Client.Get for
+// ordered reads.
+func (s *Shard) Get(key []byte) ([]byte, bool) { return s.eng.Get(key) }
+
+// Len returns the number of keys this shard replica stores.
+func (s *Shard) Len() int { return s.eng.Len() }
+
+// Err returns the engine's first persistence or decode failure, if any.
+func (s *Shard) Err() error { return s.eng.Err() }
+
+// MetricsSource exposes the shard's kv_* metrics for ServeMetrics.
+func (s *Shard) MetricsSource() wbcast.MetricsSource { return wbcast.NewAppSource(s.reg) }
+
+// Close unsubscribes from the replica and waits for the apply loop to
+// drain. The engine's state remains readable.
+func (s *Shard) Close() {
+	s.sub.Close()
+	<-s.done
+}
+
+// Options configures a Service.
+type Options struct {
+	// Partitioner maps keys to shards (default HashPartitioner).
+	Partitioner Partitioner
+	// Persist, SnapshotEvery, RecordApplied and Buffer apply to every
+	// shard engine; see ShardOptions.
+	Persist       bool
+	SnapshotEvery int
+	RecordApplied bool
+	Buffer        int
+}
+
+// Service runs the key-value state machine over a whole cluster hosted in
+// this process: one shard engine per replica, one response hub shared by
+// the clients it creates. Each multicast group of the cluster is one shard
+// of the keyspace.
+type Service struct {
+	cluster *wbcast.Cluster
+	part    Partitioner
+	shards  int
+	hub     *hub
+	reps    []*Shard
+}
+
+// NewService attaches shard engines to every replica of c. Create the
+// Service before submitting kv traffic, so no engine misses a delivery.
+func NewService(c *wbcast.Cluster, opts Options) (*Service, error) {
+	part := opts.Partitioner
+	if part == nil {
+		part = HashPartitioner{}
+	}
+	s := &Service{cluster: c, part: part, shards: c.NumGroups(), hub: newHub()}
+	for _, r := range c.Replicas() {
+		sh, err := AttachShard(r, ShardOptions{
+			Shards:        s.shards,
+			Partitioner:   part,
+			Persist:       opts.Persist,
+			SnapshotEvery: opts.SnapshotEvery,
+			RecordApplied: opts.RecordApplied,
+			Buffer:        opts.Buffer,
+			OnResult:      s.hub.dispatch,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.reps = append(s.reps, sh)
+	}
+	return s, nil
+}
+
+// NewClient creates a key-value client backed by a new multicast client of
+// the underlying cluster.
+func (s *Service) NewClient() (*Client, error) {
+	cl, err := s.cluster.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return newClient(cl, s.part, s.shards, s.hub), nil
+}
+
+// NumShards returns the number of shards (the cluster's group count).
+func (s *Service) NumShards() int { return s.shards }
+
+// Partitioner returns the key-placement function the service was built
+// with.
+func (s *Service) Partitioner() Partitioner { return s.part }
+
+// Replicas returns every attached shard engine (cluster replica order).
+func (s *Service) Replicas() []*Shard { return append([]*Shard(nil), s.reps...) }
+
+// Err returns the first engine failure across the service, if any.
+func (s *Service) Err() error {
+	for _, sh := range s.reps {
+		if err := sh.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks the shard histories against the service's correctness
+// contract — per-replica delivery order, one global stamp per operation,
+// intra-shard prefix consistency with matching digests, and (with
+// complete, once traffic has quiesced) multi-shard transaction atomicity.
+// Requires Options.RecordApplied. The chaos harness calls this after every
+// seeded run.
+func (s *Service) Verify(complete bool) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	hs := make([]kvstore.History, 0, len(s.reps))
+	for _, sh := range s.reps {
+		hs = append(hs, kvstore.History{
+			PID:    sh.pid,
+			Group:  sh.group,
+			Log:    sh.AppliedLog(),
+			Digest: sh.Digest(),
+		})
+	}
+	return kvstore.Check(hs, complete)
+}
+
+// MetricsSource bundles every shard engine's kv_* metrics for
+// ServeMetrics (clients expose their own via Client.MetricsSource).
+func (s *Service) MetricsSource() wbcast.MetricsSource {
+	regs := make([]*obs.Registry, 0, len(s.reps))
+	for _, sh := range s.reps {
+		regs = append(regs, sh.reg)
+	}
+	return wbcast.NewAppSource(regs...)
+}
+
+// Close detaches every shard engine. It does not close the underlying
+// cluster.
+func (s *Service) Close() {
+	for _, sh := range s.reps {
+		sh.Close()
+	}
+}

@@ -21,6 +21,29 @@ type MetricsSource interface {
 func (r *Replica) obsRegistries() []*obs.Registry { return []*obs.Registry{r.reg} }
 func (cl *Client) obsRegistries() []*obs.Registry { return []*obs.Registry{cl.reg} }
 
+// appSource adapts registries owned by application layers built inside
+// this module (package kv's shard engines and clients) into a
+// MetricsSource; see NewAppSource.
+type appSource struct{ regs []*obs.Registry }
+
+func (s *appSource) obsRegistries() []*obs.Registry { return s.regs }
+
+// NewAppSource bundles metric registries into a MetricsSource so
+// application layers built in this module (package kv) can join a
+// ServeMetrics endpoint next to the protocol's own metrics. The registry
+// type lives in an internal package, so external modules use the sources
+// those layers expose (e.g. kv.Service.MetricsSource) rather than calling
+// this directly.
+func NewAppSource(regs ...*obs.Registry) MetricsSource {
+	kept := make([]*obs.Registry, 0, len(regs))
+	for _, r := range regs {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	return &appSource{regs: kept}
+}
+
 func (c *Cluster) obsRegistries() []*obs.Registry {
 	regs := make([]*obs.Registry, 0, len(c.replicas))
 	for _, r := range c.replicas {

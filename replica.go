@@ -2,9 +2,12 @@ package wbcast
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
+	"wbcast/internal/batch"
 	"wbcast/internal/mcast"
+	"wbcast/internal/msgs"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
 	"wbcast/internal/wal"
@@ -21,6 +24,7 @@ type Replica struct {
 	tr    Transport
 	reg   *obs.Registry  // nil when Observability.Disabled
 	store *lockedStorage // nil without Config.Storage
+	app   AppState       // application state recovered at construction
 
 	mu     sync.Mutex
 	subs   []*Subscription
@@ -103,6 +107,13 @@ func newReplicaOn(cfg Config, top *mcast.Topology, pid ProcessID) (*Replica, err
 		return nil, err
 	}
 	r := &Replica{cfg: cfg, top: top, pid: pid, tr: cfg.Transport, reg: reg, store: store}
+	if rs != nil {
+		r.app = AppState{
+			Snapshot: rs.AppSnapshot,
+			Log:      rs.AppLog,
+			Replay:   appReplay(rs, top.GroupOf(pid)),
+		}
+	}
 	// Subscription drops join the registry as a view over the
 	// subscriptions' own counters — the same numbers Stats reports.
 	reg.RegisterFunc(obs.MetricDeliveriesDropped, "deliveries discarded by full subscriptions", obs.KindCounter,
@@ -265,6 +276,95 @@ func (r *Replica) Shutdown() error {
 		}
 	})
 	return err
+}
+
+// AppState is the application-level durable state a Replica recovered from
+// its Storage: what a service layered on the replica (a kv shard engine)
+// needs to rebuild its own state machine after a crash.
+type AppState struct {
+	// Snapshot is the last application snapshot saved with SaveAppSnapshot
+	// (nil when none was ever saved).
+	Snapshot []byte
+	// Log holds the application records appended with AppendAppState since
+	// that snapshot, in append order.
+	Log [][]byte
+	// Replay holds the protocol's own record of deliveries this replica
+	// had already exposed before the crash (committed records addressed to
+	// its group with GTS at or below the durable delivery frontier), in
+	// delivery order. The protocol logs its frontier before releasing a
+	// delivery and never re-delivers behind it after a restart, so any
+	// delivery the application applied but had not itself persisted when
+	// the process died appears here and nowhere else. Applications replay
+	// the suffix past their own recovered position. Replay is populated
+	// from the white-box protocol's message records; records already
+	// garbage-collected (DisableGC unset) are not recoverable this way —
+	// services that persist every applied record before acknowledging only
+	// need Replay for the unacknowledged tail.
+	Replay []Delivery
+}
+
+// RecoveredAppState returns the application-level state recovered from the
+// replica's Storage at construction. Without Config.Storage (or on a cold
+// store) every field is empty.
+func (r *Replica) RecoveredAppState() AppState { return r.app }
+
+// AppendAppState appends application records to the replica's durable
+// store and syncs them: when it returns nil, the records survive a crash
+// and come back through RecoveredAppState.Log (or folded into the next
+// snapshot). Records are opaque to the library. Callers batch records per
+// call to amortise the fsync. Without Config.Storage it is a no-op.
+func (r *Replica) AppendAppState(recs ...[]byte) error {
+	if r.store == nil || len(recs) == 0 {
+		return nil
+	}
+	entries := make([]wal.Entry, len(recs))
+	for i, rec := range recs {
+		entries[i] = wal.Entry{Kind: wal.EntryApp, App: rec}
+	}
+	if err := r.store.Append(entries...); err != nil {
+		return err
+	}
+	return r.store.Sync()
+}
+
+// SaveAppSnapshot replaces the application snapshot in the replica's
+// durable store: the snapshot supersedes every record appended so far
+// (RecoveredAppState.Log restarts empty after it), and the store is asked
+// to compact its WAL. Without Config.Storage it is a no-op.
+func (r *Replica) SaveAppSnapshot(snap []byte) error {
+	if r.store == nil {
+		return nil
+	}
+	if err := r.store.Append(wal.Entry{Kind: wal.EntryAppSnapshot, App: snap}); err != nil {
+		return err
+	}
+	if err := r.store.Sync(); err != nil {
+		return err
+	}
+	return r.store.Snapshot()
+}
+
+// appReplay reconstructs the deliveries replica group g had already
+// exposed before a crash, from the protocol's durable message records:
+// committed records addressed to g with GTS at or below the durable
+// delivery frontier, in (GTS, Sub) order, with batch envelopes unpacked
+// into their per-payload deliveries exactly as the live path does.
+func appReplay(rs *wal.State, g GroupID) []Delivery {
+	if rs == nil || len(rs.Records) == 0 || rs.LastDeliver.IsZero() {
+		return nil
+	}
+	var ds []Delivery
+	for _, rec := range rs.Records {
+		if rec.Phase != msgs.PhaseCommitted || rec.GTS.IsZero() {
+			continue
+		}
+		if !rec.M.Dest.Contains(g) || rs.LastDeliver.Less(rec.GTS) {
+			continue
+		}
+		ds = append(ds, batch.Expand(mcast.Delivery{Msg: rec.M.Clone(), GTS: rec.GTS})...)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Before(ds[j]) })
+	return ds
 }
 
 func (r *Replica) closeSubs() {

@@ -13,8 +13,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
 
-# --- 1. exported identifiers in the public package are documented --------
-for f in *.go; do
+# --- 1. exported identifiers in the public packages are documented -------
+# Root package plus every other non-internal library package (kv).
+for f in *.go kv/*.go; do
   case "$f" in *_test.go) continue ;; esac
   # An exported declaration line whose preceding line is not a comment or
   # a group opener ("const (", "var (") is undocumented.
@@ -33,7 +34,9 @@ for f in *.go; do
 done
 
 # --- 2. every internal package has a doc.go with a package comment -------
-for d in internal/*/; do
+# Including nested packages (internal/kvstore/workload).
+for d in $(find internal -type d); do
+  ls "$d"/*.go >/dev/null 2>&1 || continue
   pkg=$(basename "$d")
   if [ ! -f "$d/doc.go" ] && ! grep -lq "^// Package $pkg" "$d"/*.go; then
     echo "$d: no doc.go or package comment"

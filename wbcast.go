@@ -78,6 +78,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/skeen"
 	"wbcast/internal/wal"
 )
 
@@ -117,6 +118,12 @@ const (
 	FastCast
 	// FTSkeen is the classical black-box baseline: 6δ / 12δ.
 	FTSkeen
+	// Skeen is the original non-fault-tolerant protocol of Skeen (4δ): it
+	// assumes reliable processes, requires singleton groups (Replicas must
+	// be 1) and ignores Config.Storage. It is the latency floor the paper's
+	// baselines are measured against; production deployments use the
+	// fault-tolerant protocols above.
+	Skeen
 )
 
 // String returns the protocol's canonical name, accepted by
@@ -129,13 +136,15 @@ func (p Protocol) String() string {
 		return "fastcast"
 	case FTSkeen:
 		return "ftskeen"
+	case Skeen:
+		return "skeen"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
 }
 
-// ParseProtocol resolves a protocol name — "wbcast", "fastcast" or
-// "ftskeen" — to its Protocol value. Command-line tools use it so the
+// ParseProtocol resolves a protocol name — "wbcast", "fastcast", "ftskeen"
+// or "skeen" — to its Protocol value. Command-line tools use it so the
 // accepted names match Protocol.String.
 func ParseProtocol(name string) (Protocol, error) {
 	switch name {
@@ -145,8 +154,10 @@ func ParseProtocol(name string) (Protocol, error) {
 		return FastCast, nil
 	case "ftskeen":
 		return FTSkeen, nil
+	case "skeen":
+		return Skeen, nil
 	default:
-		return 0, fmt.Errorf("wbcast: unknown protocol %q (want wbcast, fastcast or ftskeen)", name)
+		return 0, fmt.Errorf("wbcast: unknown protocol %q (want wbcast, fastcast, ftskeen or skeen)", name)
 	}
 }
 
@@ -227,6 +238,17 @@ const (
 	MetricClientE2E = obs.MetricClientE2E
 	// MetricDeliveries counts protocol-level deliveries at a replica.
 	MetricDeliveries = obs.MetricDeliveries
+	// MetricKVOps counts kv client operations, labelled
+	// {op="get|put|delete|txn"}.
+	MetricKVOps = obs.MetricKVOps
+	// MetricKVOpLatency is the kv client operation latency histogram,
+	// labelled {dests="single|multi"}.
+	MetricKVOpLatency = obs.MetricKVOpLatency
+	// MetricKVApplied counts operations applied by a kv shard engine.
+	MetricKVApplied = obs.MetricKVApplied
+	// MetricKVReplayed counts operations a kv shard engine re-applied at
+	// recovery.
+	MetricKVReplayed = obs.MetricKVReplayed
 )
 
 // MergeMetrics folds many per-process snapshots into one: counters and
@@ -363,6 +385,10 @@ func (cfg Config) normalized() (Config, error) {
 	}
 	switch cfg.Protocol {
 	case WhiteBox, FastCast, FTSkeen:
+	case Skeen:
+		if cfg.Replicas != 1 {
+			return cfg, fmt.Errorf("wbcast: the skeen protocol requires singleton groups (Replicas must be 1, got %d); use ftskeen for replicated groups", cfg.Replicas)
+		}
 	default:
 		return cfg, fmt.Errorf("wbcast: unknown protocol %v", cfg.Protocol)
 	}
@@ -459,6 +485,11 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.
 			fc.RetryInterval, fc.HeartbeatInterval, fc.SuspectTimeout = 0, 0, 0
 		}
 		return ftskeen.New(fc)
+	case Skeen:
+		// Skeen's protocol assumes reliable processes: no timers, no
+		// durable state — rs is ignored (Config.Storage still records the
+		// app-level entries of services layered on the replica).
+		return skeen.New(pid, top)
 	default:
 		return nil, fmt.Errorf("wbcast: unknown protocol %v", cfg.Protocol)
 	}
