@@ -78,6 +78,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,6 +102,7 @@ func main() {
 		dests      = flag.String("dest", "1,2,4", "comma-separated destination-group counts ('all' = every group; multicast workload only)")
 		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warm-up window per point")
 		measure    = flag.Duration("measure", 2*time.Second, "measurement window per point")
+		duration   = flag.Duration("duration", 0, "alias for -measure (CI smoke runs)")
 		payload    = flag.Int("payload", 20, "payload size in bytes (the paper uses 20; multicast workload only)")
 		seed       = flag.Int64("seed", 1, "seed for destination-group and workload choices")
 		jsonOut    = flag.String("json", "", "also record the sweep's points as JSON in this file")
@@ -124,8 +127,46 @@ func main() {
 		storageDir  = flag.String("storage-dir", "", "root for -storage disk (default: a fresh temp dir per point, removed afterwards)")
 		syncPolicy  = flag.String("sync", "always", "disk fsync policy: always, batched or none")
 		syncBatch   = flag.Int("sync-batch", 8, "fsync period under -sync batched")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
 	flag.Parse()
+	if *duration > 0 {
+		*measure = *duration
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wbcast-bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("# wrote CPU profile %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wbcast-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wbcast-bench: memprofile:", err)
+				return
+			}
+			fmt.Printf("# wrote heap profile %s\n", *memProfile)
+		}()
+	}
 
 	var batching *wbcast.Batching
 	if *batchMsgs > 0 || *batchBytes > 0 || *batchDelay > 0 {

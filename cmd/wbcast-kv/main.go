@@ -84,9 +84,10 @@ func main() {
 	if *dataDir != "" {
 		cfg.Storage = wbcast.DirStorage(*dataDir)
 		// GC-pruned protocol records cannot be replayed into the engines on
-		// restart, so the durable deployment keeps them until the engine
-		// snapshot covers them (docs/KVSTORE.md).
-		cfg.DisableGC = true
+		// restart, so pruning is gated on the engines' durability horizon:
+		// each shard engine raises it as applied state reaches its log, and
+		// the protocol never prunes above it (docs/KVSTORE.md).
+		cfg.AppGCHorizon = true
 	}
 	cluster, err := wbcast.New(cfg)
 	if err != nil {

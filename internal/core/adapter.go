@@ -20,6 +20,9 @@ type Protocol struct {
 	SuspectTimeout    time.Duration
 	GCInterval        time.Duration
 	ColdStart         bool
+	// AppGCHorizon forwards Config.AppGCHorizon: pruning additionally
+	// waits for node.GCHorizon inputs raising the app durability horizon.
+	AppGCHorizon bool
 }
 
 // Name implements harness.Protocol.
@@ -49,6 +52,7 @@ func (p Protocol) NewReplicaStored(pid mcast.ProcessID, top *mcast.Topology, po 
 		SuspectTimeout:    p.SuspectTimeout,
 		GCInterval:        p.GCInterval,
 		ColdStart:         p.ColdStart,
+		AppGCHorizon:      p.AppGCHorizon,
 		Obs:               po,
 		Durable:           rs != nil,
 		Recovered:         rs,

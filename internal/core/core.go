@@ -83,6 +83,15 @@ type Config struct {
 	// existing catch-up paths (heartbeat-ack replay, state transfer) for
 	// whatever the log missed.
 	Recovered *wal.State
+	// AppGCHorizon, when true, additionally gates pruning on the
+	// application durability horizon raised by node.GCHorizon inputs: a
+	// delivered record is only discarded once its GTS is at or below the
+	// horizon. An application that replays the protocol's records at
+	// recovery (e.g. the kv engine) raises the horizon as its own
+	// snapshots advance, so GC can never outrun what the app has made
+	// durable in its own right. Until the first GCHorizon input arrives
+	// nothing is pruned.
+	AppGCHorizon bool
 }
 
 // DefaultConfig returns a production-style configuration for the given
@@ -179,6 +188,12 @@ type Replica struct {
 	lastAckWM map[mcast.ProcessID]mcast.Timestamp
 	// groupWM tracks every group's delivery watermark, fed by GCMark.
 	groupWM map[mcast.GroupID]mcast.Timestamp
+	// appHorizon is the application durability horizon (monotone, raised
+	// by node.GCHorizon inputs; only consulted when cfg.AppGCHorizon).
+	appHorizon mcast.Timestamp
+	// appHorizonSet records whether any GCHorizon input has arrived; with
+	// AppGCHorizon on, nothing is pruned before the first one.
+	appHorizonSet bool
 	// pruned counts messages garbage-collected at this replica.
 	pruned int
 }
@@ -302,6 +317,11 @@ func (r *Replica) Handle(in node.Input, fx *node.Effects) {
 		r.onRecv(in, fx)
 	case node.Timer:
 		r.onTimer(in, fx)
+	case node.GCHorizon:
+		if r.appHorizon.Less(in.TS) {
+			r.appHorizon = in.TS
+		}
+		r.appHorizonSet = true
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"wbcast/internal/core"
 	"wbcast/internal/harness"
 	"wbcast/internal/mcast"
+	"wbcast/internal/node"
 	"wbcast/internal/sim"
 )
 
@@ -39,6 +40,71 @@ func TestGarbageCollection(t *testing.T) {
 		}
 		if r.StateSize() != 0 {
 			t.Errorf("p%d still tracks %d messages after full GC", pid, r.StateSize())
+		}
+	}
+}
+
+// TestGCRespectsAppHorizon: with AppGCHorizon set, the watermark machinery
+// alone licenses nothing — pruning additionally waits for node.GCHorizon
+// inputs raising the application durability horizon, and never crosses it.
+func TestGCRespectsAppHorizon(t *testing.T) {
+	proto := core.Protocol{
+		RetryInterval:     30 * delta,
+		HeartbeatInterval: 3 * delta,
+		SuspectTimeout:    20 * delta,
+		GCInterval:        10 * delta,
+		AppGCHorizon:      true,
+	}
+	c, audit := newAuditedCluster(t, harness.Options{
+		Groups: 2, GroupSize: 3, NumClients: 2,
+		Latency: sim.Uniform(delta), Retry: 30 * delta, Seed: 7,
+	}, proto)
+	rng := rand.New(rand.NewSource(7))
+	c.RandomWorkload(rng, 40, 2, 300*time.Millisecond)
+	c.Sim.Run(5 * time.Second)
+	requireClean(t, c, audit, true)
+
+	// Several GC rounds have passed and every watermark covers every
+	// delivery, yet no replica has seen a horizon: nothing may be pruned.
+	for pid := mcast.ProcessID(0); int(pid) < c.Top.NumReplicas(); pid++ {
+		r := replica(c, pid)
+		if r.Pruned() != 0 {
+			t.Fatalf("p%d pruned %d messages before any GCHorizon input", pid, r.Pruned())
+		}
+		if r.StateSize() == 0 {
+			t.Fatalf("p%d tracks no delivered messages; test is vacuous", pid)
+		}
+	}
+
+	// A mid-stream horizon at one replica prunes exactly the records at or
+	// below it, and only there.
+	const pid0 = mcast.ProcessID(0)
+	recs := c.Sim.DeliveriesAt(pid0) // in delivery (= GTS) order
+	if len(recs) < 4 {
+		t.Fatalf("only %d deliveries at p0; test is vacuous", len(recs))
+	}
+	mid := recs[len(recs)/2].D.GTS
+	below := len(recs)/2 + 1 // GTSs are distinct within a group's projection
+	c.Sim.Inject(c.Sim.Now(), pid0, node.GCHorizon{TS: mid})
+	c.Sim.Run(c.Sim.Now() + 2*time.Second)
+	if got := replica(c, pid0).Pruned(); got != below {
+		t.Errorf("p0 pruned %d messages with horizon %v, want %d", got, mid, below)
+	}
+	if got := replica(c, 1).Pruned(); got != 0 {
+		t.Errorf("p1 pruned %d messages without a horizon of its own", got)
+	}
+
+	// Raising every replica's horizon above all deliveries releases the
+	// remaining records everywhere.
+	all := mcast.Timestamp{Time: ^uint64(0)}
+	for pid := mcast.ProcessID(0); int(pid) < c.Top.NumReplicas(); pid++ {
+		c.Sim.Inject(c.Sim.Now(), pid, node.GCHorizon{TS: all})
+	}
+	c.Sim.Run(c.Sim.Now() + 2*time.Second)
+	requireClean(t, c, audit, true)
+	for pid := mcast.ProcessID(0); int(pid) < c.Top.NumReplicas(); pid++ {
+		if n := replica(c, pid).StateSize(); n != 0 {
+			t.Errorf("p%d still tracks %d messages after full-horizon GC", pid, n)
 		}
 	}
 }

@@ -265,10 +265,20 @@ func (r *Replica) onPrune(m msgs.Prune, fx *node.Effects) {
 }
 
 func (r *Replica) prune(fx *node.Effects) {
+	// With an app-driven horizon, the application (which replays our
+	// records at recovery) bounds what may be discarded: nothing above
+	// its durability horizon, and nothing at all before the first
+	// GCHorizon input.
+	if r.cfg.AppGCHorizon && !r.appHorizonSet {
+		return
+	}
 	var pruned []mcast.MsgID
 	for id, st := range r.state {
 		if !st.delivered || !st.hasApp {
 			continue
+		}
+		if r.cfg.AppGCHorizon && r.appHorizon.Less(st.gts) {
+			continue // the app has not made this delivery durable yet
 		}
 		ok := true
 		for _, g := range st.app.Dest {

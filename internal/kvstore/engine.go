@@ -75,6 +75,15 @@ type EngineConfig struct {
 	// RecordApplied retains the full applied history for the checker.
 	// Tests only: the history grows without bound.
 	RecordApplied bool
+	// OnDurableFrontier, if non-nil, is invoked after a successful persist
+	// whenever the applied global timestamp advances, with the PREVIOUS
+	// timestamp: every delivery at or below it — including every sub-
+	// operation of a batch sharing that timestamp — is now in the app log,
+	// so the ordering layer no longer needs its records for recovery
+	// replay (wbcast.Replica.AdvanceGCHorizon). Called on the applying
+	// goroutine with the engine lock held; it must not call back into the
+	// engine. Only meaningful with Persist set.
+	OnDurableFrontier func(mcast.Timestamp)
 	// Registry, if non-nil, receives the engine's kv_* metrics.
 	Registry *obs.Registry
 }
@@ -158,6 +167,7 @@ func (e *Engine) after(d mcast.Delivery) bool {
 // redo record (and periodically compacted); a logging failure is recorded
 // in Err and reported as persisted == false. Callers hold e.mu.
 func (e *Engine) applyLocked(d mcast.Delivery, persist bool) (Resp, bool) {
+	prevGTS := e.lastGTS
 	op, err := DecodeOp(d.Msg.Payload)
 	if err != nil {
 		// Every replica sees the same bytes, so a decode failure is
@@ -201,6 +211,14 @@ func (e *Engine) applyLocked(d mcast.Delivery, persist bool) (Resp, bool) {
 				e.err = fmt.Errorf("kvstore: shard %d: persist %v: %w", e.cfg.Group, d.Msg.ID, err)
 			}
 			return resp, false
+		}
+		// The frontier moved past prevGTS and everything at prevGTS is
+		// now durably logged: deliveries arrive in (GTS, Sub) order, so
+		// a higher GTS proves all subs of the previous one were applied.
+		// d.GTS itself stays below the horizon — a later sub of the same
+		// batch may still be in flight.
+		if e.cfg.OnDurableFrontier != nil && prevGTS != d.GTS && !prevGTS.IsZero() {
+			e.cfg.OnDurableFrontier(prevGTS)
 		}
 		e.sinceSnap++
 		if e.cfg.SnapshotEvery > 0 && e.sinceSnap >= e.cfg.SnapshotEvery {

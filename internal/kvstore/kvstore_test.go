@@ -200,6 +200,47 @@ func TestEngineSnapshotRecoverRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEngineDurableFrontierHook pins the GC-horizon contract: the hook
+// fires with the PREVIOUS global timestamp only when the applied GTS
+// advances past it under a successful persist — never for further subs of
+// the same batch, never for the first timestamp (no predecessor), and
+// never on replayed recovery applies.
+func TestEngineDurableFrontierHook(t *testing.T) {
+	var horizons []mcast.Timestamp
+	p := &memPersist{}
+	e := NewEngine(EngineConfig{Group: 0, Persist: p,
+		OnDurableFrontier: func(ts mcast.Timestamp) { horizons = append(horizons, ts) }})
+
+	put := func(k string) Op { return Op{Kind: OpPut, Key: []byte(k), Val: []byte("v")} }
+	e.Apply(deliver(1, put("a"), 1, 0)) // first GTS: no predecessor, no hook
+	e.Apply(deliver(2, put("b"), 2, 0)) // GTS 1→2: horizon 1
+	e.Apply(deliver(2, put("c"), 2, 1)) // same GTS, next sub: no hook
+	e.Apply(deliver(3, put("d"), 5, 0)) // GTS 2→5: horizon 2 (all subs of 2 logged)
+	want := []mcast.Timestamp{{Time: 1, Group: 0}, {Time: 2, Group: 0}}
+	if len(horizons) != len(want) || horizons[0] != want[0] || horizons[1] != want[1] {
+		t.Fatalf("horizons = %v, want %v", horizons, want)
+	}
+
+	// Recovery replays (persist=false up to the re-log batch) must not
+	// raise the horizon: the records being replayed are the proof they
+	// were still needed.
+	horizons = nil
+	r := NewEngine(EngineConfig{Group: 0, Persist: p,
+		OnDurableFrontier: func(ts mcast.Timestamp) { horizons = append(horizons, ts) }})
+	if err := r.Recover(nil, p.log, []mcast.Delivery{deliver(4, put("e"), 6, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(horizons) != 0 {
+		t.Fatalf("recovery raised horizons %v, want none", horizons)
+	}
+	// The first live apply after recovery advances past everything
+	// recovered in one step.
+	r.Apply(deliver(5, put("f"), 9, 0))
+	if len(horizons) != 1 || horizons[0] != (mcast.Timestamp{Time: 6, Group: 0}) {
+		t.Fatalf("post-recovery horizons = %v, want [{6 0}]", horizons)
+	}
+}
+
 func TestEngineDigestMatchesAcrossOrderEquivalentReplicas(t *testing.T) {
 	ops := []mcast.Delivery{
 		deliver(1, Op{Kind: OpPut, Key: []byte("x"), Val: []byte("1")}, 1, 0),

@@ -8,6 +8,7 @@ import (
 	"wbcast/internal/mcast"
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
+	"wbcast/internal/ring"
 	"wbcast/internal/wal"
 )
 
@@ -19,12 +20,12 @@ type LatencyFunc func(from, to mcast.ProcessID) time.Duration
 type Config struct {
 	// Latency is the injected one-way delay; nil means no injection.
 	Latency LatencyFunc
-	// MailboxSize is the initial capacity of each process's input queue.
-	// Queues grow elastically (senders never block), so this is a
-	// pre-allocation hint, not a bound: in-flight load is limited by the
-	// closed-loop pacing of the submitters, and elastic queues make the
-	// blocking-channel deadlock (a cycle of processes stalled on each
-	// other's full mailboxes) impossible by construction.
+	// MailboxSize is the lock-free ring capacity of each process's input
+	// mailbox (internal/ring). Enqueues beyond it spill to an unbounded
+	// overflow, so senders never block: in-flight load is limited by the
+	// closed-loop pacing of the submitters, and non-blocking mailboxes
+	// make the blocking-channel deadlock (a cycle of processes stalled
+	// on each other's full mailboxes) impossible by construction.
 	MailboxSize int
 	// OnDeliver receives every application delivery; it is invoked from
 	// the delivering process's goroutine and must not block for long.
@@ -68,28 +69,23 @@ type proc struct {
 	crashed chan struct{}
 	crashMu sync.Once
 
-	// The input queue: an elastic FIFO. post appends under qmu and nudges
-	// wake; mainLoop swaps the slice out and processes it in order.
-	// Envelopes from one sender are appended by that sender's goroutine
-	// in send order, so per-link FIFO is preserved.
-	qmu   sync.Mutex
-	queue []envelope
-	wake  chan struct{}
-	// hw is the largest queue length observed (under qmu). The queue is
-	// elastic, so sustained overload shows up here rather than as sender
-	// backpressure — the in-process analogue of tcpnet's MailboxHighWater.
-	hw int64
+	// The input mailbox: a bounded MPSC ring with overflow fallback
+	// (internal/ring), consumed only by this process's mainLoop — the
+	// process is one ordering shard (groups are disjoint, so one
+	// process serves exactly one group). Envelopes from one sender are
+	// enqueued by that sender's goroutine in send order, and the ring
+	// preserves per-producer FIFO, so per-link FIFO is preserved.
+	box *ring.MPSC[envelope]
+	// wake nudges mainLoop after an enqueue (capacity 1: a pending
+	// wake-up covers any number of enqueues).
+	wake chan struct{}
 }
 
-// post enqueues an input for the process. It never blocks, which is what
-// rules out buffer-deadlock cycles between processes.
+// post enqueues an input for the process. It never blocks (ring spills
+// to the overflow instead), which is what rules out buffer-deadlock
+// cycles between processes.
 func (p *proc) post(env envelope) {
-	p.qmu.Lock()
-	p.queue = append(p.queue, env)
-	if depth := int64(len(p.queue)); depth > p.hw {
-		p.hw = depth
-	}
-	p.qmu.Unlock()
+	p.box.Enqueue(env)
 	select {
 	case p.wake <- struct{}{}:
 	default: // a wake-up is already pending
@@ -122,7 +118,7 @@ func (n *Network) AddStored(h node.Handler, st wal.Storage) error {
 		delayIn: make(chan envelope, 1024),
 		quit:    make(chan struct{}),
 		crashed: make(chan struct{}),
-		queue:   make([]envelope, 0, n.cfg.MailboxSize),
+		box:     ring.New[envelope](n.cfg.MailboxSize),
 		wake:    make(chan struct{}, 1),
 	}
 	n.procs[pid] = p
@@ -181,9 +177,10 @@ func (n *Network) Crash(pid mcast.ProcessID) {
 	}
 }
 
-// MailboxHighWater returns the largest input-queue length observed at pid
-// so far, or 0 if pid is unknown. Queues are elastic (senders never block),
-// so this is the process's overload indicator.
+// MailboxHighWater returns the largest input-mailbox depth observed at
+// pid so far, or 0 if pid is unknown. Mailboxes never block senders
+// (ring + overflow), so sustained overload shows up here rather than as
+// sender backpressure.
 func (n *Network) MailboxHighWater(pid mcast.ProcessID) int64 {
 	n.mu.Lock()
 	p, ok := n.procs[pid]
@@ -191,14 +188,12 @@ func (n *Network) MailboxHighWater(pid mcast.ProcessID) int64 {
 	if !ok {
 		return 0
 	}
-	p.qmu.Lock()
-	hw := p.hw
-	p.qmu.Unlock()
-	return hw
+	return p.box.HighWater()
 }
 
-// MailboxDepth returns the current input-queue length at pid, or 0 if pid
-// is unknown (an instantaneous gauge; MailboxHighWater is its maximum).
+// MailboxDepth returns the current input-mailbox depth at pid, or 0 if
+// pid is unknown (an instantaneous gauge; MailboxHighWater is its
+// maximum).
 func (n *Network) MailboxDepth(pid mcast.ProcessID) int64 {
 	n.mu.Lock()
 	p, ok := n.procs[pid]
@@ -206,10 +201,7 @@ func (n *Network) MailboxDepth(pid mcast.ProcessID) int64 {
 	if !ok {
 		return 0
 	}
-	p.qmu.Lock()
-	depth := int64(len(p.queue))
-	p.qmu.Unlock()
-	return depth
+	return p.box.Depth()
 }
 
 // Submit posts a Submit input to a client process. It never blocks;
@@ -236,8 +228,8 @@ func (n *Network) Inject(pid mcast.ProcessID, in node.Input) error {
 	return nil
 }
 
-// mainLoop serialises a handler's inputs, draining the elastic queue in
-// arrival order.
+// mainLoop serialises a handler's inputs, draining the ring mailbox in
+// arrival order. It is the single consumer of p.box.
 func (p *proc) mainLoop() {
 	defer p.net.wg.Done()
 	var fx node.Effects
@@ -248,24 +240,19 @@ func (p *proc) mainLoop() {
 		case <-p.wake:
 		}
 		for {
-			p.qmu.Lock()
-			batch := p.queue
-			p.queue = nil
-			p.qmu.Unlock()
-			if len(batch) == 0 {
+			env, ok := p.box.Dequeue()
+			if !ok {
 				break
 			}
-			for _, env := range batch {
-				select {
-				case <-p.quit:
-					return
-				case <-p.crashed:
-					// Crashed processes discard all input.
-				default:
-					fx.Reset()
-					p.h.Handle(env.in, &fx)
-					p.apply(&fx)
-				}
+			select {
+			case <-p.quit:
+				return
+			case <-p.crashed:
+				// Crashed processes discard all input.
+			default:
+				fx.Reset()
+				p.h.Handle(env.in, &fx)
+				p.apply(&fx)
 			}
 		}
 	}

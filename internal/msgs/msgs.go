@@ -32,6 +32,7 @@ const (
 	KindLearn
 	KindConfirm
 	KindBatch
+	KindAckBatch
 )
 
 var kindNames = map[Kind]string{
@@ -56,6 +57,19 @@ var kindNames = map[Kind]string{
 	KindLearn:        "PAXOS_LEARN",
 	KindConfirm:      "CONFIRM",
 	KindBatch:        "BATCH",
+	KindAckBatch:     "ACK_BATCH",
+}
+
+// IsAck reports whether the kind is ack-class: a small fixed-size
+// acknowledgement that transports may coalesce into an AckBatch. Ack-class
+// messages carry no byte strings, so their decoded form never aliases a
+// network frame.
+func (k Kind) IsAck() bool {
+	switch k {
+	case KindAcceptAck, KindHeartbeatAck, KindP2b:
+		return true
+	}
+	return false
 }
 
 func (k Kind) String() string {
@@ -342,6 +356,27 @@ type Prune struct {
 }
 
 // ---------------------------------------------------------------------------
+// Transport-level aggregation
+// ---------------------------------------------------------------------------
+
+// AckEntry is one acknowledgement inside an AckBatch, addressed to process
+// To. Msg must be ack-class (Kind.IsAck).
+type AckEntry struct {
+	To  mcast.ProcessID
+	Msg Message
+}
+
+// AckBatch coalesces ack-class messages (ACCEPT_ACK, HEARTBEAT_ACK,
+// PAXOS_2B) bound for processes behind one transport endpoint into a single
+// frame, cutting per-frame overhead on the quorum-ack fan-in at high client
+// counts. It is transport-internal: runtimes build it on the encode stage
+// and expand it back into the individual messages on receipt, so protocol
+// handlers never see it.
+type AckBatch struct {
+	Entries []AckEntry
+}
+
+// ---------------------------------------------------------------------------
 // Multi-Paxos (substrate of the FT-Skeen and FastCast baselines)
 // ---------------------------------------------------------------------------
 
@@ -465,6 +500,7 @@ func (P2a) Kind() Kind          { return KindP2a }
 func (P2b) Kind() Kind          { return KindP2b }
 func (Learn) Kind() Kind        { return KindLearn }
 func (Batch) Kind() Kind        { return KindBatch }
+func (AckBatch) Kind() Kind     { return KindAckBatch }
 
 // Concerns implementations: messages that take part in ordering a specific
 // application message report its ID for the genuineness audit.
@@ -501,6 +537,7 @@ var (
 	_ Message = P2b{}
 	_ Message = Learn{}
 	_ Message = Batch{}
+	_ Message = AckBatch{}
 
 	_ Concerner = Multicast{}
 	_ Concerner = Accept{}

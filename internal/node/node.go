@@ -37,10 +37,22 @@ type Submit struct {
 	Msg mcast.AppMsg
 }
 
-func (Recv) isInput()   {}
-func (Timer) isInput()  {}
-func (Start) isInput()  {}
-func (Submit) isInput() {}
+// GCHorizon raises a replica handler's application durability horizon: the
+// application layered on top (e.g. the kv engine) has made all deliveries
+// with global timestamp ≤ TS durable in its own right, so the protocol may
+// garbage-collect its records for them. Handlers running with an
+// app-driven GC horizon must not prune a delivered record above the
+// horizon; handlers without one ignore the input. Horizons are monotone —
+// a stale TS is a no-op.
+type GCHorizon struct {
+	TS mcast.Timestamp
+}
+
+func (Recv) isInput()      {}
+func (Timer) isInput()     {}
+func (Start) isInput()     {}
+func (Submit) isInput()    {}
+func (GCHorizon) isInput() {}
 
 // TimerKind distinguishes the timers a handler arms. Kinds are scoped to a
 // handler; runtimes treat them as opaque.
@@ -200,6 +212,20 @@ func (fx *Effects) Reset() {
 // Handler is a deterministic protocol node. Handle must not retain in or fx
 // and must not perform I/O or read clocks; runtimes may call it from
 // different goroutines over time but never concurrently.
+//
+// # Shard model
+//
+// A handler is one ordering shard: groups are disjoint (mcast.Topology
+// rejects overlapping memberships), so one handler serves exactly one
+// group's protocol state, and runtimes may run the handlers they host on
+// independent goroutines with independent mailboxes (see
+// docs/CONCURRENCY.md). The happens-before contract between shards is:
+// shards share no mutable protocol state; the only cross-shard edge is a
+// message — a send enqueued by shard A and later consumed as a Recv by
+// shard B, with A's persist effects synced before the enqueue (the
+// persist-before-release invariant). Within one shard, Handle calls are
+// totally ordered and each call's effects are applied before the next
+// input is consumed.
 //
 // # Frame ownership
 //

@@ -313,6 +313,15 @@ type Runtime struct {
 	FramesRead Counter
 	// MailboxHW is the largest input-queue length observed.
 	MailboxHW Gauge
+	// EncodeStage is the outbound serialisation latency per message on
+	// the dedicated encode stage.
+	EncodeStage Histogram
+	// DecodeStage is the inbound frame-parse latency per frame on the
+	// read loops.
+	DecodeStage Histogram
+	// AckBatchSize is the acks-per-flush distribution of the encode
+	// stage's ack batcher (unitless count, recorded as 1 ack = 1s).
+	AckBatchSize Histogram
 }
 
 // NewRuntime builds a runtime handle, registering its metrics in reg (a
@@ -327,5 +336,8 @@ func NewRuntime(reg *Registry) *Runtime {
 	reg.RegisterCounter(MetricReconnects, "outbound redials after connection failure", &rt.Reconnects)
 	reg.RegisterCounter(MetricFramesRead, "inbound frames decoded", &rt.FramesRead)
 	reg.RegisterGauge(MetricMailboxHighWater, "largest input-queue length observed", &rt.MailboxHW)
+	reg.RegisterHistogram(MetricEncodeStage, "outbound message serialisation latency on the encode stage", &rt.EncodeStage)
+	reg.RegisterHistogram(MetricDecodeStage, "inbound frame parse latency on the read loops", &rt.DecodeStage)
+	reg.RegisterHistogram(MetricAckBatchSize, "acknowledgements per flushed ack batch (count; 1 ack = 1s)", &rt.AckBatchSize)
 	return rt
 }

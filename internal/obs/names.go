@@ -58,6 +58,23 @@ const (
 	// MetricDeliveriesDropped counts deliveries discarded by a replica's
 	// subscriptions under the DropOldest/DropNewest policies.
 	MetricDeliveriesDropped = "wbcast_deliveries_dropped_total"
+	// MetricShardQueueDepth is the current input-mailbox depth of one
+	// protocol shard, labelled {shard="p<pid>"} — the per-shard view of
+	// MetricMailboxDepth on runtimes that host several ordering shards.
+	MetricShardQueueDepth = "wbcast_shard_queue_depth"
+	// MetricEncodeStage is the outbound codec-stage latency histogram:
+	// time to serialise one message to wire form on the dedicated encode
+	// stage (off the protocol shard loops).
+	MetricEncodeStage = "wbcast_encode_stage_seconds"
+	// MetricDecodeStage is the inbound codec-stage latency histogram:
+	// time to parse one frame (header + borrow-mode message decode) on a
+	// read loop, before it is routed to a shard mailbox.
+	MetricDecodeStage = "wbcast_decode_stage_seconds"
+	// MetricAckBatchSize is the acknowledgements-per-flush histogram of
+	// the encode stage's ack batcher. The value is a unitless count
+	// (exposed through the duration-typed summary with 1 ack = 1s, so
+	// quantiles read directly as ack counts).
+	MetricAckBatchSize = "wbcast_ack_batch_size"
 
 	// MetricTraceDropped counts trace events discarded because the
 	// tracer's bounded buffer was full.

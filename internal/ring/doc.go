@@ -1,0 +1,24 @@
+// Package ring provides the bounded MPSC (multi-producer,
+// single-consumer) ring buffer used as the input mailbox of every
+// protocol shard (internal/live processes, internal/tcpnet shard
+// loops).
+//
+// The ring replaces the mutex-guarded elastic FIFO of earlier
+// revisions: producers claim slots with a single CAS on the tail
+// ticket and publish with one atomic store, so concurrent readLoops,
+// timer callbacks and peer shards enqueueing into a hot mailbox no
+// longer serialise on a lock. The consumer side is wait-free in the
+// common case (one atomic load and one store per dequeue).
+//
+// Mailboxes must never block producers — that is what rules out
+// buffer-deadlock cycles between processes (see docs/CONCURRENCY.md) —
+// so the ring keeps the elastic contract with an overflow fallback:
+// when the ring is full, producers append to a mutex-guarded overflow
+// slice instead. While the overflow is non-empty the queue is
+// "degraded": every producer routes to the overflow, which preserves
+// per-producer FIFO order (the ring drains completely before the
+// consumer switches to the overflow batch, and the overflow batch is
+// consumed completely before the consumer returns to the ring).
+// Degraded mode costs what the old elastic FIFO cost; the ring is the
+// fast path, sized by the runtime's MailboxSize knob.
+package ring

@@ -27,25 +27,33 @@ func benchAccept() msgs.Accept {
 	}
 }
 
-// newBenchNode builds a Node with initialised pools but no listener.
+// newBenchNode builds a Node with initialised pools and maps but no
+// listener and no shard loops, for driving the codec paths directly.
 func newBenchNode(pid mcast.ProcessID) *Node {
-	n := &Node{cfg: Config{PID: pid}, rt: obs.NewRuntime(nil)}
+	n := &Node{
+		cfg:        Config{PID: pid},
+		rt:         obs.NewRuntime(nil),
+		shardByPID: make(map[mcast.ProcessID]*shard),
+		addrs:      make(map[mcast.ProcessID]string),
+		writers:    make(map[string]*writer),
+	}
 	n.readPool.New = func() any { return &readFrame{} }
 	n.outPool.New = func() any { return &outFrame{} }
+	n.batchPool.New = func() any { return &sendBatch{} }
 	return n
 }
 
 // BenchmarkEncodeFrame measures the cost of producing one outbound frame
-// (length prefix + sender varint + wire encoding) for a hot-path message.
-// Frames come from and return to the node's pool, as on the live send path
-// once every writer releases its reference.
+// body (sender varint + wire encoding) for a hot-path message. Frames come
+// from and return to the node's pool, as on the live send path once every
+// writer releases its reference.
 func BenchmarkEncodeFrame(b *testing.B) {
 	n := newBenchNode(3)
 	m := benchAccept()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f, err := n.encodeFrame(m)
+		f, err := n.encodeFrame(3, m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,11 +63,11 @@ func BenchmarkEncodeFrame(b *testing.B) {
 }
 
 // BenchmarkReadFramePath measures the inbound hot path: pooled frame
-// acquisition plus borrow-mode decode, as performed by readLoop/mainLoop.
+// acquisition plus borrow-mode decode, as performed by readLoop.
 func BenchmarkReadFramePath(b *testing.B) {
 	n := newBenchNode(3)
 	src := newBenchNode(4)
-	f, err := src.encodeFrame(benchAccept())
+	f, err := src.encodeFrame(4, benchAccept())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,8 +75,8 @@ func BenchmarkReadFramePath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rf := n.getReadFrame(len(wireBytes) - 4)
-		copy(rf.buf, wireBytes[4:])
+		rf := n.getReadFrame(len(wireBytes))
+		copy(rf.buf, wireBytes)
 		if _, err := decodeFrameBody(rf.buf); err != nil {
 			b.Fatal(err)
 		}

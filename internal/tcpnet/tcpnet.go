@@ -1,3 +1,25 @@
+// Package tcpnet hosts protocol shards as a real TCP server. One Node owns
+// one listener and one outbound connection per peer address, and runs each
+// hosted shard (a node.Handler: one group replica or client — groups are
+// disjoint, so a handler is one ordering shard) on its own goroutine with
+// its own ring mailbox. The ordering path is pipelined across three stages
+// (see docs/CONCURRENCY.md):
+//
+//	read loops   — parse frames (borrow-mode decode) and route each to the
+//	               mailboxes of the destination shards named in the frame
+//	               header;
+//	shard loops  — run Handle serially per shard, apply persist effects
+//	               (persist-before-release), post local sends straight to
+//	               the destination shard's mailbox, and hand remote sends
+//	               to the encode stage;
+//	encode stage — serialise each send exactly once (encode-once fan-out,
+//	               shared by reference counting across the writers of every
+//	               destination address), batching ack-class unicasts per
+//	               (address, shard) into AckBatch frames.
+//
+// Every hand-off between stages is a non-blocking bounded MPSC ring with
+// an unbounded overflow (internal/ring), so no stage can deadlock another;
+// sustained overload shows up as mailbox depth, not as backpressure.
 package tcpnet
 
 import (
@@ -13,12 +35,17 @@ import (
 	"wbcast/internal/msgs"
 	"wbcast/internal/node"
 	"wbcast/internal/obs"
+	"wbcast/internal/ring"
 	"wbcast/internal/wal"
 	"wbcast/internal/wire"
 )
 
 // MaxFrame bounds accepted frame sizes (defensive).
 const MaxFrame = 16 << 20
+
+// maxDests bounds the destination list of one frame header (defensive; a
+// real fan-out is bounded by the topology size).
+const maxDests = 1 << 10
 
 // Outbound write coalescing bounds: a writeLoop drains up to
 // coalesceFrames queued frames (or coalesceBytes bytes) into one
@@ -29,37 +56,67 @@ const (
 	coalesceBytes  = 256 << 10
 )
 
+// ackBatchMax bounds how many ack-class messages accumulate for one
+// (address, sending shard) stream before the encode stage flushes them as
+// one AckBatch frame regardless of queue pressure.
+const ackBatchMax = 64
+
 // pooledFrameCap bounds the capacity of buffers returned to the frame
 // pools, so one jumbo frame does not pin megabytes inside the pool.
 const pooledFrameCap = 1 << 20
 
+// ShardConfig describes one protocol shard hosted by a Node: its handler
+// plus the per-shard durable store and delivery sink.
+type ShardConfig struct {
+	// Handler is the shard's protocol state machine; its ID() is the
+	// shard's process ID.
+	Handler node.Handler
+	// Storage, if non-nil, backs the shard's persist effects (see
+	// Config.Storage).
+	Storage wal.Storage
+	// OnDeliver, if non-nil, receives the shard's application deliveries,
+	// invoked from the shard's loop.
+	OnDeliver func(d mcast.Delivery)
+}
+
 // Config parametrises a Node.
 type Config struct {
-	// PID is this process's ID.
+	// PID is this process's ID (single-shard form; ignored when Shards is
+	// set — each shard's ID comes from its handler).
 	PID mcast.ProcessID
 	// ListenAddr is the TCP address to accept peer connections on.
 	ListenAddr string
 	// Peers maps every process (replicas and clients) to its address. It
 	// is copied at Serve time; peers learned later (e.g. port-0 test
 	// clusters, late-joining clients) are registered with Node.SetPeer.
+	// Several processes may share one address (a multi-shard peer).
 	Peers map[mcast.ProcessID]string
-	// Handler is the protocol state machine to run.
+	// Handler is the protocol state machine to run (single-shard form:
+	// exactly one of Handler and Shards must be set).
 	Handler node.Handler
 	// Storage, if non-nil, backs the handler's persist effects: every entry
 	// is appended and synced before any send or delivery of the same Handle
 	// call is released. A storage error crash-stops the node (it closes as
 	// if killed; the durable prefix is what a restart recovers). When nil,
 	// persist effects are discarded and the node provides no durability.
+	// Single-shard form; per-shard stores go in Shards.
 	Storage wal.Storage
+	// Shards, when non-empty, lists the protocol shards this node hosts
+	// (multi-shard form). Handler, Storage and OnDeliver must be unset;
+	// shard IDs must be distinct. Each shard gets its own mailbox and
+	// loop; sends between co-hosted shards bypass the wire.
+	Shards []ShardConfig
 	// Logf, if non-nil, receives diagnostics (connection errors etc.).
 	Logf func(format string, args ...any)
-	// OnDeliver, if non-nil, receives the handler's application deliveries.
+	// OnDeliver, if non-nil, receives the handler's application deliveries
+	// (single-shard form).
 	OnDeliver func(d mcast.Delivery)
 	// DialTimeout bounds outbound connection attempts (default 3s).
 	DialTimeout time.Duration
-	// MailboxSize is the initial capacity of the input queue (default 64).
-	// The queue grows elastically — senders never block the handler loop —
-	// so this is a pre-allocation hint, not a bound.
+	// MailboxSize is the ring capacity of each shard's input mailbox
+	// (default 64). Enqueues beyond it spill to an unbounded overflow, so
+	// senders never block the shard loops — this bounds the fast path,
+	// not the queue.
 	MailboxSize int
 	// Metrics, if non-nil, supplies the counters the node maintains on its
 	// I/O paths. Pass a registered obs.NewRuntime to scrape them; when nil
@@ -70,13 +127,14 @@ type Config struct {
 
 // Stats is a snapshot of a Node's I/O counters (see Node.Stats).
 type Stats struct {
-	// MessagesEncoded counts distinct messages serialised to wire form.
-	// With encode-once fan-out this is one per Send, however many
-	// recipients the send addresses.
+	// MessagesEncoded counts distinct messages serialised to wire form:
+	// one per send with encode-once fan-out, however many recipients the
+	// send addresses, plus one per flushed AckBatch (each covering many
+	// ack sends).
 	MessagesEncoded int64
-	// FramesSent counts per-recipient frames enqueued to peer writers
-	// (self-sends excluded). FramesSent / MessagesEncoded is the achieved
-	// fan-out sharing factor.
+	// FramesSent counts frames enqueued to peer writers — one per
+	// destination address per send (self- and co-hosted sends excluded).
+	// FramesSent / MessagesEncoded is the achieved fan-out sharing factor.
 	FramesSent int64
 	// FramesCoalesced counts frames that rode along in a multi-frame
 	// vectored write instead of costing their own syscall.
@@ -89,14 +147,16 @@ type Stats struct {
 	Reconnects int64
 	// FramesRead counts inbound frames successfully decoded.
 	FramesRead int64
-	// MailboxHighWater is the largest inbound-queue length observed. The
-	// queue is elastic (senders never block, which rules out buffer
-	// deadlocks), so sustained overload shows up here rather than as TCP
-	// backpressure — monitor it when perf-debugging a saturated node.
+	// MailboxHighWater is the largest input-mailbox depth observed across
+	// the hosted shards. Mailboxes never block senders (ring + overflow,
+	// which rules out buffer deadlocks), so sustained overload shows up
+	// here rather than as TCP backpressure — monitor it when
+	// perf-debugging a saturated node.
 	MailboxHighWater int64
 }
 
-// Node is a running TCP-hosted process.
+// Node is a running TCP-hosted process (one or more protocol shards behind
+// one listener).
 type Node struct {
 	cfg Config
 	ln  net.Listener
@@ -105,55 +165,126 @@ type Node struct {
 	quitOnce sync.Once
 	wg       sync.WaitGroup
 
-	// The input queue: an elastic FIFO. post appends under qmu and nudges
-	// wake; mainLoop swaps the slice out and processes it in order.
-	qmu   sync.Mutex
-	queue []boxedInput
-	wake  chan struct{}
-	// mailboxHW mirrors rt.MailboxHW under qmu, so the hot path only
-	// touches the atomic on a new high-water mark.
-	mailboxHW int64
+	// Hosted shards. shardByPID is immutable after Serve, so the hot
+	// paths read it without locking.
+	shards     []*shard
+	shardByPID map[mcast.ProcessID]*shard
 
-	mu    sync.Mutex
-	addrs map[mcast.ProcessID]string
-	peers map[mcast.ProcessID]*peer
+	// The encode stage's input: shard loops enqueue sendBatches, the
+	// encodeLoop goroutine is the single consumer.
+	encodeQ *ring.MPSC[*sendBatch]
+	encWake chan struct{}
+
+	mu      sync.Mutex
+	addrs   map[mcast.ProcessID]string
+	writers map[string]*writer
 
 	// readPool recycles inbound frame buffers; outPool recycles outbound
-	// reference-counted frames.
-	readPool sync.Pool
-	outPool  sync.Pool
+	// reference-counted frames; batchPool recycles sendBatches.
+	readPool  sync.Pool
+	outPool   sync.Pool
+	batchPool sync.Pool
 
 	// rt holds the node's I/O counters (cfg.Metrics, or an unregistered
 	// handle when the caller passed none).
 	rt *obs.Runtime
 }
 
+// shard is one hosted protocol shard: a handler plus its ring mailbox,
+// consumed only by the shard's mainLoop goroutine. Shards share no mutable
+// protocol state; the only cross-shard edge is a posted message (see the
+// node.Handler shard-model contract).
+type shard struct {
+	n         *Node
+	pid       mcast.ProcessID
+	h         node.Handler
+	store     wal.Storage
+	onDeliver func(d mcast.Delivery)
+
+	box *ring.MPSC[boxedInput]
+	// wake nudges mainLoop after an enqueue (capacity 1: a pending
+	// wake-up covers any number of enqueues).
+	wake chan struct{}
+}
+
 // boxedInput pairs an input with the pooled read frame its decoded message
-// borrows from (nil for timers, injected inputs and self-sends). The frame
-// is recycled after the handler has consumed the input.
+// borrows from (nil for timers, injected inputs and expanded ack-batch
+// entries). The frame is released after the handler has consumed the input.
 type boxedInput struct {
 	in    node.Input
 	frame *readFrame
 }
 
-type readFrame struct{ buf []byte }
+// readFrame is one inbound frame buffer, shared by reference counting
+// across the mailboxes of every hosted destination shard.
+type readFrame struct {
+	buf  []byte
+	refs atomic.Int32
+}
 
-// outFrame is one encoded outbound frame, shared by reference counting
-// across the writer queues of every recipient of a fan-out send.
+// outFrame is one encoded outbound frame body — [sender varint][wire
+// message] — shared by reference counting across the writer queues of
+// every destination address of a fan-out send. The per-address frame
+// header ([len][ndests][dests...]) is built by each writeLoop.
 type outFrame struct {
 	buf  []byte
 	refs atomic.Int32
 }
 
-type peer struct {
-	pid mcast.ProcessID
-	out chan *outFrame
+// outEntry is one frame queued to one address's writer, carrying the
+// destination list for the header.
+type outEntry struct {
+	f *outFrame
+	// to is the single destination when tos is nil; tos is the
+	// destination list when the address hosts several of the send's
+	// recipients.
+	to  mcast.ProcessID
+	tos []mcast.ProcessID
+	// ackBatch marks an AckBatch frame: the header carries zero
+	// destinations and the receiver routes by the per-entry To fields.
+	ackBatch bool
+}
+
+// sendBatch is one Handle call's remote sends, handed from a shard loop to
+// the encode stage. frame (if non-nil) holds a reference to the inbound
+// frame the send messages may borrow from; the encode stage releases it
+// once every send is serialised.
+type sendBatch struct {
+	from  mcast.ProcessID
+	sends []node.Send
+	frame *readFrame
+}
+
+// writer is the outbound queue for one peer address.
+type writer struct {
+	addr string
+	out  chan outEntry
 }
 
 // Serve starts listening and processing.
 func Serve(cfg Config) (*Node, error) {
-	if cfg.Handler == nil {
-		return nil, fmt.Errorf("tcpnet: nil handler")
+	type shardSpec struct {
+		pid mcast.ProcessID
+		sc  ShardConfig
+	}
+	var specs []shardSpec
+	if len(cfg.Shards) > 0 {
+		if cfg.Handler != nil || cfg.Storage != nil || cfg.OnDeliver != nil {
+			return nil, fmt.Errorf("tcpnet: Shards and single-shard fields are mutually exclusive")
+		}
+		for i, sc := range cfg.Shards {
+			if sc.Handler == nil {
+				return nil, fmt.Errorf("tcpnet: shard %d: nil handler", i)
+			}
+			specs = append(specs, shardSpec{sc.Handler.ID(), sc})
+		}
+	} else {
+		if cfg.Handler == nil {
+			return nil, fmt.Errorf("tcpnet: nil handler")
+		}
+		specs = append(specs, shardSpec{cfg.PID, ShardConfig{
+			Handler: cfg.Handler, Storage: cfg.Storage, OnDeliver: cfg.OnDeliver,
+		}})
 	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 3 * time.Second
@@ -170,24 +301,43 @@ func Serve(cfg Config) (*Node, error) {
 		rt = obs.NewRuntime(nil)
 	}
 	n := &Node{
-		cfg:   cfg,
-		ln:    ln,
-		quit:  make(chan struct{}),
-		queue: make([]boxedInput, 0, cfg.MailboxSize),
-		wake:  make(chan struct{}, 1),
-		addrs: make(map[mcast.ProcessID]string, len(cfg.Peers)),
-		peers: make(map[mcast.ProcessID]*peer),
-		rt:    rt,
+		cfg:        cfg,
+		ln:         ln,
+		quit:       make(chan struct{}),
+		shardByPID: make(map[mcast.ProcessID]*shard, len(specs)),
+		encodeQ:    ring.New[*sendBatch](max(cfg.MailboxSize, 64)),
+		encWake:    make(chan struct{}, 1),
+		addrs:      make(map[mcast.ProcessID]string, len(cfg.Peers)),
+		writers:    make(map[string]*writer),
+		rt:         rt,
 	}
 	n.readPool.New = func() any { return &readFrame{} }
 	n.outPool.New = func() any { return &outFrame{} }
+	n.batchPool.New = func() any { return &sendBatch{} }
 	for pid, addr := range cfg.Peers {
 		n.addrs[pid] = addr
 	}
-	n.wg.Add(2)
+	for _, sp := range specs {
+		if _, dup := n.shardByPID[sp.pid]; dup {
+			ln.Close()
+			return nil, fmt.Errorf("tcpnet: duplicate shard %d", sp.pid)
+		}
+		s := &shard{
+			n: n, pid: sp.pid, h: sp.sc.Handler,
+			store: sp.sc.Storage, onDeliver: sp.sc.OnDeliver,
+			box:  ring.New[boxedInput](cfg.MailboxSize),
+			wake: make(chan struct{}, 1),
+		}
+		n.shards = append(n.shards, s)
+		n.shardByPID[sp.pid] = s
+	}
+	n.wg.Add(2 + len(n.shards))
 	go n.acceptLoop()
-	go n.mainLoop()
-	n.post(boxedInput{in: node.Start{}})
+	go n.encodeLoop()
+	for _, s := range n.shards {
+		go s.mainLoop()
+		s.post(boxedInput{in: node.Start{}})
+	}
 	return n, nil
 }
 
@@ -208,17 +358,31 @@ func (n *Node) Stats() Stats {
 	}
 }
 
-// MailboxDepth returns the current input-queue length. Exposed as the
-// wbcast_mailbox_depth gauge view by the public TCP transport.
+// MailboxDepth returns the summed current input-mailbox depth across the
+// hosted shards. Exposed as the wbcast_mailbox_depth gauge view by the
+// public TCP transport.
 func (n *Node) MailboxDepth() int64 {
-	n.qmu.Lock()
-	defer n.qmu.Unlock()
-	return int64(len(n.queue))
+	var d int64
+	for _, s := range n.shards {
+		d += s.box.Depth()
+	}
+	return d
 }
 
-// SetPeer registers (or updates) the address of a peer process. Writers
-// consult the address book on every (re)dial, so an update takes effect
-// the next time the connection to that peer is (re-)established.
+// ShardDepth returns the current input-mailbox depth of one hosted shard
+// (0 for an unhosted pid). Exposed as the wbcast_shard_queue_depth gauge.
+func (n *Node) ShardDepth(pid mcast.ProcessID) int64 {
+	s, ok := n.shardByPID[pid]
+	if !ok {
+		return 0
+	}
+	return s.box.Depth()
+}
+
+// SetPeer registers (or updates) the address of a peer process. The
+// address book is consulted when each send is encoded, so an update takes
+// effect for all subsequent sends; a writer for a stale address idles
+// until the node closes.
 func (n *Node) SetPeer(pid mcast.ProcessID, addr string) {
 	n.mu.Lock()
 	n.addrs[pid] = addr
@@ -233,35 +397,44 @@ func (n *Node) peerAddr(pid mcast.ProcessID) (string, bool) {
 	return addr, ok
 }
 
-// post enqueues an input for the handler loop. It never blocks, which is
-// what rules out buffer-deadlock cycles between nodes.
-func (n *Node) post(b boxedInput) {
-	n.qmu.Lock()
-	n.queue = append(n.queue, b)
-	if depth := int64(len(n.queue)); depth > n.mailboxHW {
-		n.mailboxHW = depth
-		n.rt.MailboxHW.Set(depth)
-	}
-	n.qmu.Unlock()
+// post enqueues an input for the shard's loop. It never blocks (the ring
+// spills to its overflow instead), which is what rules out buffer-deadlock
+// cycles between nodes and between co-hosted shards.
+func (s *shard) post(b boxedInput) {
+	s.box.Enqueue(b)
+	s.n.rt.MailboxHW.SetMax(s.box.HighWater())
 	select {
-	case n.wake <- struct{}{}:
+	case s.wake <- struct{}{}:
 	default: // a wake-up is already pending
 	}
 }
 
-// Inject posts a local input (e.g. a client Submit).
+// Inject posts a local input (e.g. a client Submit) to a single-shard
+// node. Multi-shard nodes must use InjectTo.
 func (n *Node) Inject(in node.Input) error {
+	if len(n.shards) != 1 {
+		return fmt.Errorf("tcpnet: Inject on a %d-shard node; use InjectTo", len(n.shards))
+	}
+	return n.InjectTo(n.shards[0].pid, in)
+}
+
+// InjectTo posts a local input to one hosted shard.
+func (n *Node) InjectTo(pid mcast.ProcessID, in node.Input) error {
 	select {
 	case <-n.quit:
 		return fmt.Errorf("tcpnet: node closed")
 	default:
 	}
-	n.post(boxedInput{in: in})
+	s, ok := n.shardByPID[pid]
+	if !ok {
+		return fmt.Errorf("tcpnet: shard %d not hosted here", pid)
+	}
+	s.post(boxedInput{in: in})
 	return nil
 }
 
 // stop initiates shutdown without joining goroutines (safe to call from
-// the main loop itself, e.g. on a storage failure).
+// a shard loop itself, e.g. on a storage failure).
 func (n *Node) stop() {
 	n.quitOnce.Do(func() { close(n.quit) })
 	n.ln.Close()
@@ -297,6 +470,12 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// readLoop parses frames off one inbound connection and routes each to
+// the mailboxes of the hosted destination shards named in its header. A
+// frame with several hosted destinations is posted once per shard with a
+// shared reference-counted buffer; an AckBatch frame is expanded into
+// per-entry Recv posts (ack messages carry no byte slices, so the frame
+// is recycled immediately).
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
@@ -305,6 +484,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		conn.Close()
 	}()
 	var lenBuf [4]byte
+	var targets []*shard
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
@@ -319,14 +499,56 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.putReadFrame(rf)
 			return
 		}
-		rcv, err := decodeFrameBody(rf.buf)
+		start := time.Now()
+		nd, off := binary.Uvarint(rf.buf)
+		if off <= 0 || nd > maxDests {
+			n.putReadFrame(rf)
+			n.logf("tcpnet: bad destination count from %s", conn.RemoteAddr())
+			return
+		}
+		targets = targets[:0]
+		bad := false
+		for i := uint64(0); i < nd; i++ {
+			d, k := binary.Varint(rf.buf[off:])
+			if k <= 0 {
+				bad = true
+				break
+			}
+			off += k
+			if s, ok := n.shardByPID[mcast.ProcessID(d)]; ok {
+				targets = append(targets, s)
+			}
+		}
+		if bad {
+			n.putReadFrame(rf)
+			n.logf("tcpnet: bad destination list from %s", conn.RemoteAddr())
+			return
+		}
+		rcv, err := decodeFrameBody(rf.buf[off:])
 		if err != nil {
 			n.putReadFrame(rf)
 			n.logf("tcpnet: %v (from %s)", err, conn.RemoteAddr())
 			return
 		}
 		n.rt.FramesRead.Inc()
-		n.post(boxedInput{in: rcv, frame: rf})
+		n.rt.DecodeStage.Observe(time.Since(start))
+		if ab, ok := rcv.Msg.(msgs.AckBatch); ok {
+			for _, ent := range ab.Entries {
+				if s, ok := n.shardByPID[ent.To]; ok {
+					s.post(boxedInput{in: node.Recv{From: rcv.From, Msg: ent.Msg}})
+				}
+			}
+			n.putReadFrame(rf)
+			continue
+		}
+		if len(targets) == 0 {
+			n.putReadFrame(rf) // none of the destinations is hosted here
+			continue
+		}
+		rf.refs.Store(int32(len(targets)))
+		for _, s := range targets {
+			s.post(boxedInput{in: rcv, frame: rf})
+		}
 	}
 }
 
@@ -360,56 +582,71 @@ func (n *Node) putReadFrame(rf *readFrame) {
 	n.readPool.Put(rf)
 }
 
-func (n *Node) mainLoop() {
-	defer n.wg.Done()
+// retainRead takes one extra reference on an inbound frame (nil-safe).
+func (n *Node) retainRead(rf *readFrame) {
+	if rf != nil {
+		rf.refs.Add(1)
+	}
+}
+
+// releaseRead drops one reference on an inbound frame (nil-safe); the last
+// reference recycles the buffer.
+func (n *Node) releaseRead(rf *readFrame) {
+	if rf != nil && rf.refs.Add(-1) == 0 {
+		n.putReadFrame(rf)
+	}
+}
+
+// mainLoop serialises one shard's inputs, draining the ring mailbox in
+// arrival order. It is the single consumer of s.box.
+func (s *shard) mainLoop() {
+	defer s.n.wg.Done()
 	var fx node.Effects
 	for {
 		select {
-		case <-n.quit:
+		case <-s.n.quit:
 			return
-		case <-n.wake:
+		case <-s.wake:
 		}
 		for {
-			n.qmu.Lock()
-			batch := n.queue
-			n.queue = nil
-			n.qmu.Unlock()
-			if len(batch) == 0 {
+			b, ok := s.box.Dequeue()
+			if !ok {
 				break
 			}
-			for i := range batch {
-				select {
-				case <-n.quit:
-					return
-				default:
-				}
-				fx.Reset()
-				n.cfg.Handler.Handle(batch[i].in, &fx)
-				n.apply(&fx)
-				// The handler is done with the input; any borrowed
-				// frame may be recycled now.
-				n.putReadFrame(batch[i].frame)
-				batch[i] = boxedInput{}
+			select {
+			case <-s.n.quit:
+				return
+			default:
 			}
+			fx.Reset()
+			s.h.Handle(b.in, &fx)
+			s.apply(b.frame, &fx)
+			// The handler and the apply step are done with the input;
+			// this shard's reference on any borrowed frame can go.
+			s.n.releaseRead(b.frame)
 		}
 	}
 }
 
-// apply performs the collected effects. Each Send is serialised at most
-// once: the encoded frame is shared across every remote recipient's writer
-// queue via reference counting.
-func (n *Node) apply(fx *node.Effects) {
+// apply performs one Handle call's effects on the shard's loop: persists
+// (first — persist-before-release), timers, sends and deliveries. Sends to
+// co-hosted shards are posted straight to their mailboxes; sends with any
+// remote recipient are handed to the encode stage as one sendBatch,
+// carrying a reference to the inbound frame rf so borrowed message bytes
+// stay alive until serialised.
+func (s *shard) apply(rf *readFrame, fx *node.Effects) {
+	n := s.n
 	// Durability first: nothing below is released unless this Handle call's
 	// persist entries are durable. A storage failure crash-stops the node —
 	// from the outside indistinguishable from a kill at this point, which is
 	// exactly the state a restart recovers from.
-	if len(fx.Persists) > 0 && n.cfg.Storage != nil {
-		err := n.cfg.Storage.Append(fx.Persists...)
+	if len(fx.Persists) > 0 && s.store != nil {
+		err := s.store.Append(fx.Persists...)
 		if err == nil {
-			err = n.cfg.Storage.Sync()
+			err = s.store.Sync()
 		}
 		if err != nil {
-			n.logf("tcpnet: p%d crash-stopping on storage failure: %v", n.cfg.PID, err)
+			n.logf("tcpnet: p%d crash-stopping on storage failure: %v", s.pid, err)
 			n.stop()
 			return
 		}
@@ -420,68 +657,262 @@ func (n *Node) apply(fx *node.Effects) {
 			select {
 			case <-n.quit:
 			default:
-				n.post(boxedInput{in: in})
+				s.post(boxedInput{in: in})
 			}
 		})
 	}
-	for i := range fx.Sends {
-		snd := &fx.Sends[i]
-		remote := 0
-		for r := 0; r < snd.NumRecipients(); r++ {
-			if snd.Recipient(r) != n.cfg.PID {
-				remote++
-			} else {
-				// Self-send: loop back through the mailbox without
-				// touching the wire. The message value is shared, not
-				// re-encoded; handlers treat received messages as
-				// immutable either way.
-				n.post(boxedInput{in: node.Recv{From: n.cfg.PID, Msg: snd.Msg}})
+	if len(fx.Sends) > 0 {
+		remote := false
+		for i := range fx.Sends {
+			snd := &fx.Sends[i]
+			for r := 0; r < snd.NumRecipients(); r++ {
+				to := snd.Recipient(r)
+				if t, ok := n.shardByPID[to]; ok {
+					// Hosted recipient (self-send or a co-hosted shard):
+					// loop back through its mailbox without touching the
+					// wire. The message value is shared, not re-encoded;
+					// handlers treat received messages as immutable either
+					// way, and the posted input keeps a reference to rf in
+					// case the message borrows from it.
+					n.retainRead(rf)
+					t.post(boxedInput{in: node.Recv{From: s.pid, Msg: snd.Msg}, frame: rf})
+				} else {
+					remote = true
+				}
 			}
 		}
-		if remote == 0 {
-			continue
-		}
-		f, err := n.encodeFrame(snd.Msg)
-		if err != nil {
-			n.logf("tcpnet: encode %v: %v", snd.Msg.Kind(), err)
-			continue
-		}
-		// Hand out one reference per remote recipient before the first
-		// enqueue, so a fast writer finishing early cannot free the frame
-		// while we are still fanning it out.
-		f.refs.Store(int32(remote))
-		for r := 0; r < snd.NumRecipients(); r++ {
-			if to := snd.Recipient(r); to != n.cfg.PID {
-				n.enqueue(to, f)
+		if remote {
+			n.retainRead(rf)
+			b := n.batchPool.Get().(*sendBatch)
+			b.from = s.pid
+			b.frame = rf
+			b.sends = append(b.sends[:0], fx.Sends...)
+			n.encodeQ.Enqueue(b)
+			select {
+			case n.encWake <- struct{}{}:
+			default:
 			}
 		}
 	}
 	for _, d := range fx.Deliveries {
-		if n.cfg.OnDeliver != nil {
-			n.cfg.OnDeliver(d)
+		if s.onDeliver != nil {
+			s.onDeliver(d)
 		}
 	}
 }
 
-// encodeFrame builds [len u32][sender varint][wire message] into a pooled
-// buffer. The caller owns the returned frame's references.
-func (n *Node) encodeFrame(m msgs.Message) (*outFrame, error) {
-	f := n.outPool.Get().(*outFrame)
-	buf := f.buf[:0]
-	if cap(buf) < 4 {
-		buf = make([]byte, 0, 128)
+// putBatch recycles a sendBatch, clearing message references so the pool
+// does not pin frames or payloads.
+func (n *Node) putBatch(b *sendBatch) {
+	for i := range b.sends {
+		b.sends[i] = node.Send{}
 	}
-	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
-	buf = binary.AppendVarint(buf, int64(n.cfg.PID))
+	b.sends = b.sends[:0]
+	b.frame = nil
+	n.batchPool.Put(b)
+}
+
+// ackKey identifies one ack-accumulation stream of the encode stage: acks
+// from one hosted shard to one peer address. Keeping streams separate per
+// sending shard preserves per-link FIFO (an AckBatch frame carries one
+// sender).
+type ackKey struct {
+	addr string
+	from mcast.ProcessID
+}
+
+// encoder is the encode stage's state: the address-grouping scratch for
+// one send's fan-out and the pending ack batches. It is owned by the
+// single encodeLoop goroutine.
+type encoder struct {
+	n       *Node
+	groups  []addrGroup
+	ngroups int
+	acks    map[ackKey][]msgs.AckEntry
+	pending int
+}
+
+// addrGroup collects the recipients of one send that share a destination
+// address, so the address gets one frame whatever it hosts.
+type addrGroup struct {
+	addr string
+	tos  []mcast.ProcessID
+}
+
+func newEncoder(n *Node) *encoder {
+	return &encoder{n: n, acks: make(map[ackKey][]msgs.AckEntry)}
+}
+
+// encodeLoop drains sendBatches from the shard loops, serialising each
+// send exactly once and fanning the shared frame out per destination
+// address. Ack-class unicasts are buffered per (address, shard) and
+// flushed as one AckBatch frame — before any non-ack frame to the same
+// stream (preserving per-link FIFO), when ackBatchMax accumulate, and at
+// the end of each drain pass (so an idle queue never delays acks).
+func (n *Node) encodeLoop() {
+	defer n.wg.Done()
+	e := newEncoder(n)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-n.encWake:
+		}
+		for {
+			b, ok := n.encodeQ.Dequeue()
+			if !ok {
+				break
+			}
+			select {
+			case <-n.quit:
+				return
+			default:
+			}
+			e.batch(b)
+			n.releaseRead(b.frame)
+			n.putBatch(b)
+		}
+		e.flushAll()
+	}
+}
+
+// addTo adds one recipient to the send's address grouping scratch.
+func (e *encoder) addTo(addr string, to mcast.ProcessID) {
+	for j := 0; j < e.ngroups; j++ {
+		if e.groups[j].addr == addr {
+			e.groups[j].tos = append(e.groups[j].tos, to)
+			return
+		}
+	}
+	if e.ngroups < len(e.groups) {
+		g := &e.groups[e.ngroups]
+		g.addr = addr
+		g.tos = append(g.tos[:0], to)
+	} else {
+		e.groups = append(e.groups, addrGroup{addr: addr, tos: []mcast.ProcessID{to}})
+	}
+	e.ngroups++
+}
+
+// batch serialises one sendBatch.
+func (e *encoder) batch(b *sendBatch) {
+	n := e.n
+	for i := range b.sends {
+		snd := &b.sends[i]
+		if snd.Tos == nil && snd.Msg.Kind().IsAck() {
+			// Ack-class unicast: accumulate for batching.
+			to := snd.To
+			if _, hosted := n.shardByPID[to]; hosted {
+				continue // already posted locally by the shard loop
+			}
+			addr, ok := n.peerAddr(to)
+			if !ok {
+				n.rt.OutboundDrops.Inc()
+				n.logf("tcpnet: no address for process %d", to)
+				continue
+			}
+			k := ackKey{addr: addr, from: b.from}
+			e.acks[k] = append(e.acks[k], msgs.AckEntry{To: to, Msg: snd.Msg})
+			e.pending++
+			if len(e.acks[k]) >= ackBatchMax {
+				e.flushAcks(k)
+			}
+			continue
+		}
+		// Group the remote recipients by destination address: one frame
+		// per address, shared by reference counting.
+		e.ngroups = 0
+		for r := 0; r < snd.NumRecipients(); r++ {
+			to := snd.Recipient(r)
+			if _, hosted := n.shardByPID[to]; hosted {
+				continue // posted locally by the shard loop
+			}
+			addr, ok := n.peerAddr(to)
+			if !ok {
+				n.rt.OutboundDrops.Inc()
+				n.logf("tcpnet: no address for process %d", to)
+				continue
+			}
+			e.addTo(addr, to)
+		}
+		if e.ngroups == 0 {
+			continue
+		}
+		// Per-link FIFO: pending acks from this shard to any address this
+		// frame targets must hit the wire first.
+		for j := 0; j < e.ngroups; j++ {
+			e.flushAcks(ackKey{addr: e.groups[j].addr, from: b.from})
+		}
+		f, err := n.encodeFrame(b.from, snd.Msg)
+		if err != nil {
+			n.logf("tcpnet: encode %v: %v", snd.Msg.Kind(), err)
+			continue
+		}
+		// Hand out one reference per destination address before the first
+		// enqueue, so a fast writer finishing early cannot free the frame
+		// while we are still fanning it out.
+		f.refs.Store(int32(e.ngroups))
+		for j := 0; j < e.ngroups; j++ {
+			g := &e.groups[j]
+			ent := outEntry{f: f}
+			if len(g.tos) == 1 {
+				ent.to = g.tos[0]
+			} else {
+				// The scratch is reused per send; a multi-recipient
+				// destination list must survive until its writer builds
+				// the header.
+				ent.tos = append([]mcast.ProcessID(nil), g.tos...)
+			}
+			n.enqueueAddr(g.addr, ent)
+		}
+	}
+}
+
+// flushAcks encodes and enqueues one stream's pending acks as a single
+// AckBatch frame.
+func (e *encoder) flushAcks(k ackKey) {
+	entries := e.acks[k]
+	if len(entries) == 0 {
+		return
+	}
+	e.pending -= len(entries)
+	n := e.n
+	f, err := n.encodeFrame(k.from, msgs.AckBatch{Entries: entries})
+	n.rt.AckBatchSize.Observe(time.Duration(len(entries)) * time.Second)
+	e.acks[k] = entries[:0]
+	if err != nil {
+		n.logf("tcpnet: encode ack batch: %v", err)
+		return
+	}
+	f.refs.Store(1)
+	n.enqueueAddr(k.addr, outEntry{f: f, ackBatch: true})
+}
+
+// flushAll flushes every pending ack stream (end of a drain pass).
+func (e *encoder) flushAll() {
+	if e.pending == 0 {
+		return
+	}
+	for k := range e.acks {
+		e.flushAcks(k)
+	}
+}
+
+// encodeFrame builds a frame body — [sender varint][wire message] — into a
+// pooled buffer. The caller owns the returned frame's references.
+func (n *Node) encodeFrame(from mcast.ProcessID, m msgs.Message) (*outFrame, error) {
+	start := time.Now()
+	f := n.outPool.Get().(*outFrame)
+	buf := binary.AppendVarint(f.buf[:0], int64(from))
 	buf, err := wire.Encode(buf, m)
 	if err != nil {
 		f.buf = buf[:0]
 		n.outPool.Put(f)
 		return nil, err
 	}
-	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
 	f.buf = buf
 	n.rt.Encoded.Inc()
+	n.rt.EncodeStage.Observe(time.Since(start))
 	return f, nil
 }
 
@@ -496,44 +927,39 @@ func (n *Node) release(f *outFrame) {
 	}
 }
 
-// enqueue hands a frame reference to the destination's writer, creating it
-// on demand. On failure (unknown address, full queue) the reference is
-// released and the drop is counted; dropped frames are recovered by the
-// protocols' retry machinery (the reliable-channel assumption of the model
-// is an eventual property).
-func (n *Node) enqueue(to mcast.ProcessID, f *outFrame) {
+// enqueueAddr hands a frame reference to the address's writer, creating it
+// on demand. On a full queue the reference is released and the drop is
+// counted; dropped frames are recovered by the protocols' retry machinery
+// (the reliable-channel assumption of the model is an eventual property).
+func (n *Node) enqueueAddr(addr string, e outEntry) {
 	n.mu.Lock()
-	p, ok := n.peers[to]
+	w, ok := n.writers[addr]
 	if !ok {
-		if _, have := n.addrs[to]; !have {
-			n.mu.Unlock()
-			n.rt.OutboundDrops.Inc()
-			n.release(f)
-			n.logf("tcpnet: no address for process %d", to)
-			return
-		}
-		p = &peer{pid: to, out: make(chan *outFrame, 1024)}
-		n.peers[to] = p
+		w = &writer{addr: addr, out: make(chan outEntry, 1024)}
+		n.writers[addr] = w
 		n.wg.Add(1)
-		go n.writeLoop(p)
+		go n.writeLoop(w)
 	}
 	n.mu.Unlock()
 	select {
-	case p.out <- f:
+	case w.out <- e:
 		n.rt.FramesSent.Inc()
 	default:
-		// Never block the handler loop on a slow peer.
+		// Never block the encode stage on a slow peer.
 		n.rt.OutboundDrops.Inc()
-		n.release(f)
-		n.logf("tcpnet: outbound queue to %d full; dropping frame", to)
+		n.release(e.f)
+		n.logf("tcpnet: outbound queue to %s full; dropping frame", addr)
 	}
 }
 
-// writeLoop owns the outbound connection to one peer, dialling lazily and
-// reconnecting once per write on failure. Queued frames are coalesced
-// into a single vectored write, which pipelines bursts (batch envelopes,
-// quorum ACK fans) through one syscall.
-func (n *Node) writeLoop(p *peer) {
+// writeLoop owns the outbound connection to one peer address, dialling
+// lazily and reconnecting once per write on failure. Queued frames are
+// coalesced into a single vectored write, which pipelines bursts (batch
+// envelopes, quorum ACK fans) through one syscall. Each frame's header —
+// [len u32][ndests uvarint][dest varint...] — is built here into a scratch
+// arena, so the shared body buffer is written as-is however many addresses
+// it fans out to.
+func (n *Node) writeLoop(w *writer) {
 	defer n.wg.Done()
 	var conn net.Conn
 	defer func() {
@@ -541,21 +967,23 @@ func (n *Node) writeLoop(p *peer) {
 			conn.Close()
 		}
 	}()
-	held := make([]*outFrame, 0, coalesceFrames)
+	held := make([]outEntry, 0, coalesceFrames)
+	var hdr []byte // header arena for one coalesced write
+	var ends []int // per-frame header end offsets into hdr
 	var bufs, scratch net.Buffers
 	for {
 		select {
 		case <-n.quit:
 			return
-		case f := <-p.out:
-			held = append(held[:0], f)
-			size := len(f.buf)
+		case e := <-w.out:
+			held = append(held[:0], e)
+			size := len(e.f.buf)
 		drain:
 			for len(held) < coalesceFrames && size < coalesceBytes {
 				select {
-				case f := <-p.out:
-					held = append(held, f)
-					size += len(f.buf)
+				case e := <-w.out:
+					held = append(held, e)
+					size += len(e.f.buf)
 				default:
 					break drain
 				}
@@ -563,20 +991,39 @@ func (n *Node) writeLoop(p *peer) {
 			if len(held) > 1 {
 				n.rt.FramesCoalesced.Add(uint64(len(held) - 1))
 			}
+			// Build the headers first (appends may grow hdr, so record
+			// offsets and slice afterwards).
+			hdr, ends = hdr[:0], ends[:0]
+			for _, e := range held {
+				s := len(hdr)
+				hdr = append(hdr, 0, 0, 0, 0) // length prefix, patched below
+				switch {
+				case e.ackBatch:
+					hdr = binary.AppendUvarint(hdr, 0)
+				case e.tos == nil:
+					hdr = binary.AppendUvarint(hdr, 1)
+					hdr = binary.AppendVarint(hdr, int64(e.to))
+				default:
+					hdr = binary.AppendUvarint(hdr, uint64(len(e.tos)))
+					for _, t := range e.tos {
+						hdr = binary.AppendVarint(hdr, int64(t))
+					}
+				}
+				binary.BigEndian.PutUint32(hdr[s:], uint32(len(hdr)-s-4+len(e.f.buf)))
+				ends = append(ends, len(hdr))
+			}
 			bufs = bufs[:0]
-			for _, f := range held {
-				bufs = append(bufs, f.buf)
+			prev := 0
+			for i, e := range held {
+				bufs = append(bufs, hdr[prev:ends[i]], e.f.buf)
+				prev = ends[i]
 			}
 			written := false
 			for attempt := 0; attempt < 2; attempt++ {
 				if conn == nil {
-					addr, ok := n.peerAddr(p.pid)
-					if !ok {
-						break // address retracted; drop
-					}
-					c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+					c, err := net.DialTimeout("tcp", w.addr, n.cfg.DialTimeout)
 					if err != nil {
-						n.logf("tcpnet: dial %s: %v", addr, err)
+						n.logf("tcpnet: dial %s: %v", w.addr, err)
 						break // drop; retries re-send
 					}
 					conn = c
@@ -584,7 +1031,7 @@ func (n *Node) writeLoop(p *peer) {
 				// WriteTo consumes its receiver; give each attempt a copy.
 				scratch = append(scratch[:0], bufs...)
 				if _, err := scratch.WriteTo(conn); err != nil {
-					n.logf("tcpnet: write to %d: %v", p.pid, err)
+					n.logf("tcpnet: write to %s: %v", w.addr, err)
 					conn.Close()
 					conn = nil
 					n.rt.Reconnects.Inc()
@@ -595,13 +1042,12 @@ func (n *Node) writeLoop(p *peer) {
 			}
 			if !written {
 				// Every un-written frame is a drop, whatever path led
-				// here (retracted address, dial failure, both write
-				// attempts failing).
+				// here (dial failure, both write attempts failing).
 				n.rt.OutboundDrops.Add(uint64(len(held)))
 			}
-			for i, f := range held {
-				n.release(f)
-				held[i] = nil
+			for i := range held {
+				n.release(held[i].f)
+				held[i] = outEntry{}
 			}
 		}
 	}

@@ -11,10 +11,35 @@ import (
 	"wbcast/internal/wire"
 )
 
+// waitFor polls cond until it holds or a deadline passes. The encode stage
+// runs asynchronously off the shard loops, so counter assertions after an
+// apply must wait for the pipeline to drain.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// captureWriter pre-registers a writer for addr whose queue is not drained
+// by a writeLoop, so tests can inspect exactly what the encode stage
+// enqueued.
+func captureWriter(n *Node, addr string) *writer {
+	w := &writer{addr: addr, out: make(chan outEntry, 1024)}
+	n.mu.Lock()
+	n.writers[addr] = w
+	n.mu.Unlock()
+	return w
+}
+
 // TestEncodeOnceFanout is the acceptance check for encode-once fan-out: one
 // Handle call whose effects fan a message out to many recipients must
 // serialise that message exactly once, however many peers it reaches, and
-// enqueue one shared frame per remote recipient.
+// enqueue one shared frame per destination address.
 func TestEncodeOnceFanout(t *testing.T) {
 	// An echo handler is irrelevant here; we drive apply directly.
 	n, err := Serve(Config{
@@ -27,18 +52,20 @@ func TestEncodeOnceFanout(t *testing.T) {
 	}
 	defer n.Close()
 
-	// Nine remote recipients across three "groups", addresses registered so
-	// enqueue creates writer queues (they will fail to dial, which is fine:
-	// we only observe the encode/enqueue counters).
+	// Nine remote recipients across three "groups", each at its own
+	// address, captured so the writer queues are observable.
+	addrs := []string{"cap-a", "cap-b", "cap-c", "cap-d", "cap-e", "cap-f", "cap-g", "cap-h", "cap-i"}
 	var tos []mcast.ProcessID
 	for pid := mcast.ProcessID(0); pid < 9; pid++ {
-		n.SetPeer(pid, "127.0.0.1:1") // black hole
+		captureWriter(n, addrs[pid])
+		n.SetPeer(pid, addrs[pid])
 		tos = append(tos, pid)
 	}
 
 	var fx node.Effects
 	fx.SendAll(tos, benchAccept())
-	n.apply(&fx)
+	n.shards[0].apply(nil, &fx)
+	waitFor(t, "fan-out to drain", func() bool { return n.Stats().FramesSent >= 9 })
 
 	st := n.Stats()
 	if st.MessagesEncoded != 1 {
@@ -53,7 +80,8 @@ func TestEncodeOnceFanout(t *testing.T) {
 	fx.Reset()
 	fx.SendAll(tos[:6], benchAccept())
 	fx.SendAll(tos, msgs.Deliver{ID: mcast.MakeMsgID(30, 7), Bal: mcast.Ballot{N: 1, Proc: 0}})
-	n.apply(&fx)
+	n.shards[0].apply(nil, &fx)
+	waitFor(t, "second fan-out to drain", func() bool { return n.Stats().FramesSent >= 9+6+9 })
 	st = n.Stats()
 	if st.MessagesEncoded != 3 {
 		t.Errorf("MessagesEncoded = %d, want 3 total", st.MessagesEncoded)
@@ -65,7 +93,7 @@ func TestEncodeOnceFanout(t *testing.T) {
 
 // TestFanoutSharesOneFrame verifies the shared frame actually reaches every
 // writer queue as the same buffer (pointer-identical), i.e. the fan-out does
-// not copy per recipient.
+// not copy per destination address.
 func TestFanoutSharesOneFrame(t *testing.T) {
 	n, err := Serve(Config{
 		PID:        100,
@@ -76,24 +104,25 @@ func TestFanoutSharesOneFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
+	ws := make([]*writer, 3)
+	addrs := []string{"cap-x", "cap-y", "cap-z"}
 	for pid := mcast.ProcessID(0); pid < 3; pid++ {
-		n.SetPeer(pid, "127.0.0.1:1")
+		ws[pid] = captureWriter(n, addrs[pid])
+		n.SetPeer(pid, addrs[pid])
 	}
 
 	var fx node.Effects
 	fx.SendAll([]mcast.ProcessID{0, 1, 2}, benchAccept())
-	n.apply(&fx)
+	n.shards[0].apply(nil, &fx)
+	waitFor(t, "fan-out to drain", func() bool { return n.Stats().FramesSent == 3 })
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	var frames []*outFrame
-	for _, p := range n.peers {
+	for _, w := range ws {
 		select {
-		case f := <-p.out:
-			frames = append(frames, f)
+		case e := <-w.out:
+			frames = append(frames, e.f)
 		default:
-			// The writer goroutine may already have drained its queue
-			// (dial in progress); skip it.
+			t.Fatal("writer queue empty after fan-out")
 		}
 	}
 	for i := 1; i < len(frames); i++ {
@@ -126,34 +155,26 @@ func TestSelfSendBypassesWire(t *testing.T) {
 
 	var fx node.Effects
 	fx.SendAll([]mcast.ProcessID{100}, msgs.Heartbeat{Group: 2, Bal: mcast.Ballot{N: 1, Proc: 100}})
-	n.apply(&fx)
+	n.shards[0].apply(nil, &fx)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	waitFor(t, "self-send to loop back", func() bool {
 		mu.Lock()
-		done := len(got) == 1
-		mu.Unlock()
-		if done {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("self-send never looped back")
-		}
-		time.Sleep(time.Millisecond)
-	}
+		defer mu.Unlock()
+		return len(got) == 1
+	})
 	st := n.Stats()
 	if st.MessagesEncoded != 0 || st.FramesSent != 0 {
 		t.Errorf("self-send touched the wire: %+v", st)
 	}
 }
 
-// TestElasticMailboxNeverBlocks floods a node with more inputs than any
-// bounded mailbox would hold, from inside the handler itself (the classic
+// TestElasticMailboxNeverBlocks floods a node with more inputs than the
+// bounded ring holds, from inside the handler itself (the classic
 // buffer-deadlock shape: the handler loop producing into its own queue).
-// With the elastic FIFO this must complete; with the old bounded channel it
-// would deadlock.
+// With the ring's overflow fallback this must complete; with a blocking
+// bounded mailbox it would deadlock.
 func TestElasticMailboxNeverBlocks(t *testing.T) {
-	const n = 100000 // far above the old 4096-slot mailbox
+	const n = 100000 // far above the default 64-slot ring
 	done := make(chan struct{})
 	var count int
 	var nd *Node
@@ -184,6 +205,9 @@ func TestElasticMailboxNeverBlocks(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("handler loop stalled after %d of %d self-sends", count, n)
 	}
+	if hw := nd.Stats().MailboxHighWater; hw <= 64 {
+		t.Errorf("MailboxHighWater = %d, want > ring capacity (overflow was exercised)", hw)
+	}
 }
 
 // TestStatsCountsDrops verifies OutboundDrops counts address-less sends.
@@ -199,23 +223,21 @@ func TestStatsCountsDrops(t *testing.T) {
 	defer n.Close()
 	var fx node.Effects
 	fx.Send(55, msgs.Heartbeat{Group: 0}) // no address registered
-	n.apply(&fx)
-	if st := n.Stats(); st.OutboundDrops != 1 {
-		t.Errorf("OutboundDrops = %d, want 1", st.OutboundDrops)
-	}
+	n.shards[0].apply(nil, &fx)
+	waitFor(t, "drop to be counted", func() bool { return n.Stats().OutboundDrops == 1 })
 }
 
-// TestFrameRoundTripPreservesWire round-trips a frame through encodeFrame
-// and decodeFrameBody, checking the borrow-decoded message against the
-// original.
+// TestFrameRoundTripPreservesWire round-trips a frame body through
+// encodeFrame and decodeFrameBody, checking the borrow-decoded message
+// against the original.
 func TestFrameRoundTripPreservesWire(t *testing.T) {
 	n := newBenchNode(7)
 	orig := benchAccept()
-	f, err := n.encodeFrame(orig)
+	f, err := n.encodeFrame(7, orig)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rcv, err := decodeFrameBody(f.buf[4:])
+	rcv, err := decodeFrameBody(f.buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,6 +103,21 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 			e.u64(uint64(ent.ID))
 			e.bytes(ent.Payload)
 		}
+	case msgs.AckBatch:
+		e.u64(uint64(len(m.Entries)))
+		for _, ent := range m.Entries {
+			if ent.Msg == nil || !ent.Msg.Kind().IsAck() {
+				return nil, fmt.Errorf("wire: ack batch entry is not ack-class")
+			}
+			e.i32(int32(ent.To))
+			// Entries nest a complete [kind][body] encoding, so the
+			// same top-level codec handles them.
+			buf, err := Encode(e.buf, ent.Msg)
+			if err != nil {
+				return nil, err
+			}
+			e.buf = buf
+		}
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message kind %v", m.Kind())
 	}
@@ -139,6 +154,20 @@ func decode(data []byte, borrow bool) (msgs.Message, error) {
 	}
 	d := decoder{buf: data[1:], borrow: borrow}
 	kind := msgs.Kind(data[0])
+	m := d.message(kind)
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", kind, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(d.buf), kind)
+	}
+	return m, nil
+}
+
+// message decodes one message body of the given kind from the cursor,
+// leaving any following bytes in place (the top-level decode checks for
+// trailing bytes; AckBatch entries decode in sequence).
+func (d *decoder) message(kind msgs.Kind) msgs.Message {
 	var m msgs.Message
 	switch kind {
 	case msgs.KindMulticast:
@@ -207,16 +236,39 @@ func decode(data []byte, borrow bool) (msgs.Message, error) {
 			}
 		}
 		m = b
+	case msgs.KindAckBatch:
+		ab := msgs.AckBatch{}
+		n := d.u64()
+		if d.validCount(n) {
+			ab.Entries = make([]msgs.AckEntry, 0, n)
+			for i := uint64(0); i < n; i++ {
+				to := mcast.ProcessID(d.i32())
+				if d.err != nil {
+					break
+				}
+				if len(d.buf) == 0 {
+					d.fail(fmt.Errorf("truncated ack batch entry"))
+					break
+				}
+				k := msgs.Kind(d.buf[0])
+				if !k.IsAck() {
+					// Also rules out nested AckBatch.
+					d.fail(fmt.Errorf("ack batch entry of non-ack kind %v", k))
+					break
+				}
+				d.buf = d.buf[1:]
+				sub := d.message(k)
+				if d.err != nil {
+					break
+				}
+				ab.Entries = append(ab.Entries, msgs.AckEntry{To: to, Msg: sub})
+			}
+		}
+		m = ab
 	default:
-		return nil, fmt.Errorf("wire: unknown message kind %d", data[0])
+		d.fail(fmt.Errorf("unknown message kind %d", kind))
 	}
-	if d.err != nil {
-		return nil, fmt.Errorf("wire: decoding %v: %w", kind, d.err)
-	}
-	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(d.buf), kind)
-	}
-	return m, nil
+	return m
 }
 
 // --------------------------------------------------------------------------

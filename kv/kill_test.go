@@ -44,9 +44,10 @@ func kvKillConfig(peers map[wbcast.ProcessID]string) wbcast.Config {
 		Delta:     2 * time.Millisecond,
 		Transport: wbcast.TCP("", peers),
 		// GC-pruned protocol records cannot be replayed to the engine, so
-		// the durable-kv deployment shape keeps them until snapshotted
-		// state covers them (docs/KVSTORE.md discusses the trade).
-		DisableGC: true,
+		// pruning waits for the engine's durability horizon: AttachShard
+		// with Persist raises it after every logged apply, and nothing is
+		// pruned above it (docs/KVSTORE.md discusses the trade).
+		AppGCHorizon: true,
 	}
 }
 

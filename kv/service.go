@@ -92,8 +92,13 @@ func AttachShard(r *wbcast.Replica, opts ShardOptions) (*Shard, error) {
 	g := r.Group()
 	reg := obs.NewRegistry(fmt.Sprintf(`proc="%d"`, r.ID()))
 	var persist kvstore.Persister
+	var onDurable func(wbcast.Timestamp)
 	if opts.Persist {
 		persist = r
+		// Every applied delivery is in the replica's WAL before the engine
+		// moves on, so the app durability frontier can raise the protocol's
+		// GC horizon (Config.AppGCHorizon) instead of disabling GC.
+		onDurable = r.AdvanceGCHorizon
 	}
 	eng := kvstore.NewEngine(kvstore.EngineConfig{
 		Group: g,
@@ -101,11 +106,12 @@ func AttachShard(r *wbcast.Replica, opts ShardOptions) (*Shard, error) {
 		Owns: func(key []byte) bool {
 			return part.Shard(key, opts.Shards) == int(g)
 		},
-		OnResult:      opts.OnResult,
-		Persist:       persist,
-		SnapshotEvery: opts.SnapshotEvery,
-		RecordApplied: opts.RecordApplied,
-		Registry:      reg,
+		OnResult:          opts.OnResult,
+		Persist:           persist,
+		SnapshotEvery:     opts.SnapshotEvery,
+		RecordApplied:     opts.RecordApplied,
+		OnDurableFrontier: onDurable,
+		Registry:          reg,
 	})
 	rs := r.RecoveredAppState()
 	if err := eng.Recover(rs.Snapshot, rs.Log, rs.Replay); err != nil {

@@ -344,6 +344,18 @@ func (r *Replica) SaveAppSnapshot(snap []byte) error {
 	return r.store.Snapshot()
 }
 
+// AdvanceGCHorizon reports that the application's own durable state covers
+// every delivery with global timestamp at or below ts, so the protocol may
+// garbage-collect its records for them (Config.AppGCHorizon). The horizon
+// is monotone — a stale ts is a no-op — and is advisory: a horizon lost to
+// a crash or a closed transport is simply re-raised by the application's
+// next durable apply. Without Config.AppGCHorizon the input is ignored.
+func (r *Replica) AdvanceGCHorizon(ts Timestamp) {
+	// Best-effort by design: an error here means the replica is closed or
+	// crashed, and a fresh horizon will be re-derived after recovery.
+	_ = r.tr.inject(r.pid, node.GCHorizon{TS: ts})
+}
+
 // appReplay reconstructs the deliveries replica group g had already
 // exposed before a crash, from the protocol's durable message records:
 // committed records addressed to g with GTS at or below the durable

@@ -614,6 +614,9 @@ func (t *tcpTransport) add(h node.Handler, opts hostOptions) error {
 	// over the node's live queue.
 	opts.reg.RegisterFunc(obs.MetricMailboxDepth, "current input-queue length", obs.KindGauge,
 		n.MailboxDepth)
+	opts.reg.RegisterFunc(obs.MetricShardQueueDepth+fmt.Sprintf(`{shard="p%d"}`, pid),
+		"current input-mailbox depth of one protocol shard", obs.KindGauge,
+		func() int64 { return n.ShardDepth(pid) })
 	t.nodes[pid] = n
 	// Ephemeral-port fix-up: when the configured address left the port to
 	// the kernel, adopt the actual bound address and teach every local node

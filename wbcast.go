@@ -311,6 +311,16 @@ type Config struct {
 	// DisableGC turns off garbage collection of delivered messages
 	// (WhiteBox only; the baselines retain delivered state regardless).
 	DisableGC bool
+	// AppGCHorizon gates garbage collection on an application durability
+	// horizon (WhiteBox only): a delivered message's protocol record is
+	// pruned only once the watermark conditions hold AND the application
+	// has reported, via Replica.AdvanceGCHorizon, that its own durable
+	// state covers the message's global timestamp — so GC can never
+	// discard a record the app would still need replayed after a crash.
+	// Nothing is pruned before the first AdvanceGCHorizon call; durable
+	// applications (e.g. kv.AttachShard with Persist) raise the horizon
+	// automatically. Supersedes the DisableGC footgun for durable apps.
+	AppGCHorizon bool
 	// Batching, when non-nil, batches each client's payloads into
 	// protocol-level multicasts per destination set (see the package
 	// documentation). Nil disables batching: every payload is ordered
@@ -453,6 +463,7 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.
 		if cfg.DisableGC {
 			rc.GCInterval = 0
 		}
+		rc.AppGCHorizon = cfg.AppGCHorizon
 		if det {
 			rc.RetryInterval, rc.HeartbeatInterval, rc.SuspectTimeout, rc.GCInterval = 0, 0, 0, 0
 		}
