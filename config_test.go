@@ -8,18 +8,50 @@ import (
 	"wbcast"
 )
 
-func TestParseProtocol(t *testing.T) {
-	// Every valid name round-trips through String.
-	for _, want := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen, wbcast.Skeen} {
-		got, err := wbcast.ParseProtocol(want.String())
-		if err != nil {
-			t.Fatalf("ParseProtocol(%q): %v", want.String(), err)
+// allProtocols enumerates every defined Protocol value by walking from the
+// first (the zero value is the "default" sentinel, not a protocol) until
+// String falls back to the "Protocol(n)" form — so the round-trip test below
+// cannot silently go stale when a protocol is added.
+func allProtocols(t *testing.T) []wbcast.Protocol {
+	t.Helper()
+	var ps []wbcast.Protocol
+	for p := wbcast.WhiteBox; ; p++ {
+		if strings.HasPrefix(p.String(), "Protocol(") {
+			break
 		}
-		if got != want {
-			t.Fatalf("ParseProtocol(%q) = %v, want %v", want.String(), got, want)
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestParseProtocol(t *testing.T) {
+	ps := allProtocols(t)
+	want := []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen, wbcast.Skeen, wbcast.Genmcast}
+	if len(ps) != len(want) {
+		t.Fatalf("enumeration found %d protocols, the known list has %d — update this test", len(ps), len(want))
+	}
+	// Every valid name round-trips through String, exhaustively.
+	for i, p := range ps {
+		if p != want[i] {
+			t.Fatalf("protocol %d is %v, want %v", i, p, want[i])
+		}
+		got, err := wbcast.ParseProtocol(p.String())
+		if err != nil {
+			t.Fatalf("ParseProtocol(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParseProtocol(%q) = %v, want %v", p.String(), got, p)
 		}
 	}
-	for _, bad := range []string{"", "WBCAST", "wbcast ", "paxos", "white-box"} {
+	// Names must be unique: a duplicate would make ParseProtocol ambiguous.
+	names := make(map[string]wbcast.Protocol, len(ps))
+	for _, p := range ps {
+		if prev, dup := names[p.String()]; dup {
+			t.Fatalf("protocols %v and %v share the name %q", prev, p, p.String())
+		}
+		names[p.String()] = p
+	}
+	for _, bad := range []string{"", "WBCAST", "wbcast ", "paxos", "white-box", "Genmcast", "generic"} {
 		if _, err := wbcast.ParseProtocol(bad); err == nil {
 			t.Errorf("ParseProtocol(%q) accepted", bad)
 		} else if !strings.Contains(err.Error(), "unknown protocol") {
@@ -55,6 +87,14 @@ func TestValidateEdgeCases(t *testing.T) {
 			c.Latency = wbcast.LAN()
 			c.Transport = wbcast.TCP("", map[wbcast.ProcessID]string{})
 		}, "Latency"},
+		{"conflicts without genmcast", func(c *wbcast.Config) {
+			c.Conflicts = func(a, b []byte) bool { return true }
+		}, "requires the genmcast protocol"},
+		{"conflicts on skeen", func(c *wbcast.Config) {
+			c.Protocol = wbcast.Skeen
+			c.Replicas = 1
+			c.Conflicts = func(a, b []byte) bool { return true }
+		}, "requires the genmcast protocol"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -68,6 +108,17 @@ func TestValidateEdgeCases(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.errHas)
 			}
 		})
+	}
+
+	// Genmcast accepts a conflict relation — and works without one (nil
+	// treats every pair as conflicting, i.e. plain atomic multicast).
+	for _, rel := range []wbcast.ConflictRelation{nil, func(a, b []byte) bool { return false }} {
+		cfg := valid
+		cfg.Protocol = wbcast.Genmcast
+		cfg.Conflicts = rel
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected genmcast (Conflicts nil=%v): %v", rel == nil, err)
+		}
 	}
 
 	// The same latency profile is fine on the non-TCP transports.

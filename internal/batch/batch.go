@@ -136,3 +136,46 @@ func Expand(d mcast.Delivery) []mcast.Delivery {
 	ExpandInto(&fx, d)
 	return fx.Deliveries
 }
+
+// Conflicts lifts a payload-level conflict relation to whole protocol
+// messages: batch envelopes are expanded and two messages conflict iff any
+// pair of their payloads does. An envelope that fails to decode
+// conservatively conflicts with everything (a safe over-approximation —
+// see mcast.ConflictRelation). A nil rel yields nil (all-conflict).
+func Conflicts(rel mcast.ConflictRelation) mcast.MsgConflicts {
+	if rel == nil {
+		return nil
+	}
+	payloadsOf := func(m mcast.AppMsg) ([][]byte, bool) {
+		if !IsBatchID(m.ID) {
+			return [][]byte{m.Payload}, true
+		}
+		entries, err := DecodePayload(m.Payload)
+		if err != nil {
+			return nil, false
+		}
+		ps := make([][]byte, len(entries))
+		for i, e := range entries {
+			ps[i] = e.Payload
+		}
+		return ps, true
+	}
+	return func(a, b mcast.AppMsg) bool {
+		pa, ok := payloadsOf(a)
+		if !ok {
+			return true
+		}
+		pb, ok := payloadsOf(b)
+		if !ok {
+			return true
+		}
+		for _, x := range pa {
+			for _, y := range pb {
+				if rel(x, y) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}

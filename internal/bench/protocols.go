@@ -6,6 +6,7 @@ import (
 	"wbcast/internal/core"
 	"wbcast/internal/fastcast"
 	"wbcast/internal/ftskeen"
+	"wbcast/internal/genmcast"
 	"wbcast/internal/harness"
 	"wbcast/internal/skeen"
 )
@@ -18,11 +19,16 @@ var (
 	protoFTSkeen  harness.Protocol = ftskeen.Protocol{}
 	protoFastCast harness.Protocol = fastcast.Protocol{}
 	protoWbCast   harness.Protocol = core.Protocol{}
+	// protoGenmcast runs the conflict-aware protocol under a synthetic
+	// 4-class payload relation, so roughly 3/4 of random payload pairs
+	// commute — enough contention to stay honest, enough commutativity for
+	// early release to show up in the numbers.
+	protoGenmcast harness.Protocol = genmcast.Protocol{Relation: genmcast.PayloadClasses(4)}
 )
 
 // ProtocolByName resolves a protocol name ("wbcast", "fastcast", "ftskeen",
-// "skeen") to its harness adapter; fault-tolerant protocols are configured
-// with live timers derived from delta when live is true.
+// "skeen", "genmcast") to its harness adapter; fault-tolerant protocols are
+// configured with live timers derived from delta when live is true.
 func ProtocolByName(name string) (harness.Protocol, error) {
 	switch name {
 	case "skeen":
@@ -33,8 +39,10 @@ func ProtocolByName(name string) (harness.Protocol, error) {
 		return protoFastCast, nil
 	case "wbcast":
 		return protoWbCast, nil
+	case "genmcast":
+		return protoGenmcast, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown protocol %q (want wbcast, fastcast, ftskeen or skeen)", name)
+		return nil, fmt.Errorf("bench: unknown protocol %q (want wbcast, fastcast, ftskeen, skeen or genmcast)", name)
 	}
 }
 

@@ -76,6 +76,13 @@ type Config struct {
 	// unbatched histories have Sub ≡ 0, reducing these to the paper's pure
 	// GTS invariants.
 	CheckGTS bool
+	// Conflicts, when non-nil, switches Ordering and the per-process GTS
+	// sequence check to the partial-order contract of the conflict-aware
+	// (genmcast) protocol: only *conflicting* pairs of deliveries must
+	// agree in order across processes and be stamp-ordered within each
+	// process; commuting pairs may interleave freely. Stamp agreement,
+	// uniqueness, Validity, Integrity and Termination are unchanged.
+	Conflicts func(a, b mcast.AppMsg) bool
 }
 
 // Check verifies the history and returns all violations found.
@@ -103,12 +110,13 @@ func (h *History) Check(cfg Config) []error {
 		}
 	}
 
-	// Ordering: the union of per-process delivery precedences must be
-	// acyclic; then a topological extension is a valid total order ≺.
-	errs = append(errs, h.checkOrdering()...)
+	// Ordering: the union of per-process delivery precedences (restricted
+	// to conflicting pairs in partial-order mode) must be acyclic; then a
+	// topological extension is a valid total order ≺.
+	errs = append(errs, h.checkOrdering(cfg.Conflicts)...)
 
 	if cfg.CheckGTS {
-		errs = append(errs, h.checkGTS()...)
+		errs = append(errs, h.checkGTS(cfg.Conflicts)...)
 	}
 
 	if cfg.AtQuiescence {
@@ -119,8 +127,11 @@ func (h *History) Check(cfg Config) []error {
 
 // checkOrdering builds the precedence graph (edge m1→m2 when some process
 // delivers m1 before m2) and reports cycles. Pairwise disagreement between
-// two processes is a 2-cycle and is reported with a specific message.
-func (h *History) checkOrdering() []error {
+// two processes is a 2-cycle and is reported with a specific message. With
+// a conflict relation, only conflicting pairs constrain the order — the
+// graph omits edges between commuting messages, so processes may disagree
+// on their relative order without creating a cycle.
+func (h *History) checkOrdering(conflicts func(a, b mcast.AppMsg) bool) []error {
 	var errs []error
 	type edge struct{ a, b mcast.MsgID }
 	edges := make(map[edge]mcast.ProcessID)
@@ -138,6 +149,9 @@ func (h *History) checkOrdering() []error {
 				a, b := ds[i].Msg.ID, ds[j].Msg.ID
 				if a == b {
 					continue // integrity violation reported elsewhere
+				}
+				if conflicts != nil && !conflicts(ds[i].Msg, ds[j].Msg) {
+					continue // commuting pair: order unconstrained
 				}
 				if q, rev := edges[edge{b, a}]; rev {
 					errs = append(errs, fmt.Errorf(
@@ -181,8 +195,11 @@ func (h *History) checkOrdering() []error {
 }
 
 // checkGTS verifies the timestamp-facing guarantees over the (GTS, Sub)
-// pairs that order per-payload deliveries.
-func (h *History) checkGTS() []error {
+// pairs that order per-payload deliveries. With a conflict relation the
+// per-process sequence check relaxes to conflicting pairs: every pair of
+// conflicting deliveries at one process must appear in stamp order, while
+// commuting deliveries may interleave out of stamp order.
+func (h *History) checkGTS(conflicts func(a, b mcast.AppMsg) bool) []error {
 	type stamp struct {
 		gts mcast.Timestamp
 		sub int
@@ -191,14 +208,21 @@ func (h *History) checkGTS() []error {
 	gtsOf := make(map[mcast.MsgID]stamp)
 	tsUsed := make(map[stamp]mcast.MsgID)
 	for _, p := range h.procs {
-		var prev mcast.Delivery
-		first := true
-		for _, d := range h.deliveries[p] {
-			if !first && !prev.Before(d) {
-				errs = append(errs, fmt.Errorf("gts: p%d delivered %v with (GTS,sub) (%v,%d) not above previous (%v,%d)",
-					p, d.Msg.ID, d.GTS, d.Sub, prev.GTS, prev.Sub))
+		ds := h.deliveries[p]
+		for i, d := range ds {
+			if conflicts == nil {
+				if i > 0 && !ds[i-1].Before(d) {
+					errs = append(errs, fmt.Errorf("gts: p%d delivered %v with (GTS,sub) (%v,%d) not above previous (%v,%d)",
+						p, d.Msg.ID, d.GTS, d.Sub, ds[i-1].GTS, ds[i-1].Sub))
+				}
+			} else {
+				for j := 0; j < i; j++ {
+					if d.Before(ds[j]) && conflicts(ds[j].Msg, d.Msg) {
+						errs = append(errs, fmt.Errorf("gts: p%d delivered conflicting %v (GTS,sub) (%v,%d) after %v (%v,%d) — stamp order inverted",
+							p, d.Msg.ID, d.GTS, d.Sub, ds[j].Msg.ID, ds[j].GTS, ds[j].Sub))
+					}
+				}
 			}
-			prev, first = d, false
 			st := stamp{gts: d.GTS, sub: d.Sub}
 			if want, ok := gtsOf[d.Msg.ID]; ok {
 				if want != st {

@@ -191,3 +191,86 @@ func searchStr(h, n string) bool {
 	}
 	return false
 }
+
+// pmsg is msg with a payload, for conflict-relation histories.
+func pmsg(seq uint32, payload string, dest ...mcast.GroupID) mcast.AppMsg {
+	m := msg(seq, dest...)
+	m.Payload = []byte(payload)
+	return m
+}
+
+// firstByteConflict: payloads conflict iff their first bytes match.
+func firstByteConflict(a, b mcast.AppMsg) bool {
+	return len(a.Payload) > 0 && len(b.Payload) > 0 && a.Payload[0] == b.Payload[0]
+}
+
+// TestPartialOrderAllowsCommutingDisagreement: with a conflict relation,
+// two processes delivering a *commuting* pair in opposite orders (and out
+// of stamp order locally) is legal — neither Ordering nor the per-process
+// GTS check may flag it.
+func TestPartialOrderAllowsCommutingDisagreement(t *testing.T) {
+	h, _, cfg := base(t)
+	cfg.Conflicts = firstByteConflict
+	a, b := pmsg(1, "a-put", 0, 1), pmsg(2, "b-put", 0, 1)
+	h.AddSubmit(100, a)
+	h.AddSubmit(100, b)
+	h.AddDelivery(0, del(a, 1, 0))
+	h.AddDelivery(0, del(b, 2, 0))
+	h.AddDelivery(1, del(b, 2, 0)) // opposite order at p1: commuting, fine
+	h.AddDelivery(1, del(a, 1, 0))
+	if errs := h.Check(cfg); len(errs) != 0 {
+		t.Fatalf("commuting disagreement flagged: %v", errs)
+	}
+}
+
+// TestPartialOrderFlagsConflictingDisagreement: the same inverted pair with
+// payloads that conflict must be flagged by both the Ordering graph and the
+// per-process stamp check.
+func TestPartialOrderFlagsConflictingDisagreement(t *testing.T) {
+	h, _, cfg := base(t)
+	cfg.Conflicts = firstByteConflict
+	a, b := pmsg(1, "a-put", 0, 1), pmsg(2, "a-del", 0, 1)
+	h.AddSubmit(100, a)
+	h.AddSubmit(100, b)
+	h.AddDelivery(0, del(a, 1, 0))
+	h.AddDelivery(0, del(b, 2, 0))
+	h.AddDelivery(1, del(b, 2, 0))
+	h.AddDelivery(1, del(a, 1, 0))
+	var hasOrdering, hasStamp bool
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "ordering") {
+			hasOrdering = true
+		}
+		if containsStr(err.Error(), "stamp order inverted") {
+			hasStamp = true
+		}
+	}
+	if !hasOrdering || !hasStamp {
+		t.Fatalf("conflicting disagreement missed (ordering=%v stamp=%v)", hasOrdering, hasStamp)
+	}
+}
+
+// TestPartialOrderKeepsStampInvariants: stamp agreement and uniqueness are
+// unchanged by the relaxation.
+func TestPartialOrderKeepsStampInvariants(t *testing.T) {
+	h, _, cfg := base(t)
+	cfg.Conflicts = firstByteConflict
+	a, b := pmsg(1, "a", 0, 1), pmsg(2, "b", 0, 1)
+	h.AddSubmit(100, a)
+	h.AddSubmit(100, b)
+	h.AddDelivery(0, del(a, 5, 0))
+	h.AddDelivery(1, del(a, 6, 0)) // Invariant 3b
+	h.AddDelivery(0, del(b, 5, 0)) // Invariant 4 (same stamp as a at p0)
+	var has3b, has4 bool
+	for _, err := range h.Check(cfg) {
+		if containsStr(err.Error(), "3b") {
+			has3b = true
+		}
+		if containsStr(err.Error(), "Invariant 4") {
+			has4 = true
+		}
+	}
+	if !has3b || !has4 {
+		t.Fatalf("stamp invariants missed (3b=%v 4=%v)", has3b, has4)
+	}
+}

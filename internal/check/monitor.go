@@ -25,6 +25,14 @@ import (
 //
 // Liveness (Termination) is inherently a quiescence property and stays in
 // History.Check; run both, pouring the same records into each.
+//
+// A monitor built with NewPartialMonitor instead checks the partial-order
+// contract of the conflict-aware (genmcast) protocol: validity, exactly-once
+// and the stamp invariants are unchanged, but per-process delivery order is
+// only required between *conflicting* deliveries — every pair of conflicting
+// deliveries must appear in stamp order at every process that delivers both,
+// while commuting deliveries may interleave freely (so the strict
+// stamp-monotonicity and group gap-freedom checks do not apply).
 type Monitor struct {
 	top       *mcast.Topology
 	submitted map[mcast.MsgID]submitInfo
@@ -39,7 +47,19 @@ type Monitor struct {
 	groupLog map[mcast.GroupID][]groupEntry
 	pos      map[mcast.ProcessID]int
 
+	// Partial-order mode (NewPartialMonitor): the conflict relation over
+	// delivered payloads, and each process's full delivery log — every new
+	// delivery is checked for stamp order against all prior conflicting
+	// deliveries at that process.
+	conflicts func(a, b mcast.AppMsg) bool
+	plog      map[mcast.ProcessID][]pdeliv
+
 	errs []error
+}
+
+type pdeliv struct {
+	stamp stampKey
+	msg   mcast.AppMsg
 }
 
 type stampKey struct {
@@ -65,6 +85,21 @@ func NewMonitor(top *mcast.Topology) *Monitor {
 		groupLog:  make(map[mcast.GroupID][]groupEntry),
 		pos:       make(map[mcast.ProcessID]int),
 	}
+}
+
+// NewPartialMonitor builds a monitor for the conflict-aware delivery
+// contract: conflicting deliveries must be stamp-ordered at every common
+// process, commuting deliveries are unconstrained. A nil conflicts relation
+// treats every pair as conflicting (ordering every pair without requiring
+// the strict per-process sequence).
+func NewPartialMonitor(top *mcast.Topology, conflicts func(a, b mcast.AppMsg) bool) *Monitor {
+	mo := NewMonitor(top)
+	if conflicts == nil {
+		conflicts = func(a, b mcast.AppMsg) bool { return true }
+	}
+	mo.conflicts = conflicts
+	mo.plog = make(map[mcast.ProcessID][]pdeliv)
+	return mo
 }
 
 // NoteSubmit records that sender multicast m.
@@ -100,11 +135,13 @@ func (mo *Monitor) NoteDelivery(p mcast.ProcessID, d mcast.Delivery) {
 	}
 	mo.seen[p][id] = true
 
-	if mo.hasLast[p] && !less(mo.last[p], st) {
-		mo.fail("gts: p%d delivered %v with (GTS,sub) (%v,%d) not above previous (%v,%d)",
-			p, id, st.gts, st.sub, mo.last[p].gts, mo.last[p].sub)
+	if mo.plog == nil {
+		if mo.hasLast[p] && !less(mo.last[p], st) {
+			mo.fail("gts: p%d delivered %v with (GTS,sub) (%v,%d) not above previous (%v,%d)",
+				p, id, st.gts, st.sub, mo.last[p].gts, mo.last[p].sub)
+		}
+		mo.last[p], mo.hasLast[p] = st, true
 	}
-	mo.last[p], mo.hasLast[p] = st, true
 
 	if want, ok := mo.stampOf[id]; ok {
 		if want != st {
@@ -117,6 +154,20 @@ func (mo *Monitor) NoteDelivery(p mcast.ProcessID, d mcast.Delivery) {
 			mo.fail("gts: %v and %v share (GTS,sub) (%v,%d) (Invariant 4)", id, other, st.gts, st.sub)
 		}
 		mo.stampUsed[st] = id
+	}
+
+	if mo.plog != nil {
+		// Partial order: every prior conflicting delivery at p must carry a
+		// smaller stamp. Commuting deliveries may interleave freely, so the
+		// strict sequence and gap checks below do not apply.
+		for _, prev := range mo.plog[p] {
+			if less(st, prev.stamp) && mo.conflicts(prev.msg, d.Msg) {
+				mo.fail("order: p%d delivered conflicting %v (GTS,sub) (%v,%d) after %v (%v,%d) — stamp order inverted",
+					p, id, st.gts, st.sub, prev.msg.ID, prev.stamp.gts, prev.stamp.sub)
+			}
+		}
+		mo.plog[p] = append(mo.plog[p], pdeliv{stamp: st, msg: d.Msg.Clone()})
+		return
 	}
 
 	// Gap-freedom: p's next delivery must be the next entry of its group's

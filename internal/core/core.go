@@ -92,6 +92,15 @@ type Config struct {
 	// durable in its own right. Until the first GCHorizon input arrives
 	// nothing is pruned.
 	AppGCHorizon bool
+	// Conflicts, when non-nil, switches the replica to conflict-aware
+	// (generic multicast) delivery: committed messages are released as soon
+	// as their order against all *conflicting* messages is settled, without
+	// waiting for smaller timestamps of commuting messages (conflict.go).
+	// The holder's relation may be replaced at runtime (tightening the
+	// relation mid-stream is always safe; the protocol only ever
+	// over-approximates conflicts). Conflict mode disables GC regardless of
+	// GCInterval.
+	Conflicts *mcast.ConflictHolder
 }
 
 // DefaultConfig returns a production-style configuration for the given
@@ -196,6 +205,28 @@ type Replica struct {
 	appHorizonSet bool
 	// pruned counts messages garbage-collected at this replica.
 	pruned int
+
+	// Conflict-mode bookkeeping (conflict.go); unused otherwise.
+	//
+	// pendRel indexes the tracked messages with a payload that are not yet
+	// released/applied here — the candidates and blockers of the release
+	// scan.
+	pendRel map[mcast.MsgID]*mstate
+	// relSeq/relLog are the leader's per-ballot release sequence: release
+	// i (1-based) carried Seq i and message relLog[i-1].
+	relSeq uint64
+	relLog []mcast.MsgID
+	// lastSeq is this replica's cursor over the current ballot's release
+	// sequence (the conflict-mode replacement for the GTS frontier).
+	lastSeq uint64
+	// lastAckSeq remembers each member's previous heartbeat-ack cursor
+	// (leader): a non-advancing cursor marks a stalled follower.
+	lastAckSeq map[mcast.ProcessID]uint64
+	// applied marks messages handed to the application at this replica. It
+	// outlives ballot changes and wholesale state installs — a committed
+	// record can transiently drop out of a merged state and reappear with
+	// the same stamps — and is the authoritative re-delivery guard.
+	applied map[mcast.MsgID]bool
 }
 
 // NewReplica constructs a white-box replica.
@@ -210,6 +241,11 @@ func NewReplica(cfg Config) (*Replica, error) {
 	if cfg.SuspectTimeout == 0 {
 		cfg.SuspectTimeout = 4 * cfg.HeartbeatInterval
 	}
+	if cfg.Conflicts != nil {
+		// Conflict mode never prunes: the release log and the applied set
+		// reference every delivered message (conflict.go).
+		cfg.GCInterval = 0
+	}
 	r := &Replica{
 		cfg:         cfg,
 		pid:         cfg.PID,
@@ -223,6 +259,11 @@ func NewReplica(cfg Config) (*Replica, error) {
 		deliveredWM: make(map[mcast.ProcessID]mcast.Timestamp),
 		lastAckWM:   make(map[mcast.ProcessID]mcast.Timestamp),
 		groupWM:     make(map[mcast.GroupID]mcast.Timestamp),
+	}
+	if cfg.Conflicts != nil {
+		r.pendRel = make(map[mcast.MsgID]*mstate)
+		r.lastAckSeq = make(map[mcast.ProcessID]uint64)
+		r.applied = make(map[mcast.MsgID]bool)
 	}
 	r.groupPeers = cfg.Top.Peers(r.pid)
 	for gid := mcast.GroupID(0); int(gid) < cfg.Top.NumGroups(); gid++ {
@@ -254,12 +295,22 @@ func NewReplica(cfg Config) (*Replica, error) {
 		r.clock = rs.Clock
 		r.maxDeliveredGTS = rs.MaxDelivered
 		r.lastDeliverGTS = rs.LastDeliver
+		if r.conflictMode() {
+			// The durable applied set, not the frontier, says what the
+			// application has seen (releases are not in GTS order).
+			for id := range rs.Delivered {
+				r.applied[id] = true
+			}
+		}
 		for id, rec := range rs.Records {
 			st := &mstate{app: rec.M.Clone(), hasApp: true, phase: rec.Phase, lts: rec.LTS, gts: rec.GTS}
-			if rec.Phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(rec.GTS) {
+			if r.conflictMode() {
+				st.delivered = r.applied[id]
+			} else if rec.Phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(rec.GTS) {
 				st.delivered = true
 			}
 			r.state[id] = st
+			r.trackPending(id, st)
 			// Keep the clock monotone with every persisted timestamp even
 			// when the clock advance itself raced the crash.
 			if r.clock < rec.LTS.Time {
@@ -366,6 +417,7 @@ func (r *Replica) onMulticast(app mcast.AppMsg, fx *node.Effects) {
 		st.app = app.Clone()
 		st.hasApp = true
 		r.cfg.Obs.Begin(app.ID, &st.at)
+		r.trackPending(app.ID, st)
 	}
 	if st.phase == msgs.PhaseStart { // line 5
 		r.clock++                                               // line 6
@@ -394,6 +446,7 @@ func (r *Replica) onAccept(a msgs.Accept, fx *node.Effects) {
 		st.app = a.M.Clone()
 		st.hasApp = true
 		r.cfg.Obs.Begin(a.M.ID, &st.at)
+		r.trackPending(a.M.ID, st)
 	}
 	if st.accepts == nil {
 		st.accepts = make(map[mcast.GroupID]acceptInfo, len(a.M.Dest))
@@ -558,8 +611,13 @@ func (r *Replica) evalCommit(st *mstate, fx *node.Effects) {
 // drain delivers every committed message allowed by the delivery rule, in
 // global-timestamp order, by replicating DELIVER to the whole group
 // (Fig. 4 lines 21–23 and 66–68). The leader's own delivery happens when it
-// processes its self-addressed DELIVER.
+// processes its self-addressed DELIVER. In conflict mode the relaxed rule
+// of drainConflict applies instead.
 func (r *Replica) drain(fx *node.Effects) {
+	if r.conflictMode() {
+		r.drainConflict(fx)
+		return
+	}
 	for {
 		id, gts, ok := r.queue.PopDeliverable()
 		if !ok {
@@ -577,6 +635,10 @@ func (r *Replica) drain(fx *node.Effects) {
 // Duplicates — possible after leader changes, when a new leader re-delivers
 // from the beginning — are rejected by the max_delivered_gts check.
 func (r *Replica) onDeliver(d msgs.Deliver, fx *node.Effects) {
+	if r.conflictMode() {
+		r.onDeliverConflict(d, fx)
+		return
+	}
 	if r.status == StatusRecovering {
 		return // guard of line 25
 	}

@@ -96,7 +96,8 @@ func (r *Replica) onHeartbeat(from mcast.ProcessID, m msgs.Heartbeat, fx *node.E
 	// eventually start its own candidacy to rejoin the group.
 	if m.Bal == r.cballot && r.status == StatusFollower {
 		r.hbSeen = true
-		fx.Send(from, msgs.HeartbeatAck{Group: r.group, Bal: m.Bal, Delivered: r.maxDeliveredGTS})
+		// Seq is the conflict-mode release cursor (zero otherwise).
+		fx.Send(from, msgs.HeartbeatAck{Group: r.group, Bal: m.Bal, Delivered: r.maxDeliveredGTS, Seq: r.lastSeq})
 	}
 }
 
@@ -111,6 +112,16 @@ func (r *Replica) onHeartbeatAck(from mcast.ProcessID, m msgs.HeartbeatAck, fx *
 	}
 	if r.deliveredWM[from].Less(m.Delivered) {
 		r.deliveredWM[from] = m.Delivered
+	}
+	if r.conflictMode() {
+		// Stall detection over the release-sequence cursor instead of the
+		// GTS watermark (releases are not in GTS order in conflict mode).
+		prev, seen := r.lastAckSeq[from]
+		r.lastAckSeq[from] = m.Seq
+		if seen && prev == m.Seq && m.Seq < r.relSeq {
+			r.catchupConflict(from, m.Seq, fx)
+		}
+		return
 	}
 	// Replay only for a STALLED follower: one whose watermark did not
 	// advance since its previous ack. Merely trailing the leader is the
@@ -265,6 +276,12 @@ func (r *Replica) onPrune(m msgs.Prune, fx *node.Effects) {
 }
 
 func (r *Replica) prune(fx *node.Effects) {
+	if r.conflictMode() {
+		// Conflict mode never prunes (the release log and applied set
+		// reference every delivered message); guard against stray PRUNE
+		// messages even though no genmcast leader ever sends one.
+		return
+	}
 	// With an app-driven horizon, the application (which replays our
 	// records at recovery) bounds what may be discarded: nothing above
 	// its durability horizon, and nothing at all before the first

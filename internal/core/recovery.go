@@ -152,13 +152,23 @@ func (r *Replica) onNewLeaderAck(from mcast.ProcessID, m msgs.NewLeaderAck, fx *
 		r.clock = clock // line 54
 	}
 	r.cballot = r.ballot // line 55
-	// Deliveries this process performed before the leader change stay
-	// delivered (max_delivered_gts is never reinitialised).
-	for _, st := range r.state {
-		if st.phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(st.gts) {
-			st.delivered = true
+	if r.conflictMode() {
+		// A new ballot restarts the release sequence from 1 and re-releases
+		// every committed message (followers' cursors reset with NEW_STATE,
+		// and the new release log must cover everything a lagging follower
+		// may still need). Leave all merged records unreleased; the applied
+		// set deduplicates at the application boundary.
+		r.resetReleaseState()
+	} else {
+		// Deliveries this process performed before the leader change stay
+		// delivered (max_delivered_gts is never reinitialised).
+		for _, st := range r.state {
+			if st.phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(st.gts) {
+				st.delivered = true
+			}
 		}
 	}
+	r.rebuildPending()
 
 	// The merged state replaces this replica's records wholesale — in
 	// particular it may DROP accepted entries reported by voters outside J
@@ -185,11 +195,18 @@ func (r *Replica) onNewState(from mcast.ProcessID, m msgs.NewState, fx *node.Eff
 	r.state = make(map[mcast.MsgID]*mstate, len(m.State))
 	for _, rec := range m.State {
 		st := &mstate{app: rec.M.Clone(), hasApp: true, phase: rec.Phase, lts: rec.LTS, gts: rec.GTS}
-		if rec.Phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(rec.GTS) {
+		if r.conflictMode() {
+			st.delivered = r.applied[rec.M.ID]
+		} else if rec.Phase == msgs.PhaseCommitted && !r.maxDeliveredGTS.Less(rec.GTS) {
 			st.delivered = true
 		}
 		r.state[rec.M.ID] = st
 	}
+	if r.conflictMode() {
+		// The new leader numbers its releases from 1; reset the cursor.
+		r.resetReleaseState()
+	}
+	r.rebuildPending()
 	r.queue.Clear() // not leading; the queue is rebuilt on leadership
 	r.noteLeader(r.group, m.Bal)
 	r.hbSeen = true // grace period for the new leader's heartbeats

@@ -1,0 +1,106 @@
+// Package genmcast exposes the conflict-aware (generic multicast) mode of
+// the white-box protocol as a fifth harness protocol. The replica machinery
+// lives in internal/core behind core.Config.Conflicts (see
+// internal/core/conflict.go); this package is the thin adapter that
+// parametrises it with a conflict relation and declares the relaxed
+// delivery contract to the harness, plus a synthetic payload-class relation
+// for chaos tests.
+package genmcast
+
+import (
+	"hash/fnv"
+	"time"
+
+	"wbcast/internal/batch"
+	"wbcast/internal/core"
+	"wbcast/internal/mcast"
+	"wbcast/internal/node"
+	"wbcast/internal/obs"
+	"wbcast/internal/wal"
+)
+
+// Protocol is the harness adapter for conflict-aware generic multicast (it
+// satisfies internal/harness.Protocol structurally, including the
+// observability, durability and conflict extensions).
+type Protocol struct {
+	// RetryInterval, HeartbeatInterval and SuspectTimeout are forwarded to
+	// every replica's Config; zero values disable the corresponding
+	// background behaviour for deterministic tests. There is no GCInterval:
+	// conflict mode never garbage-collects delivered messages.
+	RetryInterval     time.Duration
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	ColdStart         bool
+	// Relation is the payload-level conflict relation; nil treats every
+	// pair as conflicting (degenerating to white-box total order).
+	Relation mcast.ConflictRelation
+}
+
+// Name implements harness.Protocol.
+func (Protocol) Name() string { return "genmcast" }
+
+// NewReplica implements harness.Protocol.
+func (p Protocol) NewReplica(pid mcast.ProcessID, top *mcast.Topology) (node.Handler, error) {
+	return p.NewReplicaObs(pid, top, nil)
+}
+
+// NewReplicaObs implements the harness's optional observability extension.
+func (p Protocol) NewReplicaObs(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto) (node.Handler, error) {
+	return p.NewReplicaStored(pid, top, po, nil)
+}
+
+// NewReplicaStored implements the harness's optional durability extension:
+// rs, when non-nil, makes the replica durable — in conflict mode that
+// includes the applied set (wal.EntryDelivered), which replaces the GTS
+// frontier as the restart re-delivery guard.
+func (p Protocol) NewReplicaStored(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto, rs *wal.State) (node.Handler, error) {
+	return core.NewReplica(core.Config{
+		PID:               pid,
+		Top:               top,
+		RetryInterval:     p.RetryInterval,
+		HeartbeatInterval: p.HeartbeatInterval,
+		SuspectTimeout:    p.SuspectTimeout,
+		ColdStart:         p.ColdStart,
+		Obs:               po,
+		Durable:           rs != nil,
+		Recovered:         rs,
+		Conflicts:         mcast.NewConflictHolder(batch.Conflicts(p.Relation)),
+	})
+}
+
+// Conflicts implements the harness's conflict extension: the relation over
+// per-payload deliveries that the partial-order checks verify against. Nil
+// (every pair conflicts) when no relation is configured.
+func (p Protocol) Conflicts() func(a, b mcast.AppMsg) bool {
+	rel := p.Relation
+	if rel == nil {
+		return nil
+	}
+	return func(a, b mcast.AppMsg) bool { return rel(a.Payload, b.Payload) }
+}
+
+// Contacts implements harness.Protocol: clients contact the initial leader
+// of each group.
+func (Protocol) Contacts(top *mcast.Topology) func(g mcast.GroupID) []mcast.ProcessID {
+	return func(g mcast.GroupID) []mcast.ProcessID {
+		return []mcast.ProcessID{top.InitialLeader(g)}
+	}
+}
+
+// PayloadClasses returns a synthetic conflict relation that hashes payloads
+// into k classes: two payloads conflict iff they land in the same class.
+// Chaos tests use it so roughly 1/k of message pairs conflict — enough
+// commuting pairs for early releases (and cross-replica reorderings) to
+// actually occur, while every class still exercises the ordered path.
+// k ≤ 1 returns nil (every pair conflicts).
+func PayloadClasses(k int) mcast.ConflictRelation {
+	if k <= 1 {
+		return nil
+	}
+	class := func(p []byte) uint32 {
+		h := fnv.New32a()
+		h.Write(p)
+		return h.Sum32() % uint32(k)
+	}
+	return func(a, b []byte) bool { return class(a) == class(b) }
+}

@@ -12,9 +12,11 @@ import (
 	"wbcast/internal/fastcast"
 	"wbcast/internal/faults"
 	"wbcast/internal/ftskeen"
+	"wbcast/internal/genmcast"
 	"wbcast/internal/harness"
 	"wbcast/internal/mcast"
 	"wbcast/internal/sim"
+	"wbcast/internal/skeen"
 )
 
 // Chaos schedule exploration: every seed deterministically generates a
@@ -37,38 +39,65 @@ const (
 	chaosQuiet   = 6 * time.Second  // all faults healed/cleared by here
 )
 
-// chaosProtocols returns the three protocol adapters with their liveness
-// machinery (retries, heartbeats, failure detection) enabled — fault
-// recovery is timer-driven, so chaos runs need the timers the quiescence
-// tests turn off.
-func chaosProtocols() []harness.Protocol {
+// chaosRow is one protocol's entry in the chaos matrix: the adapter with
+// its liveness machinery enabled, plus the cluster shape and fault budget
+// it tolerates.
+type chaosRow struct {
+	proto harness.Protocol
+	// groupSize is 3 for the replicated protocols and 1 for plain Skeen,
+	// which has no intra-group replication.
+	groupSize int
+	// benign restricts the schedule to link faults and clock skew: plain
+	// Skeen assumes reliable processes, so crash/restart and partitions are
+	// off the table (the pattern the kv chaos suite uses for it too).
+	benign bool
+	// durable reports whether the adapter implements StorageProtocol; rows
+	// without it are skipped by the durable chaos variants.
+	durable bool
+}
+
+// chaosRows returns the five-protocol chaos matrix. The fault-tolerant
+// adapters get retries, heartbeats and failure detection — fault recovery
+// is timer-driven, so chaos runs need the timers the quiescence tests turn
+// off. The genmcast row uses a sparse synthetic conflict relation so
+// commuting reorderings actually occur under the partial-order monitor.
+func chaosRows() []chaosRow {
 	d := chaosDelta
-	return []harness.Protocol{
-		core.Protocol{
+	return []chaosRow{
+		{proto: core.Protocol{
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
 			GCInterval:        50 * d,
-		},
-		fastcast.Protocol{
+		}, groupSize: 3, durable: true},
+		{proto: fastcast.Protocol{
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
-		},
-		ftskeen.Protocol{
+		}, groupSize: 3, durable: true},
+		{proto: ftskeen.Protocol{
 			RetryInterval:     20 * d,
 			HeartbeatInterval: 10 * d,
 			SuspectTimeout:    40 * d,
-		},
+		}, groupSize: 3, durable: true},
+		{proto: skeen.Protocol{}, groupSize: 1, benign: true},
+		{proto: genmcast.Protocol{
+			RetryInterval:     20 * d,
+			HeartbeatInterval: 10 * d,
+			SuspectTimeout:    40 * d,
+			Relation:          genmcast.PayloadClasses(4),
+		}, groupSize: 3, durable: true},
 	}
 }
 
-// genPlan derives a random fault schedule from rng over a 2×3 topology
-// (replicas 0..5), within the liveness budget: at most one member of each
-// group is crashed at a time, every crash is restarted, and every
-// partition, link fault and clock skew is lifted by chaosQuiet so the
-// Termination check at the horizon is fair.
-func genPlan(rng *rand.Rand, top *mcast.Topology, clients int) *faults.Plan {
+// genPlan derives a random fault schedule from rng over the topology,
+// within the liveness budget: at most one member of each group is crashed
+// at a time, every crash is restarted, and every partition, link fault and
+// clock skew is lifted by chaosQuiet so the Termination check at the
+// horizon is fair. With benign set, crashes and partitions are skipped —
+// only link degradation and clock skew remain (the fault budget of plain
+// Skeen, which assumes reliable processes).
+func genPlan(rng *rand.Rand, top *mcast.Topology, clients int, benign bool) *faults.Plan {
 	plan := &faults.Plan{}
 	replicas := top.NumReplicas()
 	procs := replicas + clients
@@ -78,7 +107,7 @@ func genPlan(rng *rand.Rand, top *mcast.Topology, clients int) *faults.Plan {
 
 	// Crash/restart pairs, one group at a time.
 	downUntil := make(map[mcast.GroupID]time.Duration)
-	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+	for i, n := 0, 1+rng.Intn(2); i < n && !benign; i++ {
 		p := mcast.ProcessID(rng.Intn(replicas))
 		g := top.GroupOf(p)
 		at := ms(500, 4000)
@@ -93,7 +122,7 @@ func genPlan(rng *rand.Rand, top *mcast.Topology, clients int) *faults.Plan {
 
 	// One partition window: isolate a random replica (possibly a leader),
 	// or split one replica off symmetrically.
-	if rng.Intn(4) > 0 {
+	if !benign && rng.Intn(4) > 0 {
 		p := mcast.ProcessID(rng.Intn(replicas))
 		at := ms(500, 3000)
 		if rng.Intn(2) == 0 {
@@ -135,18 +164,18 @@ func genPlan(rng *rand.Rand, top *mcast.Topology, clients int) *faults.Plan {
 	return plan
 }
 
-// runChaos executes one seeded schedule against one protocol and returns
+// runChaos executes one seeded schedule against one matrix row and returns
 // the canonical delivery log plus the message-lifecycle trace log. Any
 // invariant violation fails t.
-func runChaos(t *testing.T, proto harness.Protocol, seed int64) (delivery, trace []byte) {
+func runChaos(t *testing.T, row chaosRow, seed int64) (delivery, trace []byte) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	top := mcast.UniformTopology(2, 3)
+	top := mcast.UniformTopology(2, row.groupSize)
 	const clients = 2
 	var events []string
-	plan := genPlan(rng, top, clients)
-	c, err := harness.NewCluster(proto, harness.Options{
-		Groups: 2, GroupSize: 3, NumClients: clients,
+	plan := genPlan(rng, top, clients, row.benign)
+	c, err := harness.NewCluster(row.proto, harness.Options{
+		Groups: 2, GroupSize: row.groupSize, NumClients: clients,
 		Latency: sim.Uniform(chaosDelta),
 		Seed:    seed,
 		Retry:   30 * chaosDelta,
@@ -195,11 +224,11 @@ func TestChaos(t *testing.T) {
 			seeds = append(seeds, int64(i))
 		}
 	}
-	for _, proto := range chaosProtocols() {
-		proto := proto
-		t.Run(proto.Name(), func(t *testing.T) {
+	for _, row := range chaosRows() {
+		row := row
+		t.Run(row.proto.Name(), func(t *testing.T) {
 			for _, seed := range seeds {
-				runChaos(t, proto, seed)
+				runChaos(t, row, seed)
 			}
 		})
 	}
@@ -213,11 +242,11 @@ func TestChaosDeterministic(t *testing.T) {
 	if *chaosSeed >= 0 {
 		seed = *chaosSeed
 	}
-	for _, proto := range chaosProtocols() {
-		proto := proto
-		t.Run(proto.Name(), func(t *testing.T) {
-			a, ta := runChaos(t, proto, seed)
-			b, tb := runChaos(t, proto, seed)
+	for _, row := range chaosRows() {
+		row := row
+		t.Run(row.proto.Name(), func(t *testing.T) {
+			a, ta := runChaos(t, row, seed)
+			b, tb := runChaos(t, row, seed)
 			if !bytes.Equal(a, b) {
 				t.Fatalf("seed %d: delivery logs differ between two runs (%d vs %d bytes)", seed, len(a), len(b))
 			}
@@ -232,12 +261,16 @@ func TestChaosDeterministic(t *testing.T) {
 			}
 			// Fault-injection steps must appear interleaved with the
 			// protocol stages (every plan has at least the quiet-period
-			// heal), and sampled messages must reach delivery.
+			// heal), and sampled messages must reach delivery — stage
+			// events only exist for adapters with the observability
+			// extension (plain Skeen has none).
 			if !bytes.Contains(ta, []byte("fault")) {
 				t.Errorf("seed %d: no fault events in the trace", seed)
 			}
-			if !bytes.Contains(ta, []byte("deliver")) {
-				t.Errorf("seed %d: no deliver stages in the trace", seed)
+			if _, traced := row.proto.(harness.ProtocolObs); traced {
+				if !bytes.Contains(ta, []byte("deliver")) {
+					t.Errorf("seed %d: no deliver stages in the trace", seed)
+				}
 			}
 		})
 	}
@@ -248,9 +281,12 @@ func TestChaosDeterministic(t *testing.T) {
 // follower of group 1 crashes and restarts; after the heal, every
 // protocol must satisfy every invariant, including Termination.
 func TestChaosLeaderPartitionReplicaRestart(t *testing.T) {
-	for _, proto := range chaosProtocols() {
-		proto := proto
+	for _, row := range chaosRows() {
+		proto := row.proto
 		t.Run(proto.Name(), func(t *testing.T) {
+			if row.benign {
+				t.Skip("plain Skeen assumes reliable processes; no crash/partition budget")
+			}
 			plan := &faults.Plan{}
 			plan.At(500*time.Millisecond, faults.Isolate{P: 0}) // leader of group 0
 			plan.At(700*time.Millisecond, faults.Crash{P: 4})   // follower in group 1

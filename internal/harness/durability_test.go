@@ -31,16 +31,16 @@ func memStorage() func(pid mcast.ProcessID) (wal.Storage, error) {
 }
 
 // runChaosDurable mirrors runChaos with a per-replica store installed.
-func runChaosDurable(t *testing.T, proto harness.Protocol, seed int64,
+func runChaosDurable(t *testing.T, row chaosRow, seed int64,
 	storage func(pid mcast.ProcessID) (wal.Storage, error)) []byte {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	top := mcast.UniformTopology(2, 3)
+	top := mcast.UniformTopology(2, row.groupSize)
 	const clients = 2
 	var events []string
-	plan := genPlan(rng, top, clients)
-	c, err := harness.NewCluster(proto, harness.Options{
-		Groups: 2, GroupSize: 3, NumClients: clients,
+	plan := genPlan(rng, top, clients, row.benign)
+	c, err := harness.NewCluster(row.proto, harness.Options{
+		Groups: 2, GroupSize: row.groupSize, NumClients: clients,
 		Latency: sim.Uniform(chaosDelta),
 		Seed:    seed,
 		Retry:   30 * chaosDelta,
@@ -92,11 +92,14 @@ func TestChaosDurable(t *testing.T) {
 			seeds = append(seeds, int64(i))
 		}
 	}
-	for _, proto := range chaosProtocols() {
-		proto := proto
-		t.Run(proto.Name(), func(t *testing.T) {
+	for _, row := range chaosRows() {
+		row := row
+		t.Run(row.proto.Name(), func(t *testing.T) {
+			if !row.durable {
+				t.Skipf("%s has no durability support (StorageProtocol)", row.proto.Name())
+			}
 			for _, seed := range seeds {
-				runChaosDurable(t, proto, seed, memStorage())
+				runChaosDurable(t, row, seed, memStorage())
 			}
 		})
 	}
@@ -116,11 +119,14 @@ func TestChaosDurableDiskDeterministic(t *testing.T) {
 			return wal.OpenDisk(filepath.Join(dir, fmt.Sprintf("p%d", pid)), wal.DiskOptions{})
 		}
 	}
-	for _, proto := range chaosProtocols() {
-		proto := proto
-		t.Run(proto.Name(), func(t *testing.T) {
-			a := runChaosDurable(t, proto, seed, diskStorage(t.TempDir()))
-			b := runChaosDurable(t, proto, seed, diskStorage(t.TempDir()))
+	for _, row := range chaosRows() {
+		row := row
+		t.Run(row.proto.Name(), func(t *testing.T) {
+			if !row.durable {
+				t.Skipf("%s has no durability support (StorageProtocol)", row.proto.Name())
+			}
+			a := runChaosDurable(t, row, seed, diskStorage(t.TempDir()))
+			b := runChaosDurable(t, row, seed, diskStorage(t.TempDir()))
 			if !bytes.Equal(a, b) {
 				t.Fatalf("seed %d: disk-backed delivery logs differ between two runs (%d vs %d bytes)", seed, len(a), len(b))
 			}
@@ -152,9 +158,12 @@ func (f failCounting) Sync() error {
 // replay only what was durable, and every invariant must hold throughout.
 func TestChaosFlakyStorage(t *testing.T) {
 	const victim = mcast.ProcessID(1) // follower of group 0
-	for _, proto := range chaosProtocols() {
-		proto := proto
+	for _, row := range chaosRows() {
+		proto := row.proto
 		t.Run(proto.Name(), func(t *testing.T) {
+			if !row.durable {
+				t.Skipf("%s has no durability support (StorageProtocol)", proto.Name())
+			}
 			fails := 0
 			storage := func(pid mcast.ProcessID) (wal.Storage, error) {
 				if pid != victim {
@@ -205,9 +214,12 @@ func TestChaosFlakyStorage(t *testing.T) {
 // and the group still terminates, so the catch-up machinery fills
 // whatever the tail loss opened up.
 func TestDurableRestartLosesUnsynced(t *testing.T) {
-	for _, proto := range chaosProtocols() {
-		proto := proto
+	for _, row := range chaosRows() {
+		proto := row.proto
 		t.Run(proto.Name(), func(t *testing.T) {
+			if !row.durable {
+				t.Skipf("%s has no durability support (StorageProtocol)", proto.Name())
+			}
 			plan := &faults.Plan{}
 			plan.At(800*time.Millisecond, faults.Crash{P: 2})
 			plan.At(1600*time.Millisecond, faults.Restart{P: 2})

@@ -49,9 +49,21 @@ type ProtocolObs interface {
 // adapters that implement it build replicas that emit persist effects for
 // every crash-surviving state transition and replay a recovered state
 // before joining. Options.Storage requires it — the fault-tolerant
-// adapters (core, fastcast, ftskeen) implement it.
+// adapters (core, fastcast, ftskeen, genmcast) implement it.
 type StorageProtocol interface {
 	NewReplicaStored(pid mcast.ProcessID, top *mcast.Topology, po *obs.Proto, rs *wal.State) (node.Handler, error)
+}
+
+// ConflictProtocol is the optional conflict-aware extension of Protocol:
+// adapters that implement it (genmcast) deliver under the partial-order
+// contract of generic multicast — only conflicting deliveries are mutually
+// ordered. NewCluster switches the continuous monitor to partial-order mode
+// over the returned relation, and Check verifies the relaxed Ordering and
+// per-process stamp checks against it. A nil relation means every pair
+// conflicts (the strict contract still relaxed of the per-group gap check,
+// since re-released slots make the delivery *sequences* diverge harmlessly).
+type ConflictProtocol interface {
+	Conflicts() func(a, b mcast.AppMsg) bool
 }
 
 // Options configures a simulated cluster.
@@ -124,6 +136,10 @@ type Cluster struct {
 	monitored int // prefix already poured into Monitor
 	nextSeq   uint32
 	crashed   map[mcast.ProcessID]bool
+	// conflicts is the partial-order conflict relation of a
+	// ConflictProtocol run (a nil relation is stored as all-conflict);
+	// nil for the total-order protocols.
+	conflicts func(a, b mcast.AppMsg) bool
 	// Delta is the base latency used by DefaultLatency-derived helpers.
 	onComplete func(id mcast.MsgID)
 }
@@ -150,6 +166,13 @@ func NewCluster(p Protocol, opts Options) (*Cluster, error) {
 		crashed:  make(map[mcast.ProcessID]bool),
 	}
 	c.Monitor = check.NewMonitor(top)
+	if cp, ok := p.(ConflictProtocol); ok {
+		c.conflicts = cp.Conflicts()
+		if c.conflicts == nil {
+			c.conflicts = func(a, b mcast.AppMsg) bool { return true }
+		}
+		c.Monitor = check.NewPartialMonitor(top, c.conflicts)
+	}
 	// The trace clock is virtual time; the closure reads c.Sim, assigned
 	// below, before any handler runs.
 	var clock obs.Clock
@@ -419,6 +442,7 @@ func (c *Cluster) Check(atQuiescence bool) []error {
 		Crashed:      c.crashed,
 		AtQuiescence: atQuiescence,
 		CheckGTS:     true,
+		Conflicts:    c.conflicts,
 	})
 	errs = append(errs, c.Sim.AuditGenuineness(c.Top)...)
 	return errs

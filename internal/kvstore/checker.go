@@ -22,6 +22,117 @@ type pos struct {
 	sub int
 }
 
+// CheckPartial validates shard histories against the relaxed contract the
+// service inherits from conflict-aware generic multicast (the genmcast
+// protocol). Deliveries may be applied out of global-stamp order, so the
+// strict per-replica order and intra-shard prefix checks of Check relax to:
+//
+//  1. within each replica, every pair of *conflicting* applied operations
+//     appears in (GTS, Sub) stamp order; commuting operations may
+//     interleave freely;
+//  2. stamp agreement, exactly-once and destination membership, as Check;
+//  3. replicas of one shard that applied the same *set* of stamps must
+//     have equal state digests — conflicting operations are stamp-ordered
+//     at both (by 1) and commuting reorderings cannot be observed in the
+//     final state;
+//  4. with complete set, atomicity against the per-shard union of applied
+//     stamps, as Check's longest-log rule.
+//
+// conflicts is the payload-level relation the protocol ran under (nil means
+// every pair conflicts).
+func CheckPartial(hs []History, complete bool, conflicts func(a, b []byte) bool) error {
+	if conflicts == nil {
+		conflicts = func(a, b []byte) bool { return true }
+	}
+	stampOf := make(map[pos]mcast.Timestamp)
+	type shardState struct {
+		set    map[stamp]bool
+		digest uint64
+		pid    mcast.ProcessID
+	}
+	byGroup := make(map[mcast.GroupID][]shardState)
+	union := make(map[mcast.GroupID]map[pos]bool)
+	for _, h := range hs {
+		seen := make(map[pos]bool, len(h.Log))
+		set := make(map[stamp]bool, len(h.Log))
+		for i, a := range h.Log {
+			p := pos{a.ID, a.Sub}
+			if seen[p] {
+				return fmt.Errorf("kvstore: replica %d applied %v sub %d twice", h.PID, a.ID, a.Sub)
+			}
+			seen[p] = true
+			set[stamp{gts: a.GTS, sub: a.Sub}] = true
+			if ts, ok := stampOf[p]; ok && ts != a.GTS {
+				return fmt.Errorf("kvstore: %v sub %d stamped %v at replica %d but %v elsewhere",
+					a.ID, a.Sub, a.GTS, h.PID, ts)
+			}
+			stampOf[p] = a.GTS
+			if !a.Dest.Contains(h.Group) {
+				return fmt.Errorf("kvstore: replica %d (shard %d) applied %v addressed to %v",
+					h.PID, h.Group, a.ID, a.Dest)
+			}
+			// Partial order: a must not be stamp-below any earlier applied
+			// conflicting entry.
+			for j := 0; j < i; j++ {
+				b := h.Log[j]
+				if before(a, b) && conflicts(b.Payload, a.Payload) {
+					return fmt.Errorf("kvstore: replica %d applied conflicting %v/(%v,%d) after %v/(%v,%d): stamp order inverted",
+						h.PID, a.ID, a.GTS, a.Sub, b.ID, b.GTS, b.Sub)
+				}
+			}
+		}
+		byGroup[h.Group] = append(byGroup[h.Group], shardState{set: set, digest: h.Digest, pid: h.PID})
+		if union[h.Group] == nil {
+			union[h.Group] = make(map[pos]bool)
+		}
+		for p := range seen {
+			union[h.Group][p] = true
+		}
+	}
+
+	for g, states := range byGroup {
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				a, b := states[i], states[j]
+				if sameStampSet(a.set, b.set) && a.digest != b.digest {
+					return fmt.Errorf("kvstore: shard %d: replicas %d and %d applied the same set but digests differ (%#x vs %#x)",
+						g, a.pid, b.pid, a.digest, b.digest)
+				}
+			}
+		}
+	}
+
+	if complete {
+		for _, h := range hs {
+			for _, a := range h.Log {
+				for _, g := range a.Dest {
+					set, hosted := union[g]
+					if !hosted {
+						continue // shard not under test
+					}
+					if !set[pos{a.ID, a.Sub}] {
+						return fmt.Errorf("kvstore: %v sub %d (dest %v) applied at shard %d but missing at shard %d: transaction not atomic",
+							a.ID, a.Sub, a.Dest, h.Group, g)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sameStampSet(a, b map[stamp]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b[s] {
+			return false
+		}
+	}
+	return true
+}
+
 // Check validates a set of shard histories against the guarantees the
 // key-value service inherits from atomic multicast:
 //

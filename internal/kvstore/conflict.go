@@ -1,0 +1,34 @@
+package kvstore
+
+import "bytes"
+
+// Conflicts is the key-based conflict relation over encoded Op payloads,
+// the relation kv.NewService installs for the conflict-aware (genmcast)
+// protocol: two operations conflict iff some pair of their flattened
+// single-key sub-operations touches the same key with at least one write
+// (Put or Delete). Reads commute with reads — even on the same key — and
+// any two operations over disjoint key sets commute, which is what lets a
+// read-heavy Zipfian workload skip ordering latency. A payload that fails
+// to decode conflicts with everything: over-approximating is always safe.
+func Conflicts(a, b []byte) bool {
+	opA, errA := DecodeOp(a)
+	opB, errB := DecodeOp(b)
+	if errA != nil || errB != nil {
+		return true
+	}
+	return OpsConflict(opA, opB)
+}
+
+// OpsConflict reports whether two decoded operations conflict: a shared key
+// with at least one writer among the touching pair. Txns flatten to their
+// sub-operations.
+func OpsConflict(a, b Op) bool {
+	for _, x := range a.Flatten() {
+		for _, y := range b.Flatten() {
+			if (x.Kind != OpGet || y.Kind != OpGet) && bytes.Equal(x.Key, y.Key) {
+				return true
+			}
+		}
+	}
+	return false
+}

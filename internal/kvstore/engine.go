@@ -47,12 +47,14 @@ type OpResult struct {
 }
 
 // Applied records one delivery applied by an engine, in the order applied.
-// The checker consumes these to validate the shard histories.
+// The checker consumes these to validate the shard histories; Payload lets
+// the partial-order checker evaluate the conflict relation between entries.
 type Applied struct {
-	ID   mcast.MsgID
-	GTS  mcast.Timestamp
-	Sub  int
-	Dest mcast.GroupSet
+	ID      mcast.MsgID
+	GTS     mcast.Timestamp
+	Sub     int
+	Dest    mcast.GroupSet
+	Payload []byte
 }
 
 // EngineConfig configures a shard engine.
@@ -75,6 +77,16 @@ type EngineConfig struct {
 	// RecordApplied retains the full applied history for the checker.
 	// Tests only: the history grows without bound.
 	RecordApplied bool
+	// Unordered runs the engine under the conflict-aware (genmcast)
+	// delivery contract: deliveries may arrive out of (GTS, Sub) order, so
+	// duplicates are filtered by the set of applied stamps instead of the
+	// frontier, and the frontier tracks the maximum applied stamp (a
+	// monotone clock, comparable across replicas that applied the same
+	// set). App snapshots switch to version 2, which carries the applied-
+	// stamp set so recovery can dedupe the protocol replay — the set grows
+	// with history, matching the protocol side, which also retains every
+	// record in conflict mode (GC off).
+	Unordered bool
 	// OnDurableFrontier, if non-nil, is invoked after a successful persist
 	// whenever the applied global timestamp advances, with the PREVIOUS
 	// timestamp: every delivery at or below it — including every sub-
@@ -97,8 +109,9 @@ type Engine struct {
 
 	mu        sync.Mutex
 	data      map[string][]byte
-	lastGTS   mcast.Timestamp // position of the last applied delivery
+	lastGTS   mcast.Timestamp // position of the last applied delivery (max in unordered mode)
 	lastSub   int
+	seen      map[stamp]bool // applied stamps; unordered mode only
 	sinceSnap int
 	applied   []Applied
 	err       error // first persistence failure; sticky
@@ -108,9 +121,19 @@ type Engine struct {
 	dupC      obs.Counter
 }
 
+// stamp is one delivery's global position, unique per Invariant 4; the
+// unordered duplicate filter keys on it (EncodeApplied carries no MsgID).
+type stamp struct {
+	gts mcast.Timestamp
+	sub int
+}
+
 // NewEngine builds an engine for one shard replica.
 func NewEngine(cfg EngineConfig) *Engine {
 	e := &Engine{cfg: cfg, data: make(map[string][]byte)}
+	if cfg.Unordered {
+		e.seen = make(map[stamp]bool)
+	}
 	if r := cfg.Registry; r != nil {
 		r.RegisterCounter(obs.MetricKVApplied, "Operations applied by this kv shard engine.", &e.appliedC)
 		r.RegisterCounter(obs.MetricKVReplayed, "Operations re-applied at recovery by this kv shard engine.", &e.replayedC)
@@ -151,15 +174,34 @@ func (e *Engine) Apply(d mcast.Delivery) {
 	}
 }
 
-// after reports whether d is strictly beyond the applied frontier. The
-// initial frontier is (⊥, 0) and protocols never issue ⊥, so every live
-// delivery starts out "after".
+// after reports whether d is fresh: strictly beyond the applied frontier
+// (ordered mode — the initial frontier is (⊥, 0) and protocols never issue
+// ⊥, so every live delivery starts out "after"), or not yet in the applied-
+// stamp set (unordered mode, where a lower stamp may legitimately arrive
+// after a higher one).
 // Callers hold e.mu.
 func (e *Engine) after(d mcast.Delivery) bool {
+	if e.cfg.Unordered {
+		return !e.seen[stamp{gts: d.GTS, sub: d.Sub}]
+	}
 	if d.GTS != e.lastGTS {
 		return e.lastGTS.Less(d.GTS)
 	}
 	return d.Sub > e.lastSub
+}
+
+// advance records d as applied: the frontier moves to d's stamp in ordered
+// mode, and to the running maximum (with d added to the applied set) in
+// unordered mode. Callers hold e.mu.
+func (e *Engine) advance(d mcast.Delivery) {
+	if e.cfg.Unordered {
+		e.seen[stamp{gts: d.GTS, sub: d.Sub}] = true
+		if e.lastGTS.Less(d.GTS) || (e.lastGTS == d.GTS && d.Sub > e.lastSub) {
+			e.lastGTS, e.lastSub = d.GTS, d.Sub
+		}
+		return
+	}
+	e.lastGTS, e.lastSub = d.GTS, d.Sub
 }
 
 // applyLocked mutates the store for d and advances the frontier. When
@@ -175,7 +217,7 @@ func (e *Engine) applyLocked(d mcast.Delivery, persist bool) (Resp, bool) {
 		if e.err == nil {
 			e.err = fmt.Errorf("kvstore: shard %d: decode %v: %w", e.cfg.Group, d.Msg.ID, err)
 		}
-		e.lastGTS, e.lastSub = d.GTS, d.Sub
+		e.advance(d)
 		return Resp{}, false
 	}
 	resp := Resp{ID: d.Msg.ID, Sub: d.Sub, Group: e.cfg.Group}
@@ -200,10 +242,13 @@ func (e *Engine) applyLocked(d mcast.Delivery, persist bool) (Resp, bool) {
 		}
 		resp.Results = append(resp.Results, r)
 	}
-	e.lastGTS, e.lastSub = d.GTS, d.Sub
+	e.advance(d)
 	e.appliedC.Inc()
 	if e.cfg.RecordApplied {
-		e.applied = append(e.applied, Applied{ID: d.Msg.ID, GTS: d.GTS, Sub: d.Sub, Dest: d.Msg.Dest.Clone()})
+		e.applied = append(e.applied, Applied{
+			ID: d.Msg.ID, GTS: d.GTS, Sub: d.Sub, Dest: d.Msg.Dest.Clone(),
+			Payload: append([]byte(nil), d.Msg.Payload...),
+		})
 	}
 	if persist && e.cfg.Persist != nil {
 		if err := e.cfg.Persist.AppendAppState(EncodeApplied(d)); err != nil {
@@ -216,8 +261,10 @@ func (e *Engine) applyLocked(d mcast.Delivery, persist bool) (Resp, bool) {
 		// now durably logged: deliveries arrive in (GTS, Sub) order, so
 		// a higher GTS proves all subs of the previous one were applied.
 		// d.GTS itself stays below the horizon — a later sub of the same
-		// batch may still be in flight.
-		if e.cfg.OnDurableFrontier != nil && prevGTS != d.GTS && !prevGTS.IsZero() {
+		// batch may still be in flight. Unordered mode has no such proof
+		// (a lower stamp may still arrive) and its protocol never GCs, so
+		// the callback stays silent there.
+		if !e.cfg.Unordered && e.cfg.OnDurableFrontier != nil && prevGTS != d.GTS && !prevGTS.IsZero() {
 			e.cfg.OnDurableFrontier(prevGTS)
 		}
 		e.sinceSnap++
@@ -274,8 +321,14 @@ func (e *Engine) Recover(snapshot []byte, log [][]byte, replay []mcast.Delivery)
 	return e.err
 }
 
-// snapshotVersion versions the app snapshot encoding.
-const snapshotVersion = 1
+// snapshotVersion versions the app snapshot encoding; unordered engines
+// write snapshotVersionUnordered, which additionally carries the applied-
+// stamp set (the frontier alone cannot say which deliveries a state
+// includes when they were applied out of stamp order).
+const (
+	snapshotVersion          = 1
+	snapshotVersionUnordered = 2
+)
 
 // Snapshot serialises the full shard state: the applied frontier and every
 // key/value pair in sorted key order (so equal states encode identically).
@@ -292,8 +345,28 @@ func (e *Engine) snapshotLocked() []byte {
 	}
 	sort.Strings(keys)
 	dst := []byte{snapshotVersion}
+	if e.cfg.Unordered {
+		dst[0] = snapshotVersionUnordered
+	}
 	dst = wire.AppendTS(dst, e.lastGTS)
 	dst = wire.AppendUint(dst, uint64(e.lastSub))
+	if e.cfg.Unordered {
+		stamps := make([]stamp, 0, len(e.seen))
+		for s := range e.seen {
+			stamps = append(stamps, s)
+		}
+		sort.Slice(stamps, func(i, j int) bool {
+			if stamps[i].gts != stamps[j].gts {
+				return stamps[i].gts.Less(stamps[j].gts)
+			}
+			return stamps[i].sub < stamps[j].sub
+		})
+		dst = wire.AppendUint(dst, uint64(len(stamps)))
+		for _, s := range stamps {
+			dst = wire.AppendTS(dst, s.gts)
+			dst = wire.AppendUint(dst, uint64(s.sub))
+		}
+	}
 	dst = wire.AppendUint(dst, uint64(len(keys)))
 	for _, k := range keys {
 		dst = wire.AppendUint(dst, uint64(len(k)))
@@ -308,8 +381,15 @@ func (e *Engine) snapshotLocked() []byte {
 // restoreSnapshotLocked replaces the engine's state with a snapshot's.
 // Callers hold e.mu.
 func (e *Engine) restoreSnapshotLocked(snap []byte) error {
-	if len(snap) == 0 || snap[0] != snapshotVersion {
+	if len(snap) == 0 {
 		return fmt.Errorf("kvstore: bad app snapshot header")
+	}
+	wantVersion := byte(snapshotVersion)
+	if e.cfg.Unordered {
+		wantVersion = snapshotVersionUnordered
+	}
+	if snap[0] != wantVersion {
+		return fmt.Errorf("kvstore: app snapshot version %d, want %d (ordered/unordered mode mismatch?)", snap[0], wantVersion)
 	}
 	gts, rest, err := wire.ConsumeTS(snap[1:])
 	if err != nil {
@@ -318,6 +398,25 @@ func (e *Engine) restoreSnapshotLocked(snap []byte) error {
 	sub, rest, err := wire.ConsumeUint(rest)
 	if err != nil {
 		return fmt.Errorf("kvstore: app snapshot frontier sub: %w", err)
+	}
+	seen := map[stamp]bool(nil)
+	if e.cfg.Unordered {
+		var ns uint64
+		if ns, rest, err = wire.ConsumeUint(rest); err != nil {
+			return fmt.Errorf("kvstore: app snapshot stamp-set size: %w", err)
+		}
+		seen = make(map[stamp]bool, ns)
+		for i := uint64(0); i < ns; i++ {
+			var sgts mcast.Timestamp
+			var ssub uint64
+			if sgts, rest, err = wire.ConsumeTS(rest); err != nil {
+				return fmt.Errorf("kvstore: app snapshot stamp: %w", err)
+			}
+			if ssub, rest, err = wire.ConsumeUint(rest); err != nil {
+				return fmt.Errorf("kvstore: app snapshot stamp sub: %w", err)
+			}
+			seen[stamp{gts: sgts, sub: int(ssub)}] = true
+		}
 	}
 	n, rest, err := wire.ConsumeUint(rest)
 	if err != nil {
@@ -338,6 +437,9 @@ func (e *Engine) restoreSnapshotLocked(snap []byte) error {
 		return fmt.Errorf("kvstore: %d trailing bytes after app snapshot", len(rest))
 	}
 	e.data, e.lastGTS, e.lastSub = data, gts, int(sub)
+	if e.cfg.Unordered {
+		e.seen = seen
+	}
 	return nil
 }
 

@@ -1,0 +1,69 @@
+package kvstore
+
+import "testing"
+
+// FuzzConflicts guards the conflict relation on the path where it actually
+// runs: raw payload bytes straight off the wire, before anything has
+// validated them. The relation must never panic, must be symmetric (the
+// protocol evaluates it from both ends), must treat any undecodable payload
+// as conflicting with everything (the conservative default the safety
+// argument rests on), and must depend only on the decoded operation — a
+// re-encoding of the decoded value must get the same verdict.
+func FuzzConflicts(f *testing.F) {
+	ops := []Op{
+		{Kind: OpGet, Key: []byte("k")},
+		{Kind: OpPut, Key: []byte("k"), Val: []byte("v")},
+		{Kind: OpDelete, Key: []byte("k2")},
+		{Kind: OpTxn, Subs: []Op{
+			{Kind: OpGet, Key: []byte("a")},
+			{Kind: OpPut, Key: []byte("b"), Val: []byte("w")},
+		}},
+	}
+	var encoded [][]byte
+	for _, op := range ops {
+		encoded = append(encoded, EncodeOp(nil, op))
+	}
+	for _, a := range encoded {
+		for _, b := range encoded {
+			f.Add(a, b)
+		}
+		f.Add(a, []byte{})
+		f.Add(a, []byte{0xFF, 0xFF})
+	}
+	f.Add([]byte(nil), []byte(nil))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		got := Conflicts(a, b)
+		if rev := Conflicts(b, a); rev != got {
+			t.Fatalf("relation not symmetric: Conflicts(a,b)=%v but Conflicts(b,a)=%v\n a=%x\n b=%x", got, rev, a, b)
+		}
+		opA, errA := DecodeOp(a)
+		opB, errB := DecodeOp(b)
+		if errA != nil || errB != nil {
+			if !got {
+				t.Fatalf("undecodable payload must conflict with everything (errA=%v errB=%v)\n a=%x\n b=%x", errA, errB, a, b)
+			}
+			return
+		}
+		if got != OpsConflict(opA, opB) {
+			t.Fatalf("Conflicts disagrees with OpsConflict on decodable payloads\n a=%x\n b=%x", a, b)
+		}
+		ra, rb := EncodeOp(nil, opA), EncodeOp(nil, opB)
+		if Conflicts(ra, rb) != got {
+			t.Fatalf("verdict changed across re-encoding: was %v\n a=%x → %x\n b=%x → %x", got, a, ra, b, rb)
+		}
+		// A write op shares its own keys, so it must self-conflict; the
+		// relation may only report self-commutation for pure reads.
+		selfA := Conflicts(a, a)
+		wantSelf := false
+		for _, x := range opA.Flatten() {
+			if x.Kind != OpGet {
+				wantSelf = true
+			}
+		}
+		// Degenerate encodings (empty txns) flatten to nothing and conflict
+		// with nothing; only require self-conflict when a write is present.
+		if wantSelf && !selfA {
+			t.Fatalf("op with a write does not conflict with itself: %+v", opA)
+		}
+	})
+}

@@ -248,6 +248,12 @@ type Deliver struct {
 	LTS  mcast.Timestamp
 	GTS  mcast.Timestamp
 	Prev mcast.Timestamp
+	// Seq is the leader's per-ballot release sequence number, used instead
+	// of Prev for gap detection under the genmcast (conflict-aware)
+	// protocol, where releases are not in GTS order: the i-th DELIVER a
+	// leader issues in its current ballot carries Seq = i (1-based).
+	// Zero outside conflict mode.
+	Seq uint64
 }
 
 // ---------------------------------------------------------------------------
@@ -336,6 +342,10 @@ type HeartbeatAck struct {
 	Bal       mcast.Ballot
 	Delivered mcast.Timestamp
 	Executed  uint64
+	// Seq is the follower's release-sequence cursor for the leader's
+	// current ballot (see Deliver.Seq); the genmcast leader detects stalled
+	// followers by a non-advancing Seq. Zero outside conflict mode.
+	Seq uint64
 }
 
 // GCMark is exchanged between group leaders: every member of Group has

@@ -19,6 +19,8 @@ type Proto struct {
 	propose, accept, commit, deliver *Histogram
 
 	retransmits, stepDowns, elections, catchups, commits, deliveries *Counter
+
+	genEarly, genBlocked *Counter
 }
 
 // NewProto builds a replica handle, registering its metrics in reg (nil
@@ -29,6 +31,7 @@ func NewProto(reg *Registry, clock Clock, tracer *Tracer, proc mcast.ProcessID) 
 		propose: &Histogram{}, accept: &Histogram{}, commit: &Histogram{}, deliver: &Histogram{},
 		retransmits: &Counter{}, stepDowns: &Counter{}, elections: &Counter{},
 		catchups: &Counter{}, commits: &Counter{}, deliveries: &Counter{},
+		genEarly: &Counter{}, genBlocked: &Counter{},
 	}
 	reg.RegisterHistogram(MetricStageLatency+`{stage="propose"}`, "time from first sight to local timestamp proposal", p.propose)
 	reg.RegisterHistogram(MetricStageLatency+`{stage="accept"}`, "time from proposal to ACCEPTs from every destination group", p.accept)
@@ -40,6 +43,8 @@ func NewProto(reg *Registry, clock Clock, tracer *Tracer, proc mcast.ProcessID) 
 	reg.RegisterCounter(MetricCatchups, "catch-up replays sent to stalled followers", p.catchups)
 	reg.RegisterCounter(MetricCommits, "messages committed (GTS fixed)", p.commits)
 	reg.RegisterCounter(MetricDeliveries, "protocol-level deliveries", p.deliveries)
+	reg.RegisterCounter(MetricGenEarlyReleases, "conflict-mode releases the total-order rule would have delayed", p.genEarly)
+	reg.RegisterCounter(MetricGenReleaseBlocked, "conflict-mode release scans blocked behind a conflicting message", p.genBlocked)
 	if tracer != nil {
 		reg.RegisterCounter(MetricTraceDropped, "trace events discarded on buffer overflow", &tracer.Dropped)
 	}
@@ -92,6 +97,24 @@ func (p *Proto) Stage(stage string, id mcast.MsgID, at *time.Duration) {
 	if p.tracer.Sampled(id) {
 		p.tracer.EventAt(now, p.proc, id, stage, "")
 	}
+}
+
+// GenEarlyRelease records a conflict-mode release that the strict
+// total-order rule would still have held back.
+func (p *Proto) GenEarlyRelease() {
+	if p == nil {
+		return
+	}
+	p.genEarly.Inc()
+}
+
+// GenBlocked records a conflict-mode release-scan pass that left a
+// committed message blocked behind an unreleased conflicting message.
+func (p *Proto) GenBlocked() {
+	if p == nil {
+		return
+	}
+	p.genBlocked.Inc()
 }
 
 // MarkMsg records a per-message recovery event (retransmit): counter plus

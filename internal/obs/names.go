@@ -26,6 +26,14 @@ const (
 	MetricCommits = "wbcast_commits_total"
 	// MetricDeliveries counts protocol-level deliveries at this replica.
 	MetricDeliveries = "wbcast_deliveries_total"
+	// MetricGenEarlyReleases counts conflict-mode (genmcast) releases that
+	// the strict total-order delivery rule would still have held back — the
+	// commuting deliveries whose latency the conflict relation saved.
+	MetricGenEarlyReleases = "genmcast_early_releases_total"
+	// MetricGenReleaseBlocked counts conflict-mode release-scan passes over
+	// a committed message that stayed blocked behind an unreleased
+	// conflicting message.
+	MetricGenReleaseBlocked = "genmcast_release_blocked_total"
 
 	// MetricClientE2E is the client's submit-to-complete latency histogram.
 	MetricClientE2E = "wbcast_client_e2e_latency_seconds"

@@ -46,6 +46,13 @@ const (
 	// accumulated application log (Replica.SaveAppSnapshot) — the
 	// application-level analog of EntryState.
 	EntryAppSnapshot
+	// EntryDelivered records messages applied to the application under the
+	// conflict-aware (genmcast) protocol, whose releases are not in GTS
+	// order: the delivery frontier alone cannot identify re-deliveries, so
+	// the applied set itself is durable. Logged before the delivery leaves
+	// the replica; survives EntryState wholesale replacement (like the
+	// frontier) and is trimmed by EntryPrune.
+	EntryDelivered
 )
 
 // Entry is one durable state transition. Which fields are meaningful
@@ -69,7 +76,7 @@ type Entry struct {
 	Max  mcast.Timestamp
 	Last mcast.Timestamp
 
-	// IDs — EntryPrune.
+	// IDs — EntryPrune, EntryDelivered.
 	IDs []mcast.MsgID
 
 	// Recs — EntryState.
@@ -98,7 +105,7 @@ func appendEntry(dst []byte, e Entry) []byte {
 	case EntryFrontier:
 		dst = wire.AppendTS(dst, e.Max)
 		dst = wire.AppendTS(dst, e.Last)
-	case EntryPrune:
+	case EntryPrune, EntryDelivered:
 		dst = wire.AppendUint(dst, uint64(len(e.IDs)))
 		for _, id := range e.IDs {
 			dst = wire.AppendUint(dst, uint64(id))
@@ -157,7 +164,7 @@ func decodeEntry(data []byte) (Entry, error) {
 		if e.Last, buf, err = wire.ConsumeTS(buf); err != nil {
 			return e, err
 		}
-	case EntryPrune:
+	case EntryPrune, EntryDelivered:
 		var n uint64
 		if n, buf, err = wire.ConsumeUint(buf); err != nil {
 			return e, err

@@ -26,6 +26,12 @@ type State struct {
 	// differ transiently in protocols that replicate DELIVER).
 	MaxDelivered mcast.Timestamp
 	LastDeliver  mcast.Timestamp
+	// Delivered is the applied-message set of the conflict-aware (genmcast)
+	// protocol, whose out-of-GTS-order releases make the frontier
+	// insufficient for re-delivery detection. Like the frontier it survives
+	// EntryState replacement; EntryPrune trims it. Empty for the
+	// total-order protocols.
+	Delivered map[mcast.MsgID]bool
 
 	// Paxos substrate (internal/paxos): promise pair and the replicated
 	// command log.
@@ -50,8 +56,9 @@ type PaxosSlot struct {
 // NewState returns an empty state with allocated maps.
 func NewState() *State {
 	return &State{
-		Records:  make(map[mcast.MsgID]msgs.MsgRecord),
-		PaxosLog: make(map[uint64]PaxosSlot),
+		Records:   make(map[mcast.MsgID]msgs.MsgRecord),
+		PaxosLog:  make(map[uint64]PaxosSlot),
+		Delivered: make(map[mcast.MsgID]bool),
 	}
 }
 
@@ -61,6 +68,7 @@ func (s *State) Empty() bool {
 	return s == nil ||
 		(s.Ballot.IsZero() && s.CBallot.IsZero() && s.Clock == 0 &&
 			len(s.Records) == 0 && s.MaxDelivered.IsZero() && s.LastDeliver.IsZero() &&
+			len(s.Delivered) == 0 &&
 			s.PaxosBal.IsZero() && s.PaxosCBal.IsZero() && len(s.PaxosLog) == 0 &&
 			len(s.AppSnapshot) == 0 && len(s.AppLog) == 0)
 }
@@ -86,6 +94,14 @@ func (s *State) Apply(e Entry) {
 	case EntryPrune:
 		for _, id := range e.IDs {
 			delete(s.Records, id)
+			delete(s.Delivered, id)
+		}
+	case EntryDelivered:
+		if s.Delivered == nil {
+			s.Delivered = make(map[mcast.MsgID]bool, len(e.IDs))
+		}
+		for _, id := range e.IDs {
+			s.Delivered[id] = true
 		}
 	case EntryState:
 		s.Ballot, s.CBallot = e.Bal, e.CBal
@@ -118,6 +134,10 @@ func (s *State) Clone() *State {
 	for id, r := range s.Records {
 		out.Records[id] = r.Clone()
 	}
+	out.Delivered = make(map[mcast.MsgID]bool, len(s.Delivered))
+	for id := range s.Delivered {
+		out.Delivered[id] = true
+	}
 	out.PaxosLog = make(map[uint64]PaxosSlot, len(s.PaxosLog))
 	for slot, ps := range s.PaxosLog {
 		ps.Cmd = ps.Cmd.Clone()
@@ -136,10 +156,10 @@ func (s *State) Clone() *State {
 }
 
 // stateVersion guards the snapshot layout. Version 2 appended the
-// application-state section (AppSnapshot, AppLog); version-1 snapshots —
-// written before the kv service layer existed — still decode, with an
-// empty application section.
-const stateVersion = 2
+// application-state section (AppSnapshot, AppLog); version 3 appended the
+// conflict-mode applied set (Delivered). Snapshots of earlier versions
+// still decode, with the missing sections empty.
+const stateVersion = 3
 
 // Encode serialises the state deterministically (maps sorted by key),
 // appending to dst. Two equal states encode to identical bytes, which is
@@ -186,6 +206,15 @@ func (s *State) Encode(dst []byte) []byte {
 		dst = wire.AppendUint(dst, uint64(len(rec)))
 		dst = append(dst, rec...)
 	}
+	delivered := make([]mcast.MsgID, 0, len(s.Delivered))
+	for id := range s.Delivered {
+		delivered = append(delivered, id)
+	}
+	sort.Slice(delivered, func(i, j int) bool { return delivered[i] < delivered[j] })
+	dst = wire.AppendUint(dst, uint64(len(delivered)))
+	for _, id := range delivered {
+		dst = wire.AppendUint(dst, uint64(id))
+	}
 	return dst
 }
 
@@ -195,7 +224,7 @@ func DecodeState(data []byte) (*State, error) {
 		return nil, fmt.Errorf("wal: empty state")
 	}
 	version := data[0]
-	if version != 1 && version != stateVersion {
+	if version < 1 || version > stateVersion {
 		return nil, fmt.Errorf("wal: unknown state version %d", version)
 	}
 	buf := data[1:]
@@ -291,6 +320,21 @@ func DecodeState(data []byte) (*State, error) {
 			copy(rec, buf[:sz])
 			buf = buf[sz:]
 			s.AppLog = append(s.AppLog, rec)
+		}
+	}
+	if version >= 3 {
+		if n, buf, err = wire.ConsumeUint(buf); err != nil {
+			return nil, err
+		}
+		if n > maxLoadCount {
+			return nil, fmt.Errorf("wal: state of %d delivered ids exceeds limit", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var v uint64
+			if v, buf, err = wire.ConsumeUint(buf); err != nil {
+				return nil, err
+			}
+			s.Delivered[mcast.MsgID(v)] = true
 		}
 	}
 	if len(buf) != 0 {

@@ -44,6 +44,7 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 		e.ts(m.LTS)
 		e.ts(m.GTS)
 		e.ts(m.Prev)
+		e.u64(m.Seq)
 	case msgs.NewLeader:
 		e.ballot(m.Bal)
 	case msgs.NewLeaderAck:
@@ -65,6 +66,7 @@ func Encode(dst []byte, m msgs.Message) ([]byte, error) {
 		e.ballot(m.Bal)
 		e.ts(m.Delivered)
 		e.u64(m.Executed)
+		e.u64(m.Seq)
 	case msgs.GCMark:
 		e.i32(int32(m.Group))
 		e.ts(m.Watermark)
@@ -191,7 +193,7 @@ func (d *decoder) message(kind msgs.Kind) msgs.Message {
 		}
 		m = a
 	case msgs.KindDeliver:
-		m = msgs.Deliver{ID: mcast.MsgID(d.u64()), Bal: d.ballot(), LTS: d.ts(), GTS: d.ts(), Prev: d.ts()}
+		m = msgs.Deliver{ID: mcast.MsgID(d.u64()), Bal: d.ballot(), LTS: d.ts(), GTS: d.ts(), Prev: d.ts(), Seq: d.u64()}
 	case msgs.KindNewLeader:
 		m = msgs.NewLeader{Bal: d.ballot()}
 	case msgs.KindNewLeaderAck:
@@ -203,7 +205,7 @@ func (d *decoder) message(kind msgs.Kind) msgs.Message {
 	case msgs.KindHeartbeat:
 		m = msgs.Heartbeat{Group: mcast.GroupID(d.i32()), Bal: d.ballot()}
 	case msgs.KindHeartbeatAck:
-		m = msgs.HeartbeatAck{Group: mcast.GroupID(d.i32()), Bal: d.ballot(), Delivered: d.ts(), Executed: d.u64()}
+		m = msgs.HeartbeatAck{Group: mcast.GroupID(d.i32()), Bal: d.ballot(), Delivered: d.ts(), Executed: d.u64(), Seq: d.u64()}
 	case msgs.KindGCMark:
 		m = msgs.GCMark{Group: mcast.GroupID(d.i32()), Watermark: d.ts()}
 	case msgs.KindPrune:

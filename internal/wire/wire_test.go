@@ -33,7 +33,7 @@ func allMessages() []msgs.Message {
 		msgs.AcceptAck{ID: mcast.MakeMsgID(7, 6), Group: 1, Bals: []msgs.GroupBallot{
 			{Group: 0, Bal: bal(1, 0)}, {Group: 1, Bal: bal(2, 4)},
 		}},
-		msgs.Deliver{ID: mcast.MakeMsgID(7, 7), Bal: bal(2, 0), LTS: ts(5, 0), GTS: ts(8, 1)},
+		msgs.Deliver{ID: mcast.MakeMsgID(7, 7), Bal: bal(2, 0), LTS: ts(5, 0), GTS: ts(8, 1), Prev: ts(7, 1), Seq: 3},
 		msgs.NewLeader{Bal: bal(4, 2)},
 		msgs.NewLeaderAck{Bal: bal(4, 2), CBal: bal(3, 1), Clock: 77, State: []msgs.MsgRecord{
 			{M: app(8), Phase: msgs.PhaseAccepted, LTS: ts(2, 0)},
@@ -44,7 +44,7 @@ func allMessages() []msgs.Message {
 		}},
 		msgs.NewStateAck{Bal: bal(4, 2)},
 		msgs.Heartbeat{Group: 2, Bal: bal(5, 8)},
-		msgs.HeartbeatAck{Group: 2, Bal: bal(5, 8), Delivered: ts(42, 1)},
+		msgs.HeartbeatAck{Group: 2, Bal: bal(5, 8), Delivered: ts(42, 1), Executed: 6, Seq: 4},
 		msgs.GCMark{Group: 1, Watermark: ts(30, 1)},
 		msgs.Prune{Group: 1, Marks: []msgs.GroupTS{{Group: 0, TS: ts(20, 0)}, {Group: 1, TS: ts(25, 1)}}},
 		msgs.P1a{Group: 0, Bal: bal(6, 1)},

@@ -25,7 +25,7 @@ var chaosSeeds = flag.Int("seeds", 2, "seeded chaos schedules per protocol")
 // prefix agreement with digest equality, and multi-shard transaction
 // atomicity.
 func TestKVChaos(t *testing.T) {
-	for _, proto := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen, wbcast.Skeen} {
+	for _, proto := range []wbcast.Protocol{wbcast.WhiteBox, wbcast.FastCast, wbcast.FTSkeen, wbcast.Skeen, wbcast.Genmcast} {
 		proto := proto
 		t.Run(proto.String(), func(t *testing.T) {
 			for seed := int64(1); seed <= int64(*chaosSeeds); seed++ {

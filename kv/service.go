@@ -24,6 +24,17 @@ type (
 	Applied = kvstore.Applied
 )
 
+// Conflicts is the key-based conflict relation over encoded kv operation
+// payloads: two operations conflict iff some pair of their single-key
+// sub-operations touches the same key with at least one write, so reads
+// commute with reads and disjoint-key operations commute outright. A
+// payload that fails to decode conflicts with everything. AttachShard (and
+// therefore NewService) installs it automatically when the cluster runs the
+// conflict-aware wbcast.Genmcast protocol; it is exported so callers
+// configuring wbcast.Config.Conflicts directly use the exact relation the
+// engines assume.
+var Conflicts wbcast.ConflictRelation = kvstore.Conflicts
+
 // The operation kinds.
 const (
 	// OpGet reads Key.
@@ -67,12 +78,13 @@ type ShardOptions struct {
 // the replica's delivery subscription. Created by AttachShard (one-replica
 // processes) or NewService (whole-cluster hosts).
 type Shard struct {
-	eng   *kvstore.Engine
-	sub   *wbcast.Subscription
-	reg   *obs.Registry
-	group wbcast.GroupID
-	pid   wbcast.ProcessID
-	done  chan struct{}
+	eng       *kvstore.Engine
+	sub       *wbcast.Subscription
+	reg       *obs.Registry
+	group     wbcast.GroupID
+	pid       wbcast.ProcessID
+	unordered bool
+	done      chan struct{}
 }
 
 // AttachShard builds the shard engine for replica r: it recovers any
@@ -91,14 +103,23 @@ func AttachShard(r *wbcast.Replica, opts ShardOptions) (*Shard, error) {
 	}
 	g := r.Group()
 	reg := obs.NewRegistry(fmt.Sprintf(`proc="%d"`, r.ID()))
+	// Conflict-aware protocol (Genmcast): install the key-based relation so
+	// disjoint-key operations and read pairs actually commute, and run the
+	// engine unordered — the replica may expose deliveries out of stamp
+	// order. SetConflictRelation is a no-op (false) on the total-order
+	// protocols.
+	unordered := r.SetConflictRelation(Conflicts)
 	var persist kvstore.Persister
 	var onDurable func(wbcast.Timestamp)
 	if opts.Persist {
 		persist = r
 		// Every applied delivery is in the replica's WAL before the engine
 		// moves on, so the app durability frontier can raise the protocol's
-		// GC horizon (Config.AppGCHorizon) instead of disabling GC.
-		onDurable = r.AdvanceGCHorizon
+		// GC horizon (Config.AppGCHorizon) instead of disabling GC. In
+		// conflict mode the protocol never GCs, so no horizon to advance.
+		if !unordered {
+			onDurable = r.AdvanceGCHorizon
+		}
 	}
 	eng := kvstore.NewEngine(kvstore.EngineConfig{
 		Group: g,
@@ -112,6 +133,7 @@ func AttachShard(r *wbcast.Replica, opts ShardOptions) (*Shard, error) {
 		RecordApplied:     opts.RecordApplied,
 		OnDurableFrontier: onDurable,
 		Registry:          reg,
+		Unordered:         unordered,
 	})
 	rs := r.RecoveredAppState()
 	if err := eng.Recover(rs.Snapshot, rs.Log, rs.Replay); err != nil {
@@ -121,7 +143,7 @@ func AttachShard(r *wbcast.Replica, opts ShardOptions) (*Shard, error) {
 	if buffer <= 0 {
 		buffer = 1024
 	}
-	s := &Shard{eng: eng, reg: reg, group: g, pid: r.ID(), done: make(chan struct{})}
+	s := &Shard{eng: eng, reg: reg, group: g, pid: r.ID(), unordered: unordered, done: make(chan struct{})}
 	s.sub = r.Subscribe(buffer, wbcast.Backpressure)
 	go func() {
 		defer close(s.done)
@@ -253,20 +275,29 @@ func (s *Service) Err() error {
 // contract — per-replica delivery order, one global stamp per operation,
 // intra-shard prefix consistency with matching digests, and (with
 // complete, once traffic has quiesced) multi-shard transaction atomicity.
+// Under the conflict-aware Genmcast protocol the per-replica order and
+// prefix checks relax to the partial-order contract: conflicting operations
+// stamp-ordered at every replica, digest equality on equal applied sets,
+// and atomicity against each shard's union of applied operations.
 // Requires Options.RecordApplied. The chaos harness calls this after every
 // seeded run.
 func (s *Service) Verify(complete bool) error {
 	if err := s.Err(); err != nil {
 		return err
 	}
+	partial := false
 	hs := make([]kvstore.History, 0, len(s.reps))
 	for _, sh := range s.reps {
+		partial = partial || sh.unordered
 		hs = append(hs, kvstore.History{
 			PID:    sh.pid,
 			Group:  sh.group,
 			Log:    sh.AppliedLog(),
 			Digest: sh.Digest(),
 		})
+	}
+	if partial {
+		return kvstore.CheckPartial(hs, complete, Conflicts)
 	}
 	return kvstore.Check(hs, complete)
 }

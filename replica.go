@@ -278,6 +278,26 @@ func (r *Replica) Shutdown() error {
 	return err
 }
 
+// SetConflictRelation rebinds the deployment's conflict relation (Genmcast
+// only) and reports whether it took effect — false means the replica runs a
+// different protocol and the call was a no-op. The relation is shared by
+// every replica constructed from the same Config (all of a Cluster), so one
+// call rebinds the whole local deployment; distributed deployments call it
+// on each host. Rebinding is safe at any time: messages already released
+// stay released, and in-flight messages are evaluated under the relation
+// current at their release scan — since a correct application relation only
+// ever refines (removes conflicts from) the conservative default, every
+// interleaving remains one the new relation allows. Services layered on the
+// replica use this to install their payload-aware relation (kv.AttachShard
+// installs the key-based one).
+func (r *Replica) SetConflictRelation(rel ConflictRelation) bool {
+	if r.cfg.conflicts == nil {
+		return false
+	}
+	r.cfg.conflicts.Set(batch.Conflicts(rel))
+	return true
+}
+
 // AppState is the application-level durable state a Replica recovered from
 // its Storage: what a service layered on the replica (a kv shard engine)
 // needs to rebuild its own state machine after a crash.
@@ -358,19 +378,39 @@ func (r *Replica) AdvanceGCHorizon(ts Timestamp) {
 
 // appReplay reconstructs the deliveries replica group g had already
 // exposed before a crash, from the protocol's durable message records:
-// committed records addressed to g with GTS at or below the durable
-// delivery frontier, in (GTS, Sub) order, with batch envelopes unpacked
-// into their per-payload deliveries exactly as the live path does.
+// committed records addressed to g that the replica had applied, in
+// (GTS, Sub) order, with batch envelopes unpacked into their per-payload
+// deliveries exactly as the live path does.
+//
+// What "had applied" means depends on the delivery mode. In total order,
+// deliveries advance the GTS frontier gap-free, so a record was applied iff
+// its GTS is at or below the durable frontier. In conflict mode (genmcast)
+// releases are not in GTS order and the protocol logs the applied set
+// itself (wal.State.Delivered); a GTS threshold would replay committed
+// records this replica never exposed. Replaying the conflict-mode set in
+// GTS order is correct: conflicting pairs were applied in GTS order live,
+// and commuting pairs may reorder freely.
 func appReplay(rs *wal.State, g GroupID) []Delivery {
-	if rs == nil || len(rs.Records) == 0 || rs.LastDeliver.IsZero() {
+	if rs == nil || len(rs.Records) == 0 {
+		return nil
+	}
+	conflictMode := len(rs.Delivered) > 0
+	if !conflictMode && rs.LastDeliver.IsZero() {
 		return nil
 	}
 	var ds []Delivery
-	for _, rec := range rs.Records {
+	for id, rec := range rs.Records {
 		if rec.Phase != msgs.PhaseCommitted || rec.GTS.IsZero() {
 			continue
 		}
-		if !rec.M.Dest.Contains(g) || rs.LastDeliver.Less(rec.GTS) {
+		if !rec.M.Dest.Contains(g) {
+			continue
+		}
+		if conflictMode {
+			if !rs.Delivered[id] {
+				continue
+			}
+		} else if rs.LastDeliver.Less(rec.GTS) {
 			continue
 		}
 		ds = append(ds, batch.Expand(mcast.Delivery{Msg: rec.M.Clone(), GTS: rec.GTS})...)

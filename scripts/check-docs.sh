@@ -59,7 +59,7 @@ for md in README.md docs/*.md; do
 done
 
 # --- 4. the observability catalog matches the declared metric names -----
-names=$(grep -oE '"wbcast_[a-z_]+"' internal/obs/names.go | tr -d '"' | sort -u)
+names=$(grep -oE '"(wbcast|genmcast)_[a-z_]+"' internal/obs/names.go | tr -d '"' | sort -u)
 for name in $names; do
   if ! grep -q "$name" docs/OBSERVABILITY.md; then
     echo "docs/OBSERVABILITY.md: metric $name missing from the catalog"
@@ -72,7 +72,7 @@ while IFS=: read -r file line lit; do
     echo "$file:$line: metric literal $lit is not declared in internal/obs/names.go"
     fail=1
   fi
-done < <(grep -rn --include='*.go' -oE '"wbcast_[a-z_]+"' . \
+done < <(grep -rn --include='*.go' -oE '"(wbcast|genmcast)_[a-z_]+"' . \
   | grep -v '_test\.go:' | grep -v '^\./internal/obs/names\.go:')
 
 if [ "$fail" -ne 0 ]; then

@@ -124,6 +124,17 @@ const (
 	// baselines are measured against; production deployments use the
 	// fault-tolerant protocols above.
 	Skeen
+	// Genmcast is the conflict-aware generalisation of WhiteBox (generic
+	// multicast in the sense of Bolina et al.): it runs the same timestamp
+	// and ballot machinery but only orders messages that conflict under
+	// Config.Conflicts — mutually commuting messages are delivered as soon
+	// as they commit, without waiting behind smaller timestamps. Deliveries
+	// still carry the global timestamp, and any two conflicting messages
+	// are delivered in GTS order at every common destination; the relative
+	// order of commuting messages may differ between replicas. GC of
+	// delivered messages is disabled (as for the FastCast and FTSkeen
+	// baselines).
+	Genmcast
 )
 
 // String returns the protocol's canonical name, accepted by
@@ -138,14 +149,16 @@ func (p Protocol) String() string {
 		return "ftskeen"
 	case Skeen:
 		return "skeen"
+	case Genmcast:
+		return "genmcast"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
 }
 
-// ParseProtocol resolves a protocol name — "wbcast", "fastcast", "ftskeen"
-// or "skeen" — to its Protocol value. Command-line tools use it so the
-// accepted names match Protocol.String.
+// ParseProtocol resolves a protocol name — "wbcast", "fastcast", "ftskeen",
+// "skeen" or "genmcast" — to its Protocol value. Command-line tools use it
+// so the accepted names match Protocol.String.
 func ParseProtocol(name string) (Protocol, error) {
 	switch name {
 	case "wbcast":
@@ -156,10 +169,24 @@ func ParseProtocol(name string) (Protocol, error) {
 		return FTSkeen, nil
 	case "skeen":
 		return Skeen, nil
+	case "genmcast":
+		return Genmcast, nil
 	default:
-		return 0, fmt.Errorf("wbcast: unknown protocol %q (want wbcast, fastcast, ftskeen or skeen)", name)
+		return 0, fmt.Errorf("wbcast: unknown protocol %q (want wbcast, fastcast, ftskeen, skeen or genmcast)", name)
 	}
 }
+
+// ConflictRelation reports whether two application payloads conflict —
+// whether their delivery order is observable by the application. Under the
+// Genmcast protocol, only conflicting messages are mutually ordered;
+// non-conflicting (commuting) messages may be delivered in different
+// relative orders at different replicas.
+//
+// The relation must be symmetric and deterministic, and may only ever be
+// conservative: reporting a conflict where none exists costs latency, never
+// safety. The zero relation (nil) treats every pair as conflicting, which
+// makes Genmcast deliver exactly like WhiteBox.
+type ConflictRelation = mcast.ConflictRelation
 
 // Batching configures client-side payload batching and pipelining
 // (internal/batch). Zero-valued fields take sensible defaults (64
@@ -308,6 +335,14 @@ type Config struct {
 	// the replica's critical path. Pull-based consumers use
 	// Replica.Deliveries instead.
 	OnDeliver func(p ProcessID, d Delivery)
+	// Conflicts is the application's conflict relation, honoured by the
+	// Genmcast protocol only (setting it with any other protocol is a
+	// validation error). Nil treats every pair of payloads as conflicting.
+	// Batched payloads are handled per payload: two batches conflict iff
+	// any payload pair across them does. Services layered on a replica may
+	// refine the relation later through Replica.SetConflictRelation (the kv
+	// service installs its key-based relation automatically).
+	Conflicts ConflictRelation
 	// DisableGC turns off garbage collection of delivered messages
 	// (WhiteBox only; the baselines retain delivered state regardless).
 	DisableGC bool
@@ -353,6 +388,12 @@ type Config struct {
 	// is what makes simulated traces deterministic.
 	clock  obs.Clock
 	tracer *obs.Tracer
+	// conflicts holds the effective (batch-envelope-aware) conflict
+	// relation of a Genmcast deployment, created once by normalized() and
+	// shared by every replica constructed from the normalized Config — so
+	// Replica.SetConflictRelation rebinds the relation for the whole
+	// deployment.
+	conflicts *mcast.ConflictHolder
 }
 
 // obsOn reports whether the observability layer is enabled.
@@ -399,8 +440,15 @@ func (cfg Config) normalized() (Config, error) {
 		if cfg.Replicas != 1 {
 			return cfg, fmt.Errorf("wbcast: the skeen protocol requires singleton groups (Replicas must be 1, got %d); use ftskeen for replicated groups", cfg.Replicas)
 		}
+	case Genmcast:
+		if cfg.conflicts == nil {
+			cfg.conflicts = mcast.NewConflictHolder(batch.Conflicts(cfg.Conflicts))
+		}
 	default:
 		return cfg, fmt.Errorf("wbcast: unknown protocol %v", cfg.Protocol)
+	}
+	if cfg.Conflicts != nil && cfg.Protocol != Genmcast {
+		return cfg, fmt.Errorf("wbcast: Config.Conflicts requires the genmcast protocol, got %v", cfg.Protocol)
 	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 2 * time.Millisecond
@@ -501,6 +549,20 @@ func newProtocolHandler(cfg Config, top *mcast.Topology, pid ProcessID, po *obs.
 		// durable state — rs is ignored (Config.Storage still records the
 		// app-level entries of services layered on the replica).
 		return skeen.New(pid, top)
+	case Genmcast:
+		// The white-box machinery in conflict-aware delivery mode. GC is
+		// forced off by the core (the release log and applied set reference
+		// every delivered message).
+		rc := core.DefaultConfig(pid, top, d)
+		rc.Obs = po
+		rc.Durable = durable
+		rc.Recovered = rs
+		rc.Conflicts = cfg.conflicts
+		rc.AppGCHorizon = cfg.AppGCHorizon
+		if det {
+			rc.RetryInterval, rc.HeartbeatInterval, rc.SuspectTimeout, rc.GCInterval = 0, 0, 0, 0
+		}
+		return core.NewReplica(rc)
 	default:
 		return nil, fmt.Errorf("wbcast: unknown protocol %v", cfg.Protocol)
 	}
